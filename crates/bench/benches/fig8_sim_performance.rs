@@ -1,0 +1,57 @@
+//! Figure 8 bench: simulation performance across the abstraction levels
+//! (C++, SystemC channels, refined channel, behavioural, RTL), measured as
+//! Criterion throughput on a fixed conversion workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scflow::algo::AlgoSrc;
+use scflow::models::beh::run_beh_model;
+use scflow::models::channel::run_channel_model;
+use scflow::models::refined::run_refined_model;
+use scflow::models::rtl::run_rtl_model;
+use scflow::{stimulus, SrcConfig};
+
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = SrcConfig::cd_to_dvd();
+    let mut group = c.benchmark_group("fig8_sim_performance");
+    group.sample_size(10);
+
+    // Workload sizes chosen so each iteration is meaningful but short; the
+    // normalised cycles/s figures come from the `tables` binary.
+    let big = stimulus::sine(44_100, 1000.0, 44_100.0, 9000.0);
+    group.bench_function("cpp_algorithmic", |b| {
+        b.iter(|| {
+            let mut src = AlgoSrc::new(&cfg);
+            std::hint::black_box(src.process(&big));
+        })
+    });
+
+    let medium = stimulus::sine(1_000, 1000.0, 44_100.0, 9000.0);
+    group.bench_function("systemc_channel", |b| {
+        b.iter(|| std::hint::black_box(run_channel_model(&cfg, &medium)))
+    });
+    group.bench_function("systemc_refined_channel", |b| {
+        b.iter(|| std::hint::black_box(run_refined_model(&cfg, &medium)))
+    });
+
+    let small = stimulus::sine(120, 1000.0, 44_100.0, 9000.0);
+    group.bench_function("behavioural_clocked", |b| {
+        b.iter(|| std::hint::black_box(run_beh_model(&cfg, &small)))
+    });
+    group.bench_function("rtl_two_process", |b| {
+        b.iter(|| std::hint::black_box(run_rtl_model(&cfg, &small)))
+    });
+    group.finish();
+
+    // Emit the normalised figure once for the record.
+    let rows = scflow_bench::measure_fig8(&cfg, 1);
+    println!("\n=== Figure 8: simulated 25 MHz cycles per wall second ===");
+    for r in rows {
+        println!(
+            "{:<12} {:>14.0} cyc/s   ({} outputs in {:?})",
+            r.model, r.cycles_per_sec, r.outputs, r.wall
+        );
+    }
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

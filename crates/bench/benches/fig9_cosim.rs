@@ -1,0 +1,64 @@
+//! Figure 9 bench: native HDL simulation (interpreted testbench) vs
+//! SystemC-testbench co-simulation, on the three HDL artefacts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scflow::models::rtl::{build_rtl_src, RtlVariant};
+use scflow::verify::GoldenVectors;
+use scflow::{stimulus, SrcConfig};
+use scflow_cosim::{run_kernel_cosim, run_native_hdl};
+use scflow_gate::{CellLibrary, GateSim};
+use scflow_rtl::RtlSim;
+use scflow_synth::rtl::{synthesize, SynthOptions};
+
+fn bench_fig9(c: &mut Criterion) {
+    let cfg = SrcConfig::cd_to_dvd();
+    let lib = CellLibrary::generic_025u();
+    let input = stimulus::sine(30, 1000.0, 44_100.0, 9000.0);
+    let golden = GoldenVectors::generate(&cfg, input);
+
+    let rtl_module = build_rtl_src(&cfg, RtlVariant::Optimised).expect("rtl");
+    let gate_rtl = synthesize(&rtl_module, &lib, &SynthOptions::default())
+        .expect("synth")
+        .netlist;
+
+    let mut group = c.benchmark_group("fig9_cosim");
+    group.sample_size(10);
+    group.bench_function("rtl_dut_vhdl_tb", |b| {
+        b.iter(|| {
+            let mut dut = RtlSim::new(&rtl_module);
+            std::hint::black_box(run_native_hdl(&mut dut, &golden, 1_000_000))
+        })
+    });
+    group.bench_function("rtl_dut_systemc_tb", |b| {
+        b.iter(|| {
+            let mut dut = RtlSim::new(&rtl_module);
+            std::hint::black_box(run_kernel_cosim(&mut dut, &golden, 1_000_000))
+        })
+    });
+    group.bench_function("gate_rtl_dut_vhdl_tb", |b| {
+        b.iter(|| {
+            let mut dut = GateSim::new(&gate_rtl, &lib);
+            std::hint::black_box(run_native_hdl(&mut dut, &golden, 1_000_000))
+        })
+    });
+    group.bench_function("gate_rtl_dut_systemc_tb", |b| {
+        b.iter(|| {
+            let mut dut = GateSim::new(&gate_rtl, &lib);
+            std::hint::black_box(run_kernel_cosim(&mut dut, &golden, 1_000_000))
+        })
+    });
+    group.finish();
+
+    // Full figure (all six bars), printed once.
+    let rows = scflow_bench::measure_fig9(&cfg, 30);
+    println!("\n=== Figure 9: co-simulation vs native HDL simulation ===");
+    for r in rows {
+        println!(
+            "{:<9} {:<11} {:>12.0} cyc/s  ({} cycles)",
+            r.dut, r.testbench, r.cycles_per_sec, r.cycles
+        );
+    }
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Prints the paper's tables and figures from the reproduction.
+//!
+//! ```text
+//! cargo run --release -p scflow-bench --bin tables -- --all
+//! cargo run --release -p scflow-bench --bin tables -- --fig8 --fig10
+//! ```
+
+use scflow::SrcConfig;
+
+const KNOWN_FLAGS: [&str; 13] = [
+    "--down",
+    "--all",
+    "--verify",
+    "--fig7",
+    "--fig8",
+    "--fig9",
+    "--fig10",
+    "--timing",
+    "--ablation-sched",
+    "--ablation-regs",
+    "--ablation-share",
+    "--ablation-pack",
+    "--help",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(unknown) = args.iter().find(|a| !KNOWN_FLAGS.contains(&a.as_str())) {
+        eprintln!("error: unknown flag `{unknown}`");
+        eprintln!("known flags: {}", KNOWN_FLAGS.join(" "));
+        std::process::exit(2);
+    }
+    let has = |f: &str| args.iter().any(|a| a == f) || args.iter().any(|a| a == "--all");
+    if args.is_empty() || has("--help") {
+        eprintln!(
+            "usage: tables [--down] [--all] [--verify] [--fig7] [--fig8] [--fig9] \
+             [--fig10] [--timing] [--ablation-sched] [--ablation-regs] \
+             [--ablation-share] [--ablation-pack]"
+        );
+        std::process::exit(2);
+    }
+
+    // --down switches to the 48 kHz -> 44.1 kHz configuration.
+    let cfg = if args.iter().any(|a| a == "--down") {
+        SrcConfig::dvd_to_cd()
+    } else {
+        SrcConfig::cd_to_dvd()
+    };
+    println!("configuration: {} Hz -> {} Hz\n", cfg.in_rate, cfg.out_rate);
+
+    if has("--verify") {
+        println!("=== bit-accuracy re-validation of every refinement level ===\n");
+        let input = scflow::stimulus::sine(150, 1000.0, f64::from(cfg.in_rate), 9000.0);
+        match scflow::flow::validate_all_levels(&cfg, &input) {
+            Ok(()) => println!("all synthesisable levels bit-accurate against the golden model\n"),
+            Err(e) => {
+                eprintln!("FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if has("--fig7") {
+        println!("=== Figure 7: time quantisation of sample events ===\n");
+        let input = scflow::stimulus::sine(30, 1000.0, f64::from(cfg.in_rate), 9000.0);
+        let chan = scflow::models::channel::run_channel_model(&cfg, &input);
+        let beh = scflow::models::beh::run_beh_model(&cfg, &input);
+        let period = scflow::models::beh::CLOCK_PERIOD.as_ps();
+        println!(
+            "{:<6} {:>18} {:>8} {:>18} {:>8}",
+            "sample", "continuous (ps)", "on-grid", "clocked (ps)", "on-grid"
+        );
+        for i in 0..chan.output_times.len().min(beh.output_times.len()).min(8) {
+            let c = chan.output_times[i].as_ps();
+            let q = beh.output_times[i].as_ps();
+            println!(
+                "{i:<6} {c:>18} {:>8} {q:>18} {:>8}",
+                c % period == period / 2,
+                q % period == period / 2
+            );
+        }
+        println!("(clocked sample events can only occur at clock edges — Figure 7)\n");
+    }
+
+    if has("--fig8") {
+        println!("=== Figure 8: simulation performance by abstraction level ===");
+        println!("(simulated 25 MHz-equivalent clock cycles per wall second)\n");
+        println!("{:<12} {:>16} {:>10} {:>12}", "model", "cycles/sec", "outputs", "wall");
+        for r in scflow_bench::measure_fig8(&cfg, 2) {
+            println!(
+                "{:<12} {:>16.0} {:>10} {:>12?}",
+                r.model, r.cycles_per_sec, r.outputs, r.wall
+            );
+        }
+        println!();
+    }
+
+    if has("--fig9") {
+        println!("=== Figure 9: co-simulation vs native HDL simulation ===");
+        println!("(simulated clock cycles per wall second)\n");
+        println!("{:<9} {:<12} {:>14} {:>10}", "DUT", "testbench", "cycles/sec", "cycles");
+        for r in scflow_bench::measure_fig9(&cfg, 40) {
+            println!(
+                "{:<9} {:<12} {:>14.0} {:>10}",
+                r.dut, r.testbench, r.cycles_per_sec, r.cycles
+            );
+        }
+        println!();
+    }
+
+    if has("--fig10") {
+        println!("=== Figure 10: gate-level area relative to the VHDL reference ===\n");
+        println!("{}", scflow_bench::measure_fig10(&cfg));
+    }
+
+    if has("--timing") {
+        println!("=== Timing closure at the paper's 40 ns clock ===\n");
+        println!("{:<12} {:>12} {:>8}", "design", "path (ps)", "meets");
+        for (design, path, meets) in scflow_bench::timing_table(&cfg) {
+            println!("{design:<12} {path:>12} {meets:>8}");
+        }
+        println!();
+    }
+
+    let print_ablation = |title: &str, rows: Vec<scflow_bench::AblationRow>| {
+        println!("=== Ablation: {title} ===\n");
+        println!(
+            "{:<30} {:>12} {:>8} {:>8}",
+            "configuration", "area um^2", "flops", "states"
+        );
+        for r in rows {
+            println!(
+                "{:<30} {:>12.1} {:>8} {:>8}",
+                r.config, r.total_um2, r.flops, r.states
+            );
+        }
+        println!();
+    };
+
+    if has("--ablation-sched") {
+        print_ablation("I/O scheduling mode", scflow_bench::ablation_scheduling(&cfg));
+    }
+    if has("--ablation-regs") {
+        print_ablation(
+            "register allocation",
+            scflow_bench::ablation_register_merging(&cfg),
+        );
+    }
+    if has("--ablation-share") {
+        print_ablation(
+            "multiplier sharing",
+            scflow_bench::ablation_resource_sharing(&cfg),
+        );
+    }
+    if has("--ablation-pack") {
+        print_ablation(
+            "statement packing",
+            scflow_bench::ablation_statement_packing(&cfg),
+        );
+    }
+}

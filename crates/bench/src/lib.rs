@@ -1,0 +1,365 @@
+//! Shared measurement harness behind the Criterion benches and the
+//! `tables` binary that regenerate the paper's figures.
+//!
+//! * [`measure_fig8`] — simulation performance (simulated clock cycles per
+//!   wall-clock second, 25 MHz equivalent for unclocked models) across the
+//!   abstraction levels.
+//! * [`measure_fig9`] — the three HDL artefacts, each in the interpreted
+//!   "VHDL testbench" and in the compiled "SystemC testbench"
+//!   (co-simulation).
+//! * [`measure_fig10`] — the gate-level area table (via
+//!   [`scflow::flow::run_area_flow`]).
+//! * `ablation_*` — per-knob syntheses for the design-choice tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use scflow::algo::AlgoSrc;
+use scflow::models::beh::{beh_options, beh_program, run_beh_model, BehVariant, CLOCK_PERIOD};
+use scflow::models::channel::run_channel_model;
+use scflow::models::refined::run_refined_model;
+use scflow::models::rtl::{build_rtl_src, run_rtl_model, RtlVariant};
+use scflow::verify::GoldenVectors;
+use scflow::{stimulus, SrcConfig};
+use scflow_cosim::{run_kernel_cosim, run_native_hdl};
+use scflow_gate::{CellLibrary, GateSim};
+use scflow_rtl::RtlSim;
+use scflow_synth::beh::synthesize_beh;
+use scflow_synth::rtl::{synthesize, SynthOptions};
+use std::time::Instant;
+
+/// One bar of Figure 8.
+#[derive(Clone, Debug)]
+pub struct Fig8Row {
+    /// Model name (x-axis label).
+    pub model: &'static str,
+    /// Simulated 25 MHz-equivalent clock cycles per wall second.
+    pub cycles_per_sec: f64,
+    /// Wall time of the measured run.
+    pub wall: std::time::Duration,
+    /// Output samples produced (work done).
+    pub outputs: usize,
+}
+
+/// Measures the simulation performance of every abstraction level.
+///
+/// `scale` multiplies the per-model workload sizes (1 = quick, 10 =
+/// steady numbers).
+pub fn measure_fig8(cfg: &SrcConfig, scale: usize) -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+
+    // C++ (algorithmic): pure compiled model; simulated time is the
+    // audio time covered, scaled to 25 MHz cycles like the paper.
+    {
+        let input = stimulus::sine(20_000 * scale, 1000.0, f64::from(cfg.in_rate), 9000.0);
+        let mut src = AlgoSrc::new(cfg);
+        let t0 = Instant::now();
+        let out = src.process(&input);
+        let wall = t0.elapsed();
+        let seconds_covered = out.len() as f64 / f64::from(cfg.out_rate);
+        let cycles = seconds_covered * 25e6;
+        rows.push(Fig8Row {
+            model: "C++",
+            cycles_per_sec: cycles / wall.as_secs_f64().max(1e-12),
+            wall,
+            outputs: out.len(),
+        });
+    }
+
+    // SystemC with channels.
+    {
+        let input = stimulus::sine(2_000 * scale, 1000.0, f64::from(cfg.in_rate), 9000.0);
+        let t0 = Instant::now();
+        let run = run_channel_model(cfg, &input);
+        let wall = t0.elapsed();
+        rows.push(Fig8Row {
+            model: "SystemC",
+            cycles_per_sec: run.cycles_per_second(wall, CLOCK_PERIOD),
+            wall,
+            outputs: run.outputs.len(),
+        });
+    }
+
+    // Refined channel.
+    {
+        let input = stimulus::sine(2_000 * scale, 1000.0, f64::from(cfg.in_rate), 9000.0);
+        let t0 = Instant::now();
+        let run = run_refined_model(cfg, &input);
+        let wall = t0.elapsed();
+        rows.push(Fig8Row {
+            model: "SystemC-ref",
+            cycles_per_sec: run.cycles_per_second(wall, CLOCK_PERIOD),
+            wall,
+            outputs: run.outputs.len(),
+        });
+    }
+
+    // Behavioural (clocked kernel model).
+    {
+        let input = stimulus::sine(400 * scale, 1000.0, f64::from(cfg.in_rate), 9000.0);
+        let t0 = Instant::now();
+        let run = run_beh_model(cfg, &input);
+        let wall = t0.elapsed();
+        rows.push(Fig8Row {
+            model: "BEH",
+            cycles_per_sec: run.cycles_per_second(wall, CLOCK_PERIOD),
+            wall,
+            outputs: run.outputs.len(),
+        });
+    }
+
+    // RTL (clocked two-process kernel model).
+    {
+        let input = stimulus::sine(400 * scale, 1000.0, f64::from(cfg.in_rate), 9000.0);
+        let t0 = Instant::now();
+        let run = run_rtl_model(cfg, &input);
+        let wall = t0.elapsed();
+        rows.push(Fig8Row {
+            model: "RTL",
+            cycles_per_sec: run.cycles_per_second(wall, CLOCK_PERIOD),
+            wall,
+            outputs: run.outputs.len(),
+        });
+    }
+
+    rows
+}
+
+/// One bar pair of Figure 9.
+#[derive(Clone, Debug)]
+pub struct Fig9Row {
+    /// DUT artefact name.
+    pub dut: &'static str,
+    /// Testbench configuration.
+    pub testbench: &'static str,
+    /// Simulated clock cycles per wall second.
+    pub cycles_per_sec: f64,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+/// Measures native-HDL vs SystemC-testbench co-simulation for the three
+/// HDL artefacts of the flow.
+pub fn measure_fig9(cfg: &SrcConfig, n_inputs: usize) -> Vec<Fig9Row> {
+    let lib = CellLibrary::generic_025u();
+    let input = stimulus::sine(n_inputs, 1000.0, f64::from(cfg.in_rate), 9000.0);
+    let golden = GoldenVectors::generate(cfg, input);
+    let budget = 10_000_000;
+
+    let rtl_module = build_rtl_src(cfg, RtlVariant::Optimised).expect("rtl");
+    // The behavioural-flow artefact with the handshake interface the
+    // testbenches drive (the optimised program, superstate-scheduled).
+    let beh_module = {
+        let mut opts = beh_options(BehVariant::Optimised);
+        opts.mode = scflow_synth::beh::SchedulingMode::Superstate;
+        synthesize_beh(&beh_program(cfg, BehVariant::Optimised), &opts)
+            .expect("beh")
+            .module
+    };
+    let gate_beh = synthesize(&beh_module, &lib, &SynthOptions::default())
+        .expect("synth beh")
+        .netlist;
+    let gate_rtl = synthesize(&rtl_module, &lib, &SynthOptions::default())
+        .expect("synth rtl")
+        .netlist;
+
+    // Best-of-3 per configuration: single runs are noise-dominated for
+    // the short workloads the gate simulators allow.
+    const REPS: usize = 3;
+    let mut rows = Vec::new();
+    let mut measure =
+        |dut: &'static str, tb: &'static str, mut run: Box<dyn FnMut() -> u64>| {
+            let mut best = f64::NEG_INFINITY;
+            let mut cycles = 0;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                let c = run();
+                let rate = c as f64 / t0.elapsed().as_secs_f64().max(1e-12);
+                if rate > best {
+                    best = rate;
+                    cycles = c;
+                }
+            }
+            rows.push(Fig9Row {
+                dut,
+                testbench: tb,
+                cycles_per_sec: best,
+                cycles,
+            });
+        };
+
+    // RTL artefact (interpreted RTL = the synthesis tool's Verilog).
+    measure(
+        "RTL",
+        "VHDL-TB",
+        Box::new(|| run_native_hdl(&mut RtlSim::new(&rtl_module), &golden, budget).cycles),
+    );
+    measure(
+        "RTL",
+        "SystemC-TB",
+        Box::new(|| run_kernel_cosim(&mut RtlSim::new(&rtl_module), &golden, budget).cycles),
+    );
+    // Gate-level artefacts.
+    measure(
+        "Gate-BEH",
+        "VHDL-TB",
+        Box::new(|| run_native_hdl(&mut GateSim::new(&gate_beh, &lib), &golden, budget).cycles),
+    );
+    measure(
+        "Gate-BEH",
+        "SystemC-TB",
+        Box::new(|| run_kernel_cosim(&mut GateSim::new(&gate_beh, &lib), &golden, budget).cycles),
+    );
+    measure(
+        "Gate-RTL",
+        "VHDL-TB",
+        Box::new(|| run_native_hdl(&mut GateSim::new(&gate_rtl, &lib), &golden, budget).cycles),
+    );
+    measure(
+        "Gate-RTL",
+        "SystemC-TB",
+        Box::new(|| run_kernel_cosim(&mut GateSim::new(&gate_rtl, &lib), &golden, budget).cycles),
+    );
+    rows
+}
+
+/// Regenerates the Figure 10 area table.
+pub fn measure_fig10(cfg: &SrcConfig) -> scflow::flow::AreaFigure {
+    let lib = CellLibrary::generic_025u();
+    scflow::flow::run_area_flow(cfg, &lib).expect("area flow")
+}
+
+/// One row of an ablation table.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Configuration description.
+    pub config: String,
+    /// Total cell area, µm².
+    pub total_um2: f64,
+    /// Flop count.
+    pub flops: usize,
+    /// FSM states.
+    pub states: usize,
+}
+
+fn synth_beh_with(
+    cfg: &SrcConfig,
+    variant: BehVariant,
+    tweak: impl FnOnce(&mut scflow_synth::beh::BehOptions),
+) -> AblationRow {
+    let lib = CellLibrary::generic_025u();
+    let program = beh_program(cfg, variant);
+    let mut opts = beh_options(variant);
+    tweak(&mut opts);
+    let out = synthesize_beh(&program, &opts).expect("beh synth");
+    let res = synthesize(&out.module, &lib, &SynthOptions::default()).expect("rtl synth");
+    AblationRow {
+        config: String::new(),
+        total_um2: res.area.total_um2(),
+        flops: res.netlist.flop_count(),
+        states: out.report.states,
+    }
+}
+
+/// Ablation: superstate (handshake) vs fixed-cycle scheduling on the
+/// optimised behavioural program.
+pub fn ablation_scheduling(cfg: &SrcConfig) -> Vec<AblationRow> {
+    use scflow_synth::beh::SchedulingMode;
+    let mut a = synth_beh_with(cfg, BehVariant::Optimised, |o| {
+        o.mode = SchedulingMode::Superstate;
+    });
+    a.config = "superstate (handshake)".into();
+    let mut b = synth_beh_with(cfg, BehVariant::Optimised, |o| {
+        o.mode = SchedulingMode::FixedCycle;
+    });
+    b.config = "fixed-cycle (strobes)".into();
+    vec![a, b]
+}
+
+/// Ablation: register merging on/off on the *unoptimised* behavioural
+/// program (the optimised one has too few live temporaries to merge).
+pub fn ablation_register_merging(cfg: &SrcConfig) -> Vec<AblationRow> {
+    let mut a = synth_beh_with(cfg, BehVariant::Unoptimised, |o| {
+        o.merge_registers = false;
+    });
+    a.config = "one register per variable".into();
+    let mut b = synth_beh_with(cfg, BehVariant::Unoptimised, |o| {
+        o.merge_registers = true;
+    });
+    b.config = "lifetime-merged registers".into();
+    vec![a, b]
+}
+
+/// Ablation: multiplier sharing on/off.
+///
+/// The SRC itself has a single MAC site, so sharing is near-neutral
+/// there; this ablation uses a two-multiplier microprogram
+/// (`e = x*x + y*y`) where the paper's "single arithmetic process
+/// allowing resource sharing" genuinely pays off.
+pub fn ablation_resource_sharing(_cfg: &SrcConfig) -> Vec<AblationRow> {
+    use scflow_synth::beh::ProgramBuilder;
+    let lib = CellLibrary::generic_025u();
+    let program = {
+        let mut p = ProgramBuilder::new("energy");
+        let i = p.input("x", 16);
+        let j = p.input("y", 16);
+        let o = p.output("e", 33);
+        let x = p.var("xv", 16);
+        let y = p.var("yv", 16);
+        let xx = p.var("xx", 32);
+        let yy = p.var("yy", 32);
+        p.read(x, i);
+        p.read(y, j);
+        let sx = p.v(x).sext(32).mul_signed(p.v(x).sext(32));
+        p.assign(xx, sx);
+        let sy = p.v(y).sext(32).mul_signed(p.v(y).sext(32));
+        p.assign(yy, sy);
+        let sum = p.v(xx).zext(33).add(p.v(yy).zext(33));
+        p.write(o, sum);
+        p.build()
+    };
+    let mut rows = Vec::new();
+    for (share, label) in [(false, "one multiplier per site"), (true, "shared multiplier")] {
+        let mut opts = beh_options(BehVariant::Optimised);
+        opts.share_resources = share;
+        let out = synthesize_beh(&program, &opts).expect("beh synth");
+        let res = synthesize(&out.module, &lib, &SynthOptions::default()).expect("rtl synth");
+        rows.push(AblationRow {
+            config: label.into(),
+            total_um2: res.area.total_um2(),
+            flops: res.netlist.flop_count(),
+            states: out.report.states,
+        });
+    }
+    rows
+}
+
+/// Ablation: statement packing (chaining) on/off on the unoptimised
+/// behavioural program — the conservative-schedule register bloat.
+pub fn ablation_statement_packing(cfg: &SrcConfig) -> Vec<AblationRow> {
+    let mut a = synth_beh_with(cfg, BehVariant::Unoptimised, |o| {
+        o.pack_statements = false;
+    });
+    a.config = "one statement per step".into();
+    let mut b = synth_beh_with(cfg, BehVariant::Unoptimised, |o| {
+        o.pack_statements = true;
+    });
+    b.config = "packed steps (forwarding)".into();
+    vec![a, b]
+}
+
+/// Timing closure of every synthesisable design against the 40 ns clock.
+pub fn timing_table(cfg: &SrcConfig) -> Vec<(String, u64, bool)> {
+    measure_fig10(cfg)
+        .rows
+        .into_iter()
+        .map(|r| {
+            (
+                r.design,
+                r.critical_path_ps,
+                // setup margin mirrors TimingReport::meets
+                r.critical_path_ps + 150 <= 40_000,
+            )
+        })
+        .collect()
+}

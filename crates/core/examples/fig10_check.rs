@@ -1,0 +1,6 @@
+fn main() {
+    let cfg = scflow::SrcConfig::cd_to_dvd();
+    let lib = scflow_gate::CellLibrary::generic_025u();
+    let fig = scflow::flow::run_area_flow(&cfg, &lib).expect("flow");
+    println!("{fig}");
+}

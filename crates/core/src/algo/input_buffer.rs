@@ -1,0 +1,109 @@
+//! The input ring buffer with pointer-like iterators (the paper's
+//! `CInputBuffer`, Figure 4).
+
+use crate::config::SrcConfig;
+use std::cell::RefCell;
+
+const N: usize = SrcConfig::BUFFER;
+
+/// A ring buffer of the most recent input samples.
+///
+/// Write access moves an internal write pointer; read access is through
+/// [`iter_recent`](InputBuffer::iter_recent), whose iterator "can be
+/// thought of as a read pointer" that "internally holds an index to an
+/// array and ensures a correct wrap around, because it can only be
+/// modified through public methods" (paper, Section 4.1).
+///
+/// `raw_index_mode` reproduces the golden-model bug the paper carried to
+/// gate level: the read index is computed from a *stale* write pointer
+/// plus an unwrapped consume offset. The data still comes out right in
+/// every simulator (the final modulo lands on the correct cell), but the
+/// raw address leaves the buffer's range in corner cases — visible only to
+/// an address-checking memory model.
+#[derive(Clone, Debug, Default)]
+pub struct InputBuffer {
+    data: [i16; N],
+    wptr: usize,
+    raw_mode: bool,
+    pushes_since_read: usize,
+    raw_indices: RefCell<Vec<u32>>,
+}
+
+impl InputBuffer {
+    /// An empty (zero-filled) buffer.
+    pub fn new() -> Self {
+        InputBuffer::default()
+    }
+
+    /// Enables or disables the buggy raw-index computation.
+    pub fn raw_index_mode(&mut self, enable: bool) {
+        self.raw_mode = enable;
+    }
+
+    /// Appends one sample, advancing the write pointer with wrap-around.
+    pub fn push(&mut self, sample: i16) {
+        self.data[self.wptr] = sample;
+        self.wptr = (self.wptr + 1) % N;
+        self.pushes_since_read += 1;
+    }
+
+    /// The current write-pointer position (next slot to be written).
+    pub fn write_pos(&self) -> usize {
+        self.wptr
+    }
+
+    /// An iterator over the [`SrcConfig::TAPS`] most recent samples, most
+    /// recent first.
+    pub fn iter_recent(&mut self) -> SampleIter<'_> {
+        let consumed = std::mem::take(&mut self.pushes_since_read);
+        SampleIter {
+            buf: self,
+            k: 0,
+            consumed,
+        }
+    }
+
+    /// Raw (pre-wrap) indices recorded while `raw_index_mode` is active.
+    pub fn raw_indices(&self) -> Vec<u32> {
+        self.raw_indices.borrow().clone()
+    }
+}
+
+/// Iterator over the most recent samples (the "read pointer").
+pub struct SampleIter<'b> {
+    buf: &'b InputBuffer,
+    k: usize,
+    consumed: usize,
+}
+
+impl Iterator for SampleIter<'_> {
+    type Item = i16;
+
+    fn next(&mut self) -> Option<i16> {
+        if self.k >= SrcConfig::TAPS {
+            return None;
+        }
+        let k = self.k;
+        self.k += 1;
+        let idx = if self.buf.raw_mode {
+            // Stale base (write pointer before this output's consumes),
+            // wrapped once, plus the unwrapped consume offset: the raw
+            // address can exceed the buffer in corner cases, but modulo N
+            // it is always the correct cell.
+            let stale = (self.buf.wptr + 2 * N - 1 - k - self.consumed) % N;
+            let raw = stale + self.consumed;
+            self.buf.raw_indices.borrow_mut().push(raw as u32);
+            raw % N
+        } else {
+            (self.buf.wptr + N - 1 - k) % N
+        };
+        Some(self.buf.data[idx])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = SrcConfig::TAPS - self.k;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for SampleIter<'_> {}

@@ -1,0 +1,105 @@
+//! The polyphase coefficient store with its storage-hiding iterator (the
+//! paper's `CPolyphaseFilter`).
+
+use crate::coeffs::CoefficientRom;
+use crate::config::SrcConfig;
+
+/// The polyphase filter's coefficient storage.
+///
+/// Holds the halved symmetric ROM; [`iter_phase`] yields the `TAPS`
+/// coefficients of a phase in convolution order, hiding "the storage order
+/// of the coefficients and the fact that only one half of the symmetrical
+/// impulse response is stored" (paper, Section 4.1).
+///
+/// [`iter_phase`]: PolyphaseFilter::iter_phase
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PolyphaseFilter {
+    rom: CoefficientRom,
+}
+
+impl PolyphaseFilter {
+    /// Designs the coefficients for a configuration.
+    pub fn design(cfg: &SrcConfig) -> Self {
+        PolyphaseFilter {
+            rom: CoefficientRom::design(cfg),
+        }
+    }
+
+    /// Wraps an existing ROM.
+    pub fn from_rom(rom: CoefficientRom) -> Self {
+        PolyphaseFilter { rom }
+    }
+
+    /// The underlying halved ROM.
+    pub fn rom(&self) -> &CoefficientRom {
+        &self.rom
+    }
+
+    /// Iterator over the coefficients of `phase`, tap 0 first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase >= SrcConfig::PHASES`.
+    pub fn iter_phase(&self, phase: u32) -> CoefIter<'_> {
+        assert!((phase as usize) < SrcConfig::PHASES);
+        CoefIter {
+            filter: self,
+            phase,
+            k: 0,
+        }
+    }
+}
+
+/// Iterator over one phase's coefficients (the polyphase "access object").
+pub struct CoefIter<'f> {
+    filter: &'f PolyphaseFilter,
+    phase: u32,
+    k: u32,
+}
+
+impl Iterator for CoefIter<'_> {
+    type Item = i16;
+
+    fn next(&mut self) -> Option<i16> {
+        if self.k as usize >= SrcConfig::TAPS {
+            return None;
+        }
+        let c = self.filter.rom.coefficient(self.phase, self.k);
+        self.k += 1;
+        Some(c)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = SrcConfig::TAPS - self.k as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for CoefIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterator_yields_taps_in_order() {
+        let f = PolyphaseFilter::design(&SrcConfig::cd_to_dvd());
+        for phase in [0u32, 7, 15, 16, 31] {
+            let via_iter: Vec<i16> = f.iter_phase(phase).collect();
+            let direct: Vec<i16> = (0..SrcConfig::TAPS as u32)
+                .map(|k| f.rom().coefficient(phase, k))
+                .collect();
+            assert_eq!(via_iter, direct, "phase {phase}");
+            assert_eq!(via_iter.len(), SrcConfig::TAPS);
+        }
+    }
+
+    #[test]
+    fn upper_phases_are_reversed_lower_phases() {
+        let f = PolyphaseFilter::design(&SrcConfig::cd_to_dvd());
+        let lo: Vec<i16> = f.iter_phase(3).collect();
+        let mut hi: Vec<i16> = f.iter_phase(28).collect();
+        hi.reverse();
+        assert_eq!(lo, hi);
+    }
+}

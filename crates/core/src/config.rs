@@ -1,0 +1,193 @@
+//! SRC configuration: rates, filter geometry, fixed-point formats.
+
+/// Static configuration of the sample-rate converter.
+///
+/// The geometry follows the paper's design class (car-multimedia stereo
+/// audio, bandlimited interpolation per the Digital Audio Resampling Home
+/// Page the paper cites): a 32-phase polyphase filter with 16 taps per
+/// phase, 16-bit samples and coefficients, and a 24-entry input ring
+/// buffer.
+///
+/// The conversion ratio is realised with a **binary phase accumulator**:
+/// every output sample advances input time by
+/// `step / 2^PHASE_FRAC_BITS` input samples; the integer overflow of the
+/// accumulator is the number of input samples to consume, and the top
+/// [`PHASE_BITS`](SrcConfig::PHASE_BITS) fraction bits select the
+/// polyphase phase. Every abstraction level uses this same accumulator,
+/// which is what makes bit-accurate cross-level comparison possible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SrcConfig {
+    /// Input sampling rate in Hz.
+    pub in_rate: u32,
+    /// Output sampling rate in Hz.
+    pub out_rate: u32,
+    /// Phase-accumulator step: `round(2^24 * in_rate / out_rate)`.
+    pub step: u32,
+}
+
+impl SrcConfig {
+    /// Taps per polyphase phase.
+    pub const TAPS: usize = 16;
+    /// Number of polyphase phases.
+    pub const PHASES: usize = 32;
+    /// Input ring-buffer depth (deliberately not a power of two, like the
+    /// paper's design whose corner-case buffer bug the flow carried to
+    /// gate level).
+    pub const BUFFER: usize = 24;
+    /// Fraction bits of the phase accumulator.
+    pub const PHASE_FRAC_BITS: u32 = 24;
+    /// Bits selecting the phase (top bits of the accumulator fraction).
+    pub const PHASE_BITS: u32 = 5;
+    /// Sample width in bits (signed).
+    pub const SAMPLE_BITS: u32 = 16;
+    /// Coefficient width in bits (signed).
+    pub const COEF_BITS: u32 = 16;
+    /// Coefficient fraction bits (Q1.14).
+    pub const COEF_FRAC_BITS: u32 = 14;
+    /// Accumulator width the *optimised* models use (exact worst case:
+    /// 16+16-bit products summed over 16 taps needs 36 bits).
+    pub const ACC_BITS: u32 = 36;
+    /// Accumulator width the *unoptimised* behavioural model uses (the
+    /// paper's "bit-widths chosen too pessimistic").
+    pub const ACC_BITS_PESSIMISTIC: u32 = 40;
+
+    /// Creates a configuration for an arbitrary rate pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is zero or the ratio exceeds the supported
+    /// range (at most ~2 input samples per output, i.e. `in_rate <
+    /// 2*out_rate`, enough for all audio-rate conversions).
+    pub fn new(in_rate: u32, out_rate: u32) -> Self {
+        assert!(in_rate > 0 && out_rate > 0, "rates must be non-zero");
+        let step = ((u64::from(in_rate) << Self::PHASE_FRAC_BITS) as f64 / f64::from(out_rate))
+            .round() as u64;
+        assert!(
+            step < (2u64 << Self::PHASE_FRAC_BITS),
+            "in_rate must be below 2x out_rate"
+        );
+        SrcConfig {
+            in_rate,
+            out_rate,
+            step: step as u32,
+        }
+    }
+
+    /// CD to DVD: 44.1 kHz → 48 kHz (the paper's headline use case).
+    pub fn cd_to_dvd() -> Self {
+        SrcConfig::new(44_100, 48_000)
+    }
+
+    /// DVD to CD: 48 kHz → 44.1 kHz.
+    pub fn dvd_to_cd() -> Self {
+        SrcConfig::new(48_000, 44_100)
+    }
+
+    /// 32 kHz (DAB/broadcast) → 48 kHz.
+    pub fn broadcast_to_dvd() -> Self {
+        SrcConfig::new(32_000, 48_000)
+    }
+
+    /// Total prototype filter length.
+    pub const fn prototype_len() -> usize {
+        Self::TAPS * Self::PHASES
+    }
+
+    /// Input sample period in picoseconds (rounded).
+    pub fn in_period_ps(&self) -> u64 {
+        1_000_000_000_000u64 / u64::from(self.in_rate)
+    }
+
+    /// Output sample period in picoseconds (rounded).
+    pub fn out_period_ps(&self) -> u64 {
+        1_000_000_000_000u64 / u64::from(self.out_rate)
+    }
+
+    /// Advances a phase accumulator by one output sample.
+    ///
+    /// Returns `(new_acc, inputs_to_consume, phase_index)`: consume the
+    /// inputs *first*, then filter with the phase. This tiny function is
+    /// the control specification every abstraction level implements.
+    #[inline]
+    pub fn advance(&self, acc: u32) -> (u32, u32, u32) {
+        let wide = u64::from(acc) + u64::from(self.step);
+        let consume = (wide >> Self::PHASE_FRAC_BITS) as u32;
+        let new_acc = (wide & ((1u64 << Self::PHASE_FRAC_BITS) - 1)) as u32;
+        let phase = new_acc >> (Self::PHASE_FRAC_BITS - Self::PHASE_BITS);
+        (new_acc, consume, phase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_values() {
+        let up = SrcConfig::cd_to_dvd();
+        // 44100/48000 * 2^24 = 15414067.2
+        assert_eq!(up.step, 15_414_067);
+        let down = SrcConfig::dvd_to_cd();
+        // 48000/44100 * 2^24 = 18260915.0
+        assert_eq!(down.step, 18_260_915);
+    }
+
+    #[test]
+    fn upsampling_consumes_at_most_one() {
+        let cfg = SrcConfig::cd_to_dvd();
+        let mut acc = 0u32;
+        let mut consumed = 0u64;
+        for _ in 0..48_000 {
+            let (a, c, p) = cfg.advance(acc);
+            assert!(c <= 1);
+            assert!(p < 32);
+            consumed += u64::from(c);
+            acc = a;
+        }
+        // one second of output consumes ~44100 inputs
+        assert!((consumed as i64 - 44_100).abs() <= 1, "consumed {consumed}");
+    }
+
+    #[test]
+    fn downsampling_consumes_one_or_two() {
+        let cfg = SrcConfig::dvd_to_cd();
+        let mut acc = 0u32;
+        let mut consumed = 0u64;
+        let mut twos = 0u64;
+        for _ in 0..44_100 {
+            let (a, c, _) = cfg.advance(acc);
+            assert!(c == 1 || c == 2, "got {c}");
+            twos += u64::from(c == 2);
+            consumed += u64::from(c);
+            acc = a;
+        }
+        assert!((consumed as i64 - 48_000).abs() <= 2, "consumed {consumed}");
+        assert!(twos > 0, "the 2-consume corner case must occur");
+    }
+
+    #[test]
+    fn phase_distribution_covers_range() {
+        let cfg = SrcConfig::cd_to_dvd();
+        let mut acc = 0u32;
+        let mut seen = [false; 32];
+        for _ in 0..10_000 {
+            let (a, _, p) = cfg.advance(acc);
+            seen[p as usize] = true;
+            acc = a;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() >= 30);
+    }
+
+    #[test]
+    #[should_panic]
+    fn extreme_downsampling_rejected() {
+        let _ = SrcConfig::new(96_000, 44_100);
+    }
+
+    #[test]
+    fn periods() {
+        let cfg = SrcConfig::cd_to_dvd();
+        assert_eq!(cfg.in_period_ps(), 22_675_736);
+        assert_eq!(cfg.out_period_ps(), 20_833_333);
+    }
+}

@@ -1,0 +1,226 @@
+//! The flow driver: refine → validate → synthesise → report.
+//!
+//! [`run_area_flow`] regenerates the paper's Figure 10 table (gate-level
+//! area of every design variant relative to the VHDL reference, split
+//! combinational/sequential, memories excluded, scan included);
+//! [`validate_all_levels`] re-runs the bit-accuracy check of every
+//! refinement step, which is the discipline the whole approach rests on.
+
+use crate::config::SrcConfig;
+use crate::models::beh::{synthesize_beh_src, BehVariant};
+use crate::models::harness::{run_fixed, run_handshake};
+use crate::models::rtl::{build_rtl_src, RtlVariant};
+use crate::models::vhdl_ref::build_vhdl_ref;
+use crate::verify::{compare_bit_accurate, GoldenVectors, Mismatch};
+use scflow_gate::CellLibrary;
+use scflow_rtl::{Module, RtlSim};
+use scflow_synth::rtl::{synthesize, SynthOptions, SynthResult};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the flow driver.
+#[derive(Debug)]
+pub enum FlowError {
+    /// RTL construction failed.
+    Rtl(scflow_rtl::RtlError),
+    /// Synthesis failed.
+    Synth(scflow_synth::SynthError),
+    /// A model diverged from the golden vectors.
+    Accuracy {
+        /// The failing design.
+        design: String,
+        /// The first mismatch.
+        mismatch: Mismatch,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Rtl(e) => write!(f, "rtl error: {e}"),
+            FlowError::Synth(e) => write!(f, "synthesis error: {e}"),
+            FlowError::Accuracy { design, mismatch } => {
+                write!(f, "bit-accuracy failure in {design}: {mismatch}")
+            }
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+impl From<scflow_rtl::RtlError> for FlowError {
+    fn from(e: scflow_rtl::RtlError) -> Self {
+        FlowError::Rtl(e)
+    }
+}
+
+impl From<scflow_synth::SynthError> for FlowError {
+    fn from(e: scflow_synth::SynthError) -> Self {
+        FlowError::Synth(e)
+    }
+}
+
+/// One row of the Figure 10 table.
+#[derive(Clone, Debug)]
+pub struct AreaRow {
+    /// Design name (paper's x-axis label).
+    pub design: String,
+    /// Combinational cell area, µm².
+    pub combinational_um2: f64,
+    /// Sequential (flip-flop) cell area, µm².
+    pub sequential_um2: f64,
+    /// Total relative to the VHDL reference, percent.
+    pub relative_pct: f64,
+    /// Flip-flop count.
+    pub flops: usize,
+    /// Total cell count.
+    pub cells: usize,
+    /// Critical path, ps.
+    pub critical_path_ps: u64,
+}
+
+impl AreaRow {
+    /// Total cell area, µm².
+    pub fn total_um2(&self) -> f64 {
+        self.combinational_um2 + self.sequential_um2
+    }
+}
+
+/// The Figure 10 dataset.
+#[derive(Clone, Debug)]
+pub struct AreaFigure {
+    /// Rows in the paper's order: VHDL-Ref, BEH unopt, BEH opt, RTL
+    /// unopt, RTL opt.
+    pub rows: Vec<AreaRow>,
+}
+
+impl fmt::Display for AreaFigure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>12} {:>12} {:>10} {:>7} {:>7} {:>10}",
+            "design", "comb um^2", "seq um^2", "rel %", "flops", "cells", "path ps"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<12} {:>12.1} {:>12.1} {:>10.1} {:>7} {:>7} {:>10}",
+                r.design,
+                r.combinational_um2,
+                r.sequential_um2,
+                r.relative_pct,
+                r.flops,
+                r.cells,
+                r.critical_path_ps
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn synth_row(
+    design: &str,
+    module: &Module,
+    lib: &CellLibrary,
+) -> Result<(AreaRow, SynthResult), FlowError> {
+    let result = synthesize(module, lib, &SynthOptions::default())?;
+    let row = AreaRow {
+        design: design.to_owned(),
+        combinational_um2: result.area.combinational_um2,
+        sequential_um2: result.area.sequential_um2,
+        relative_pct: 0.0, // filled once the reference is known
+        flops: result.netlist.flop_count(),
+        cells: result.area.cell_count(),
+        critical_path_ps: result.timing.critical_path_ps,
+    };
+    Ok((row, result))
+}
+
+/// Synthesises all five Figure 10 designs and reports their areas
+/// relative to the VHDL reference.
+///
+/// # Errors
+///
+/// Propagates construction and synthesis errors.
+pub fn run_area_flow(cfg: &SrcConfig, lib: &CellLibrary) -> Result<AreaFigure, FlowError> {
+    let vhdl = build_vhdl_ref(cfg)?;
+    let beh_unopt = synthesize_beh_src(cfg, BehVariant::Unoptimised)?.module;
+    let beh_opt = synthesize_beh_src(cfg, BehVariant::Optimised)?.module;
+    let rtl_unopt = build_rtl_src(cfg, RtlVariant::Unoptimised)?;
+    let rtl_opt = build_rtl_src(cfg, RtlVariant::Optimised)?;
+
+    let mut rows = Vec::new();
+    let (ref_row, _) = synth_row("VHDL-Ref", &vhdl, lib)?;
+    let ref_total = ref_row.total_um2();
+    rows.push(ref_row);
+    for (name, module) in [
+        ("BEH unopt", &beh_unopt),
+        ("BEH opt", &beh_opt),
+        ("RTL unopt", &rtl_unopt),
+        ("RTL opt", &rtl_opt),
+    ] {
+        let (row, _) = synth_row(name, module, lib)?;
+        rows.push(row);
+    }
+    for r in &mut rows {
+        r.relative_pct = 100.0 * r.total_um2() / ref_total;
+    }
+    Ok(AreaFigure { rows })
+}
+
+/// Upper bound on testbench cycles for a handshaked SRC module run.
+pub fn cycle_budget(expected_outputs: usize) -> u64 {
+    // Worst case per output: consume (2 beats with capture/store), the
+    // MAC pipeline (up to 3 cycles per tap in the reference), output
+    // handshake, plus generous FSM overhead for the behavioural schedules.
+    (expected_outputs as u64 + 4) * 400
+}
+
+/// Validates one synthesisable module (interpreted RTL simulation)
+/// against the golden vectors.
+///
+/// # Errors
+///
+/// Returns [`FlowError::Accuracy`] on the first output mismatch.
+pub fn validate_module(
+    design: &str,
+    module: &Module,
+    golden: &GoldenVectors,
+    fixed_mode: bool,
+) -> Result<(), FlowError> {
+    let mut sim = RtlSim::new(module);
+    let budget = cycle_budget(golden.len());
+    let (outputs, _) = if fixed_mode {
+        run_fixed(&mut sim, &golden.input, golden.len(), budget)
+    } else {
+        run_handshake(&mut sim, &golden.input, golden.len(), budget)
+    };
+    compare_bit_accurate(&golden.output, &outputs).map_err(|mismatch| FlowError::Accuracy {
+        design: design.to_owned(),
+        mismatch,
+    })
+}
+
+/// Re-validates every synthesisable design of the flow against the golden
+/// vectors (the paper's per-step bit-accuracy discipline, in one call).
+///
+/// # Errors
+///
+/// Returns the first failing design.
+pub fn validate_all_levels(cfg: &SrcConfig, input: &[i16]) -> Result<(), FlowError> {
+    let golden = GoldenVectors::generate(cfg, input.to_vec());
+
+    let beh_unopt = synthesize_beh_src(cfg, BehVariant::Unoptimised)?.module;
+    validate_module("BEH unopt", &beh_unopt, &golden, false)?;
+    let beh_opt = synthesize_beh_src(cfg, BehVariant::Optimised)?.module;
+    validate_module("BEH opt", &beh_opt, &golden, true)?;
+    let rtl_unopt = build_rtl_src(cfg, RtlVariant::Unoptimised)?;
+    validate_module("RTL unopt", &rtl_unopt, &golden, false)?;
+    let rtl_opt = build_rtl_src(cfg, RtlVariant::Optimised)?;
+    validate_module("RTL opt", &rtl_opt, &golden, false)?;
+    let buggy = build_rtl_src(cfg, RtlVariant::OptimisedBuggy)?;
+    validate_module("RTL buggy", &buggy, &golden, false)?;
+    let vhdl = build_vhdl_ref(cfg)?;
+    validate_module("VHDL-Ref", &vhdl, &golden, false)?;
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! Shared testbench plumbing for synthesisable SRC modules (RTL and
+//! gate level), using the flow's standard port convention:
+//! `in_sample[16]` (+`_valid`/`_ready` or `_strobe`) and `out_sample[16]`
+//! (+`_valid`/`_ready` or `_strobe`).
+
+use scflow_gate::GateSim;
+use scflow_hwtypes::Bv;
+use scflow_rtl::RtlSim;
+
+/// A cycle-driven simulation a testbench can drive uniformly — implemented
+/// by the interpreted RTL simulator and the event-driven gate simulator.
+pub trait CycleSim {
+    /// Drives an input port.
+    fn set(&mut self, port: &str, value: Bv);
+    /// Reads an output port (unknown gate-level bits read as zero).
+    fn get(&mut self, port: &str) -> Bv;
+    /// Settles combinational logic.
+    fn settle_comb(&mut self);
+    /// Advances one clock cycle.
+    fn clock(&mut self);
+    /// `true` if an input port with this name exists.
+    fn has_input(&self, port: &str) -> bool;
+}
+
+impl CycleSim for RtlSim<'_> {
+    fn set(&mut self, port: &str, value: Bv) {
+        self.set_input(port, value);
+    }
+    fn get(&mut self, port: &str) -> Bv {
+        self.output(port)
+    }
+    fn settle_comb(&mut self) {
+        self.settle();
+    }
+    fn clock(&mut self) {
+        self.tick();
+    }
+    fn has_input(&self, port: &str) -> bool {
+        self.module_has_input(port)
+    }
+}
+
+impl CycleSim for GateSim<'_> {
+    fn set(&mut self, port: &str, value: Bv) {
+        self.set_input(port, value);
+    }
+    fn get(&mut self, port: &str) -> Bv {
+        let lv = self.output_logic(port);
+        let width = lv.width().max(1) as u32;
+        lv.to_bv().unwrap_or_else(|| Bv::zero(width))
+    }
+    fn settle_comb(&mut self) {
+        self.settle();
+    }
+    fn clock(&mut self) {
+        self.tick();
+    }
+    fn has_input(&self, port: &str) -> bool {
+        self.netlist_has_input(port)
+    }
+}
+
+/// Runs a handshaked (superstate) SRC DUT: presents `input` beats on
+/// `in_sample` as accepted, keeps `out_sample_ready` high, collects
+/// `expected` outputs within `max_cycles`.
+///
+/// Returns `(outputs, cycles_used)`.
+pub fn run_handshake(
+    sim: &mut impl CycleSim,
+    input: &[i16],
+    expected: usize,
+    max_cycles: u64,
+) -> (Vec<i16>, u64) {
+    if sim.has_input("scan_en") {
+        sim.set("scan_en", Bv::zero(1));
+        sim.set("scan_in", Bv::zero(1));
+    }
+    sim.set("out_sample_ready", Bv::bit(true));
+    let mut outputs = Vec::with_capacity(expected);
+    let mut pos = 0usize;
+    let mut cycles = 0u64;
+    while cycles < max_cycles && outputs.len() < expected {
+        match input.get(pos) {
+            Some(&s) => {
+                sim.set("in_sample", Bv::from_i64(i64::from(s), 16));
+                sim.set("in_sample_valid", Bv::bit(true));
+            }
+            None => sim.set("in_sample_valid", Bv::zero(1)),
+        }
+        sim.settle_comb();
+        let consumed = pos < input.len() && sim.get("in_sample_ready").any();
+        let produced = sim.get("out_sample_valid").any().then(|| sim.get("out_sample"));
+        sim.clock();
+        cycles += 1;
+        if consumed {
+            pos += 1;
+        }
+        if let Some(v) = produced {
+            outputs.push(v.as_i64() as i16);
+        }
+    }
+    (outputs, cycles)
+}
+
+/// Runs a fixed-cycle (strobed) SRC DUT: supplies the next input sample
+/// whenever `in_sample_strobe` fires, samples `out_sample` at
+/// `out_sample_strobe`.
+pub fn run_fixed(
+    sim: &mut impl CycleSim,
+    input: &[i16],
+    expected: usize,
+    max_cycles: u64,
+) -> (Vec<i16>, u64) {
+    if sim.has_input("scan_en") {
+        sim.set("scan_en", Bv::zero(1));
+        sim.set("scan_in", Bv::zero(1));
+    }
+    let mut outputs = Vec::with_capacity(expected);
+    let mut iter = input.iter();
+    if let Some(&first) = iter.next() {
+        sim.set("in_sample", Bv::from_i64(i64::from(first), 16));
+    }
+    let mut cycles = 0u64;
+    while cycles < max_cycles && outputs.len() < expected {
+        sim.settle_comb();
+        let consumed = sim.get("in_sample_strobe").any();
+        let produced = sim
+            .get("out_sample_strobe")
+            .any()
+            .then(|| sim.get("out_sample"));
+        sim.clock();
+        cycles += 1;
+        if consumed {
+            if let Some(&next) = iter.next() {
+                sim.set("in_sample", Bv::from_i64(i64::from(next), 16));
+            }
+        }
+        if let Some(v) = produced {
+            outputs.push(v.as_i64() as i16);
+        }
+    }
+    (outputs, cycles)
+}

@@ -1,0 +1,126 @@
+//! Audio stimulus generation and signal-quality measurement for the
+//! testbenches and examples.
+
+use std::f64::consts::PI;
+
+/// Generates `n` samples of a sine wave at `freq` Hz sampled at `rate` Hz
+/// with peak `amplitude`.
+pub fn sine(n: usize, freq: f64, rate: f64, amplitude: f64) -> Vec<i16> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / rate;
+            (amplitude * (2.0 * PI * freq * t).sin()).round() as i16
+        })
+        .collect()
+}
+
+/// Generates a linear frequency sweep from `f0` to `f1` Hz over `n`
+/// samples at `rate` Hz.
+pub fn sweep(n: usize, f0: f64, f1: f64, rate: f64, amplitude: f64) -> Vec<i16> {
+    let dur = n as f64 / rate;
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / rate;
+            let phase = 2.0 * PI * (f0 * t + (f1 - f0) * t * t / (2.0 * dur));
+            (amplitude * phase.sin()).round() as i16
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random samples in `[-amplitude, amplitude]`
+/// (xorshift; no external RNG needed in library code).
+pub fn noise(n: usize, amplitude: i16, seed: u64) -> Vec<i16> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let span = 2 * i64::from(amplitude) + 1;
+            let r = ((state >> 16) % span as u64) as i64;
+            (r - i64::from(amplitude)) as i16
+        })
+        .collect()
+}
+
+/// Measures the signal-to-noise-and-distortion ratio of `samples` against
+/// a single sinusoid of known frequency `freq` at `rate` Hz, in dB.
+///
+/// Fits amplitude and phase by correlation, subtracts the fitted tone, and
+/// reports `10*log10(signal power / residual power)`. Used by the audio
+/// examples to show that the SRC preserves quality.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn snr_db(samples: &[i16], freq: f64, rate: f64) -> f64 {
+    assert!(!samples.is_empty());
+    let n = samples.len() as f64;
+    let (mut cs, mut ss) = (0.0f64, 0.0f64);
+    for (i, &s) in samples.iter().enumerate() {
+        let w = 2.0 * PI * freq * i as f64 / rate;
+        cs += f64::from(s) * w.cos();
+        ss += f64::from(s) * w.sin();
+    }
+    let a = 2.0 * cs / n;
+    let b = 2.0 * ss / n;
+    let mut signal_power = 0.0f64;
+    let mut noise_power = 0.0f64;
+    for (i, &s) in samples.iter().enumerate() {
+        let w = 2.0 * PI * freq * i as f64 / rate;
+        let fit = a * w.cos() + b * w.sin();
+        signal_power += fit * fit;
+        let r = f64::from(s) - fit;
+        noise_power += r * r;
+    }
+    if noise_power <= 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (signal_power / noise_power).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sine_peaks_near_amplitude() {
+        let s = sine(4410, 1000.0, 44100.0, 12000.0);
+        let max = s.iter().copied().max().unwrap();
+        assert!((11900..=12000).contains(&max), "max {max}");
+    }
+
+    #[test]
+    fn pure_sine_has_high_snr() {
+        let s = sine(8192, 997.0, 44100.0, 10000.0);
+        let snr = snr_db(&s, 997.0, 44100.0);
+        assert!(snr > 45.0, "snr {snr}");
+    }
+
+    #[test]
+    fn noisy_sine_has_lower_snr() {
+        let mut s = sine(8192, 997.0, 44100.0, 10000.0);
+        let nz = noise(8192, 1000, 42);
+        for (a, b) in s.iter_mut().zip(nz) {
+            *a = a.saturating_add(b);
+        }
+        let snr = snr_db(&s, 997.0, 44100.0);
+        assert!((10.0..40.0).contains(&snr), "snr {snr}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let a = noise(1000, 500, 7);
+        let b = noise(1000, 500, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (-500..=500).contains(&v)));
+        assert_ne!(a, noise(1000, 500, 8));
+    }
+
+    #[test]
+    fn sweep_spans_lengths() {
+        let s = sweep(1000, 20.0, 20_000.0, 48_000.0, 8000.0);
+        assert_eq!(s.len(), 1000);
+        assert!(s.iter().any(|&v| v > 7000));
+    }
+}

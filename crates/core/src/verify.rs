@@ -1,0 +1,141 @@
+//! Cross-level verification: golden vectors and bit-accurate comparison.
+//!
+//! The paper's refinement discipline — "each refinement step was verified
+//! for bit accuracy by simulation" — is implemented here as a reusable
+//! harness: the algorithmic model produces golden vectors, every other
+//! level's testbench produces its own output stream, and
+//! [`compare_bit_accurate`] reports the first mismatch with context.
+
+use crate::algo::AlgoSrc;
+use crate::config::SrcConfig;
+
+/// A golden stimulus/response pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GoldenVectors {
+    /// The input samples.
+    pub input: Vec<i16>,
+    /// The expected output samples.
+    pub output: Vec<i16>,
+    /// Inputs consumed before each output (the accumulator schedule) —
+    /// lets event-driven testbenches interleave I/O exactly like the
+    /// golden model.
+    pub consume_schedule: Vec<u32>,
+}
+
+impl GoldenVectors {
+    /// Runs the golden (algorithmic) model over `input`.
+    pub fn generate(cfg: &SrcConfig, input: Vec<i16>) -> Self {
+        let mut src = AlgoSrc::new(cfg);
+        let mut output = Vec::new();
+        let mut consume_schedule = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            let need = src.inputs_needed();
+            if pos + need as usize > input.len() {
+                break;
+            }
+            for &s in &input[pos..pos + need as usize] {
+                src.push_input(s);
+            }
+            pos += need as usize;
+            consume_schedule.push(need);
+            output.push(src.output_sample());
+        }
+        GoldenVectors {
+            input,
+            output,
+            consume_schedule,
+        }
+    }
+
+    /// Number of golden output samples.
+    pub fn len(&self) -> usize {
+        self.output.len()
+    }
+
+    /// `true` when no outputs were produced.
+    pub fn is_empty(&self) -> bool {
+        self.output.is_empty()
+    }
+}
+
+/// The first mismatch found by [`compare_bit_accurate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Output-sample index of the first difference.
+    pub index: usize,
+    /// Expected (golden) value.
+    pub expected: i16,
+    /// Actual value from the model under test.
+    pub actual: i16,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "first mismatch at output {}: expected {}, got {}",
+            self.index, self.expected, self.actual
+        )
+    }
+}
+
+/// Compares a model's output stream with the golden one, bit for bit.
+///
+/// # Errors
+///
+/// Returns the first [`Mismatch`]; a length difference is reported as a
+/// mismatch at the first missing index (with the other side's value 0).
+pub fn compare_bit_accurate(golden: &[i16], actual: &[i16]) -> Result<(), Mismatch> {
+    let n = golden.len().min(actual.len());
+    for i in 0..n {
+        if golden[i] != actual[i] {
+            return Err(Mismatch {
+                index: i,
+                expected: golden[i],
+                actual: actual[i],
+            });
+        }
+    }
+    if golden.len() != actual.len() {
+        let i = n;
+        return Err(Mismatch {
+            index: i,
+            expected: golden.get(i).copied().unwrap_or(0),
+            actual: actual.get(i).copied().unwrap_or(0),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stimulus;
+
+    #[test]
+    fn golden_vectors_are_self_consistent() {
+        let cfg = SrcConfig::cd_to_dvd();
+        let input = stimulus::sine(441, 1000.0, 44100.0, 9000.0);
+        let g = GoldenVectors::generate(&cfg, input.clone());
+        assert_eq!(g.output.len(), g.consume_schedule.len());
+        let consumed: u32 = g.consume_schedule.iter().sum();
+        assert!(consumed as usize <= input.len());
+        // Replay through a fresh model gives the same outputs.
+        let mut replay = AlgoSrc::new(&cfg);
+        assert_eq!(replay.process(&g.input), g.output);
+    }
+
+    #[test]
+    fn comparison_finds_first_divergence() {
+        let golden = [1i16, 2, 3, 4];
+        assert!(compare_bit_accurate(&golden, &[1, 2, 3, 4]).is_ok());
+        let m = compare_bit_accurate(&golden, &[1, 2, 9, 4]).unwrap_err();
+        assert_eq!(m.index, 2);
+        assert_eq!(m.expected, 3);
+        assert_eq!(m.actual, 9);
+        let short = compare_bit_accurate(&golden, &[1, 2]).unwrap_err();
+        assert_eq!(short.index, 2);
+        assert!(m.to_string().contains("output 2"));
+    }
+}

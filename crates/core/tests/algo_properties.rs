@@ -1,0 +1,146 @@
+//! Property-based tests on the algorithmic SRC and its configuration:
+//! rate-ratio conservation, streaming equivalence, phase-accumulator
+//! invariants, bug-injection transparency.
+
+use proptest::prelude::*;
+use scflow::algo::AlgoSrc;
+use scflow::verify::GoldenVectors;
+use scflow::SrcConfig;
+
+/// Audio-plausible rate pairs within the supported ratio (< 2x down).
+fn rates() -> impl Strategy<Value = (u32, u32)> {
+    (8_000u32..96_000, 8_000u32..96_000)
+        .prop_filter("ratio limit", |(i, o)| *i < 2 * *o)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn accumulator_invariants_hold_for_any_rate_pair((in_rate, out_rate) in rates()) {
+        let cfg = SrcConfig::new(in_rate, out_rate);
+        let mut acc = 0u32;
+        let mut consumed = 0u64;
+        let n = 10_000u64;
+        for _ in 0..n {
+            let (a, c, p) = cfg.advance(acc);
+            prop_assert!(c <= 2, "consume {c}");
+            prop_assert!(p < SrcConfig::PHASES as u32);
+            prop_assert!(a < 1 << SrcConfig::PHASE_FRAC_BITS);
+            consumed += u64::from(c);
+            acc = a;
+        }
+        // Long-run consumption tracks the rate ratio to within rounding.
+        let expect = n as f64 * f64::from(in_rate) / f64::from(out_rate);
+        prop_assert!(
+            (consumed as f64 - expect).abs() < 2.0 + expect * 1e-6,
+            "consumed {consumed}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn output_count_tracks_ratio(
+        (in_rate, out_rate) in rates(),
+        n_in in 100usize..2_000,
+    ) {
+        let cfg = SrcConfig::new(in_rate, out_rate);
+        let input = vec![0i16; n_in];
+        let out = AlgoSrc::new(&cfg).process(&input);
+        let ratio = f64::from(out_rate) / f64::from(in_rate);
+        let expect = n_in as f64 * ratio;
+        // Slack: one output per unconsumed tail sample (up to `ratio`
+        // outputs can be produced per input) plus accumulator rounding.
+        prop_assert!(
+            (out.len() as f64 - expect).abs() <= 2.0 + 2.0 * ratio,
+            "{} outputs, expected ~{expect}",
+            out.len()
+        );
+    }
+
+    /// Streaming in arbitrary chunks equals batch processing exactly.
+    #[test]
+    fn chunked_processing_equals_batch(
+        samples in proptest::collection::vec(any::<i16>(), 50..400),
+        chunk_sizes in proptest::collection::vec(1usize..40, 1..20),
+    ) {
+        let cfg = SrcConfig::dvd_to_cd();
+        let batch = AlgoSrc::new(&cfg).process(&samples);
+
+        let mut streamed = AlgoSrc::new(&cfg);
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        let mut k = 0usize;
+        while pos < samples.len() {
+            let len = chunk_sizes[k % chunk_sizes.len()].min(samples.len() - pos);
+            out.extend(streamed.process(&samples[pos..pos + len]));
+            pos += len;
+            k += 1;
+        }
+        prop_assert_eq!(out, batch);
+    }
+
+    /// The injected bug never changes data, for arbitrary input.
+    #[test]
+    fn buffer_bug_is_data_transparent(
+        samples in proptest::collection::vec(any::<i16>(), 100..500),
+    ) {
+        let cfg = SrcConfig::dvd_to_cd();
+        let clean = AlgoSrc::new(&cfg).process(&samples);
+        let buggy = AlgoSrc::new(&cfg).with_buffer_bug().process(&samples);
+        prop_assert_eq!(clean, buggy);
+    }
+
+    /// Golden vectors: consume schedule sums to the inputs actually used,
+    /// and replay reproduces the outputs.
+    #[test]
+    fn golden_vector_consistency(
+        samples in proptest::collection::vec(any::<i16>(), 50..300),
+    ) {
+        let cfg = SrcConfig::cd_to_dvd();
+        let g = GoldenVectors::generate(&cfg, samples);
+        prop_assert_eq!(g.output.len(), g.consume_schedule.len());
+        let used: u32 = g.consume_schedule.iter().sum();
+        prop_assert!((used as usize) <= g.input.len());
+        // Unused tail shorter than the largest consume step.
+        prop_assert!(g.input.len() - used as usize <= 2);
+        let replay = AlgoSrc::new(&cfg).process(&g.input);
+        prop_assert_eq!(replay, g.output);
+    }
+
+    /// Output magnitude is bounded by input magnitude plus filter headroom
+    /// (no unexpected overflow in the fixed-point pipeline).
+    #[test]
+    fn no_spurious_overflow_for_half_scale_inputs(
+        seed in any::<u64>(),
+    ) {
+        let cfg = SrcConfig::cd_to_dvd();
+        let input = scflow::stimulus::noise(800, 16_000, seed);
+        let out = AlgoSrc::new(&cfg).process(&input);
+        // Kaiser-sinc overshoot is bounded; half-scale inputs never wrap.
+        for &s in &out {
+            prop_assert!((i32::from(s)).abs() < 29_000, "sample {s}");
+        }
+    }
+}
+
+/// Pin the designed coefficient ROM: any change to the filter design math
+/// silently breaks cross-version bit-accuracy of every stored golden
+/// vector, so drift must be deliberate.
+#[test]
+fn coefficient_rom_is_pinned() {
+    let rom = scflow::CoefficientRom::design(&SrcConfig::cd_to_dvd());
+    let words = rom.words();
+    assert_eq!(words.len(), 256);
+    // FNV-1a over the raw words.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &w in words {
+        h ^= (w as u16) as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let expected = 0x97a2_8f7a_0c79_6903u64;
+    assert_eq!(
+        h, expected,
+        "coefficient design changed (new hash {h:#018x}); if intentional, \
+         update this pin and note it in the changelog"
+    );
+}

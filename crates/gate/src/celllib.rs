@@ -1,0 +1,310 @@
+//! Standard-cell library: cell kinds, areas, delays.
+
+use scflow_hwtypes::Logic;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The cell types available to technology mapping.
+///
+/// A compact but realistic set: basic gates, a few complex gates that
+/// mapping likes (`AOI21`/`OAI21`), a 2:1 mux, and two flip-flops — a plain
+/// DFF and its scan-equipped variant ([`CellKind::Sdff`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// Buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer: inputs `[a, b, sel]`, output `sel ? b : a`.
+    Mux2,
+    /// AND-OR-invert: inputs `[a, b, c]`, output `!((a & b) | c)`.
+    Aoi21,
+    /// OR-AND-invert: inputs `[a, b, c]`, output `!((a | b) & c)`.
+    Oai21,
+    /// D flip-flop: input `[d]`, output `q`.
+    Dff,
+    /// Scan D flip-flop: inputs `[d, si, se]`, output `q`
+    /// (`se ? si : d` sampled at the clock edge).
+    Sdff,
+}
+
+impl CellKind {
+    /// Number of input pins.
+    pub fn input_count(self) -> usize {
+        match self {
+            CellKind::Inv | CellKind::Buf | CellKind::Dff => 1,
+            CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::And2
+            | CellKind::Or2
+            | CellKind::Xor2
+            | CellKind::Xnor2 => 2,
+            CellKind::Mux2 | CellKind::Aoi21 | CellKind::Oai21 | CellKind::Sdff => 3,
+        }
+    }
+
+    /// `true` for flip-flops.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Dff | CellKind::Sdff)
+    }
+
+    /// Evaluates the combinational function of this cell.
+    ///
+    /// For flip-flops this computes the value that *would* be sampled at a
+    /// clock edge (`d`, or the scan mux for [`CellKind::Sdff`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has the wrong length.
+    pub fn eval(self, inputs: &[Logic]) -> Logic {
+        assert_eq!(inputs.len(), self.input_count(), "{self:?} pin count");
+        match self {
+            CellKind::Inv => inputs[0].not(),
+            CellKind::Buf | CellKind::Dff => match inputs[0] {
+                Logic::Z => Logic::X,
+                v => v,
+            },
+            CellKind::Nand2 => inputs[0].and(inputs[1]).not(),
+            CellKind::Nor2 => inputs[0].or(inputs[1]).not(),
+            CellKind::And2 => inputs[0].and(inputs[1]),
+            CellKind::Or2 => inputs[0].or(inputs[1]),
+            CellKind::Xor2 => inputs[0].xor(inputs[1]),
+            CellKind::Xnor2 => inputs[0].xor(inputs[1]).not(),
+            CellKind::Mux2 => match inputs[2] {
+                Logic::Zero => inputs[0],
+                Logic::One => inputs[1],
+                _ => {
+                    if inputs[0] == inputs[1] && inputs[0].is_known() {
+                        inputs[0]
+                    } else {
+                        Logic::X
+                    }
+                }
+            },
+            CellKind::Aoi21 => inputs[0].and(inputs[1]).or(inputs[2]).not(),
+            CellKind::Oai21 => inputs[0].or(inputs[1]).and(inputs[2]).not(),
+            CellKind::Sdff => match inputs[2] {
+                Logic::Zero => inputs[0],
+                Logic::One => inputs[1],
+                _ => Logic::X,
+            },
+        }
+    }
+
+    /// All cell kinds, for iteration.
+    pub fn all() -> &'static [CellKind] {
+        &[
+            CellKind::Inv,
+            CellKind::Buf,
+            CellKind::Nand2,
+            CellKind::Nor2,
+            CellKind::And2,
+            CellKind::Or2,
+            CellKind::Xor2,
+            CellKind::Xnor2,
+            CellKind::Mux2,
+            CellKind::Aoi21,
+            CellKind::Oai21,
+            CellKind::Dff,
+            CellKind::Sdff,
+        ]
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellKind::Inv => "INV",
+            CellKind::Buf => "BUF",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nor2 => "NOR2",
+            CellKind::And2 => "AND2",
+            CellKind::Or2 => "OR2",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Xnor2 => "XNOR2",
+            CellKind::Mux2 => "MUX2",
+            CellKind::Aoi21 => "AOI21",
+            CellKind::Oai21 => "OAI21",
+            CellKind::Dff => "DFF",
+            CellKind::Sdff => "SDFF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Area and timing data for one cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellSpec {
+    /// Layout area in µm².
+    pub area_um2: f64,
+    /// Worst-case pin-to-output propagation delay in ps (clk→Q for flops).
+    pub delay_ps: u64,
+}
+
+/// A technology library mapping each [`CellKind`] to its [`CellSpec`].
+#[derive(Clone, Debug)]
+pub struct CellLibrary {
+    name: String,
+    cells: BTreeMap<CellKind, CellSpec>,
+    /// Flip-flop setup time in ps, used by timing reports.
+    pub setup_ps: u64,
+}
+
+impl CellLibrary {
+    /// A synthetic library calibrated to public 0.25 µm-class data.
+    ///
+    /// Absolute numbers are representative, not vendor data; the paper's
+    /// Figure 10 normalises areas to the VHDL reference anyway, so only
+    /// ratios matter (e.g. a scan flop ≈ 1.18× a plain flop, XOR ≈ 2×
+    /// NAND).
+    pub fn generic_025u() -> Self {
+        let mut cells = BTreeMap::new();
+        let mut add = |k: CellKind, area: f64, delay: u64| {
+            cells.insert(
+                k,
+                CellSpec {
+                    area_um2: area,
+                    delay_ps: delay,
+                },
+            );
+        };
+        add(CellKind::Inv, 6.25, 40);
+        add(CellKind::Buf, 9.4, 70);
+        add(CellKind::Nand2, 12.5, 60);
+        add(CellKind::Nor2, 12.5, 75);
+        add(CellKind::And2, 15.6, 95);
+        add(CellKind::Or2, 15.6, 105);
+        add(CellKind::Xor2, 25.0, 125);
+        add(CellKind::Xnor2, 25.0, 130);
+        add(CellKind::Mux2, 28.1, 115);
+        add(CellKind::Aoi21, 18.8, 85);
+        add(CellKind::Oai21, 18.8, 90);
+        add(CellKind::Dff, 50.0, 220);
+        add(CellKind::Sdff, 59.4, 240);
+        CellLibrary {
+            name: "generic-0.25u".into(),
+            cells,
+            setup_ps: 150,
+        }
+    }
+
+    /// A synthetic 0.18 µm-class library: roughly half the area and ~30 %
+    /// faster than [`CellLibrary::generic_025u`], with the same relative
+    /// cell ratios. Useful for checking that *relative* results (the
+    /// paper's Figure 10 normalisation) are library-independent.
+    pub fn generic_018u() -> Self {
+        let base = Self::generic_025u();
+        let cells = base
+            .cells
+            .iter()
+            .map(|(&k, &spec)| {
+                (
+                    k,
+                    CellSpec {
+                        area_um2: spec.area_um2 * 0.52,
+                        delay_ps: (spec.delay_ps * 7).div_ceil(10),
+                    },
+                )
+            })
+            .collect();
+        CellLibrary {
+            name: "generic-0.18u".into(),
+            cells,
+            setup_ps: 110,
+        }
+    }
+
+    /// The library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The spec for a cell kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library does not define the cell (the built-in library
+    /// defines all kinds).
+    pub fn spec(&self, kind: CellKind) -> CellSpec {
+        self.cells[&kind]
+    }
+
+    /// Area of one cell in µm².
+    pub fn area(&self, kind: CellKind) -> f64 {
+        self.spec(kind).area_um2
+    }
+
+    /// Propagation delay of one cell in ps.
+    pub fn delay(&self, kind: CellKind) -> u64 {
+        self.spec(kind).delay_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::*;
+
+    #[test]
+    fn pin_counts() {
+        assert_eq!(CellKind::Inv.input_count(), 1);
+        assert_eq!(CellKind::Nand2.input_count(), 2);
+        assert_eq!(CellKind::Mux2.input_count(), 3);
+        assert_eq!(CellKind::Sdff.input_count(), 3);
+    }
+
+    #[test]
+    fn gate_functions() {
+        assert_eq!(CellKind::Inv.eval(&[Zero]), One);
+        assert_eq!(CellKind::Nand2.eval(&[One, One]), Zero);
+        assert_eq!(CellKind::Nand2.eval(&[Zero, X]), One); // controlling 0
+        assert_eq!(CellKind::Nor2.eval(&[Zero, Zero]), One);
+        assert_eq!(CellKind::Xor2.eval(&[One, Zero]), One);
+        assert_eq!(CellKind::Xnor2.eval(&[One, One]), One);
+        assert_eq!(CellKind::Aoi21.eval(&[One, One, Zero]), Zero);
+        assert_eq!(CellKind::Aoi21.eval(&[Zero, One, Zero]), One);
+        assert_eq!(CellKind::Oai21.eval(&[Zero, Zero, One]), One);
+        assert_eq!(CellKind::Oai21.eval(&[One, Zero, One]), Zero);
+    }
+
+    #[test]
+    fn mux_pessimism() {
+        assert_eq!(CellKind::Mux2.eval(&[Zero, One, Zero]), Zero);
+        assert_eq!(CellKind::Mux2.eval(&[Zero, One, One]), One);
+        assert_eq!(CellKind::Mux2.eval(&[Zero, One, X]), X);
+        // equal known arms dominate an unknown select
+        assert_eq!(CellKind::Mux2.eval(&[One, One, X]), One);
+    }
+
+    #[test]
+    fn buf_converts_z_to_x() {
+        assert_eq!(CellKind::Buf.eval(&[Z]), X);
+        assert_eq!(CellKind::Buf.eval(&[One]), One);
+    }
+
+    #[test]
+    fn library_ratios() {
+        let lib = CellLibrary::generic_025u();
+        // Scan flop costs more than plain flop, XOR about 2x NAND.
+        assert!(lib.area(CellKind::Sdff) > lib.area(CellKind::Dff));
+        let ratio = lib.area(CellKind::Xor2) / lib.area(CellKind::Nand2);
+        assert!((1.5..=2.5).contains(&ratio));
+        // every kind is defined
+        for &k in CellKind::all() {
+            assert!(lib.area(k) > 0.0);
+            assert!(lib.delay(k) > 0);
+        }
+    }
+}

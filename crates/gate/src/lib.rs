@@ -1,0 +1,47 @@
+//! Gate-level netlist, standard-cell library and event-driven simulator.
+//!
+//! This crate is the substrate standing in for the gate-level world of the
+//! DATE 2004 paper: the 0.25 µm CMOS standard-cell library targeted by the
+//! Synopsys tools, the gate-level Verilog netlists produced by synthesis,
+//! and the event-driven HDL simulation of those netlists (the slowest bars
+//! of the paper's Figure 9).
+//!
+//! Contents:
+//!
+//! * [`CellLibrary`] — a synthetic 0.25 µm-class library with per-cell
+//!   area and pin-to-pin delay ([`CellLibrary::generic_025u`]),
+//! * [`GateNetlist`] / [`NetlistBuilder`] — single-bit nets and cell
+//!   instances, with multi-bit ports mapped to per-bit nets, plus memory
+//!   *macro blocks* that stay behavioural (and are excluded from area,
+//!   like the paper's `report_area` methodology),
+//! * [`GateSim`] — an event-driven four-valued simulator with transport
+//!   delays; its per-event cost is what makes gate-level simulation orders
+//!   of magnitude slower than higher abstraction levels,
+//! * the **checking memory model**: out-of-range accesses are recorded,
+//!   reproducing how the paper's golden-model bug was finally caught at
+//!   gate level,
+//! * [`insert_scan_chain`] — replaces DFFs with scan flops and stitches
+//!   the chain (scan is included in the paper's area numbers),
+//! * [`longest_path`] — static timing (topological longest path) used to
+//!   confirm the 40 ns clock constraint,
+//! * [`fault`] — stuck-at fault injection and scan-based test coverage
+//!   (what the scan chain's area pays for).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod celllib;
+pub mod fault;
+mod gsim;
+mod netlist;
+mod scan;
+mod timing;
+mod verilog;
+
+pub use area::AreaReport;
+pub use celllib::{CellKind, CellLibrary, CellSpec};
+pub use gsim::{GateSim, GateSimStats, MemAccessViolation};
+pub use netlist::{GNetId, GateMemory, GateNetlist, Instance, NetlistBuilder};
+pub use scan::insert_scan_chain;
+pub use timing::{longest_path, TimingReport};

@@ -1,0 +1,131 @@
+//! Scan-chain insertion.
+
+use crate::celllib::CellKind;
+use crate::netlist::{GNetId, GateNetlist};
+
+/// Replaces every plain DFF with a scan flop and stitches a single scan
+/// chain through the design.
+///
+/// Adds ports `scan_in` and `scan_en` (inputs) and `scan_out` (output);
+/// each flop's scan input is the previous flop's Q, the first flop takes
+/// `scan_in`, and `scan_out` is the last flop's Q. A netlist without flops
+/// is returned unchanged.
+///
+/// The paper includes the scan chain in all reported areas; the area
+/// penalty is the SDFF/DFF area difference per flop.
+pub fn insert_scan_chain(nl: &GateNetlist) -> GateNetlist {
+    let mut out = nl.clone();
+    let flops: Vec<usize> = out
+        .instances
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.kind == CellKind::Dff)
+        .map(|(idx, _)| idx)
+        .collect();
+    if flops.is_empty() && out.instances.iter().all(|i| i.kind != CellKind::Sdff) {
+        return out;
+    }
+
+    let scan_in = GNetId(out.net_names.len());
+    out.net_names.push("scan_in[0]".into());
+    let scan_en = GNetId(out.net_names.len());
+    out.net_names.push("scan_en[0]".into());
+    out.inputs.push(("scan_in".into(), vec![scan_in]));
+    out.inputs.push(("scan_en".into(), vec![scan_en]));
+
+    let mut prev_q = scan_in;
+    for idx in flops {
+        let inst = &mut out.instances[idx];
+        inst.kind = CellKind::Sdff;
+        inst.inputs.push(prev_q); // si
+        inst.inputs.push(scan_en); // se
+        prev_q = inst.output;
+    }
+    out.outputs.push(("scan_out".into(), vec![prev_q]));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::celllib::CellLibrary;
+    use crate::gsim::GateSim;
+    use crate::netlist::NetlistBuilder;
+    use scflow_hwtypes::Bv;
+
+    fn three_bit_shifter() -> GateNetlist {
+        let mut b = NetlistBuilder::new("m");
+        let d = b.input_port("d", 1)[0];
+        let q0 = b.dff(d, false);
+        let q1 = b.dff(q0, false);
+        let q2 = b.dff(q1, false);
+        b.output_port("q", &[q2]);
+        b.build()
+    }
+
+    #[test]
+    fn scan_adds_ports_and_upgrades_flops() {
+        let nl = insert_scan_chain(&three_bit_shifter());
+        assert!(nl.input_port("scan_in").is_some());
+        assert!(nl.input_port("scan_en").is_some());
+        assert!(nl.output_port("scan_out").is_some());
+        assert_eq!(nl.flop_count(), 3);
+        assert!(nl
+            .instances()
+            .iter()
+            .filter(|i| i.kind.is_sequential())
+            .all(|i| i.kind == CellKind::Sdff));
+    }
+
+    #[test]
+    fn scan_area_penalty() {
+        let lib = CellLibrary::generic_025u();
+        let before = three_bit_shifter().area_report(&lib);
+        let after = insert_scan_chain(&three_bit_shifter()).area_report(&lib);
+        let expect = 3.0 * (lib.area(CellKind::Sdff) - lib.area(CellKind::Dff));
+        assert!((after.total_um2() - before.total_um2() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn functional_mode_unaffected() {
+        let nl = insert_scan_chain(&three_bit_shifter());
+        let lib = CellLibrary::generic_025u();
+        let mut sim = GateSim::new(&nl, &lib);
+        sim.set_input("scan_en", Bv::zero(1));
+        sim.set_input("scan_in", Bv::zero(1));
+        sim.set_input("d", Bv::bit(true));
+        sim.run(3);
+        assert_eq!(sim.output("q"), Some(Bv::bit(true)));
+    }
+
+    #[test]
+    fn scan_shift_mode_moves_bits_through_chain() {
+        let nl = insert_scan_chain(&three_bit_shifter());
+        let lib = CellLibrary::generic_025u();
+        let mut sim = GateSim::new(&nl, &lib);
+        sim.set_input("scan_en", Bv::bit(true));
+        sim.set_input("d", Bv::zero(1));
+        // Shift pattern 1,0,1 through the chain.
+        for bit in [true, false, true] {
+            sim.set_input("scan_in", Bv::bit(bit));
+            sim.tick();
+        }
+        // First bit shifted in should now be at scan_out (3 flops later).
+        assert_eq!(sim.output("scan_out"), Some(Bv::bit(true)));
+        sim.set_input("scan_in", Bv::zero(1));
+        sim.tick();
+        assert_eq!(sim.output("scan_out"), Some(Bv::zero(1)));
+        sim.tick();
+        assert_eq!(sim.output("scan_out"), Some(Bv::bit(true)));
+    }
+
+    #[test]
+    fn no_flops_means_no_scan_ports() {
+        let mut b = NetlistBuilder::new("comb");
+        let a = b.input_port("a", 1)[0];
+        let y = b.cell(CellKind::Inv, &[a]);
+        b.output_port("y", &[y]);
+        let nl = insert_scan_chain(&b.build());
+        assert!(nl.input_port("scan_in").is_none());
+    }
+}

@@ -1,0 +1,222 @@
+//! Static timing analysis: topological longest path.
+
+use crate::celllib::CellLibrary;
+use crate::netlist::GateNetlist;
+
+/// Result of a longest-path analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingReport {
+    /// Longest register-to-register / input-to-register / register-to-output
+    /// combinational delay, including clk→Q at the launching flop, in ps.
+    pub critical_path_ps: u64,
+    /// The flip-flop setup time used for slack computation, in ps.
+    pub setup_ps: u64,
+}
+
+impl TimingReport {
+    /// Slack against a clock period in ps (negative means a violation).
+    pub fn slack_ps(&self, period_ps: u64) -> i64 {
+        period_ps as i64 - self.critical_path_ps as i64 - self.setup_ps as i64
+    }
+
+    /// `true` if the design meets the given clock period.
+    pub fn meets(&self, period_ps: u64) -> bool {
+        self.slack_ps(period_ps) >= 0
+    }
+}
+
+/// Computes the longest combinational path through a netlist.
+///
+/// Arrival times start at 0 for primary inputs and constants and at the
+/// clk→Q delay for flop outputs; each combinational cell adds its
+/// propagation delay; memory read paths add the macro's read latency.
+/// The critical path is the maximum arrival at any flop data pin, memory
+/// write pin or primary output.
+///
+/// # Panics
+///
+/// Panics if the combinational network contains a cycle (synthesised
+/// netlists never do).
+pub fn longest_path(nl: &GateNetlist, lib: &CellLibrary) -> TimingReport {
+    let n = nl.net_count();
+    let mut arrival = vec![0u64; n];
+
+    // Seed flop outputs with clk->Q.
+    for inst in nl.instances() {
+        if inst.kind.is_sequential() {
+            arrival[inst.output.0] = lib.delay(inst.kind);
+        }
+    }
+
+    // Topological order over combinational instances and memory read paths.
+    #[derive(Clone, Copy)]
+    enum Node {
+        Inst(usize),
+        Mem(usize),
+    }
+    let comb: Vec<Node> = nl
+        .instances()
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| !i.kind.is_sequential())
+        .map(|(i, _)| Node::Inst(i))
+        .chain((0..nl.memories().len()).map(Node::Mem))
+        .collect();
+
+    // driver index: net -> node position in `comb`
+    let mut driver: Vec<Option<usize>> = vec![None; n];
+    for (pos, node) in comb.iter().enumerate() {
+        match node {
+            Node::Inst(i) => driver[nl.instances()[*i].output.0] = Some(pos),
+            Node::Mem(m) => {
+                for d in &nl.memories()[*m].dout {
+                    driver[d.0] = Some(pos);
+                }
+            }
+        }
+    }
+    let node_inputs = |node: &Node| -> Vec<crate::netlist::GNetId> {
+        match node {
+            Node::Inst(i) => nl.instances()[*i].inputs.clone(),
+            Node::Mem(m) => nl.memories()[*m].raddr.clone(),
+        }
+    };
+
+    // Kahn topological sort.
+    let mut indeg = vec![0usize; comb.len()];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); comb.len()];
+    for (pos, node) in comb.iter().enumerate() {
+        for i in node_inputs(node) {
+            if let Some(d) = driver[i.0] {
+                dependents[d].push(pos);
+                indeg[pos] += 1;
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..comb.len()).filter(|&i| indeg[i] == 0).collect();
+    let mut processed = 0usize;
+    while let Some(pos) = ready.pop() {
+        processed += 1;
+        let node = comb[pos];
+        let in_arrival = node_inputs(&node)
+            .iter()
+            .map(|i| arrival[i.0])
+            .max()
+            .unwrap_or(0);
+        match node {
+            Node::Inst(i) => {
+                let inst = &nl.instances()[i];
+                arrival[inst.output.0] = in_arrival + lib.delay(inst.kind);
+            }
+            Node::Mem(m) => {
+                let mem = &nl.memories()[m];
+                for d in &mem.dout {
+                    arrival[d.0] = in_arrival + mem.read_delay_ps;
+                }
+            }
+        }
+        for &j in &dependents[pos] {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                ready.push(j);
+            }
+        }
+    }
+    assert_eq!(processed, comb.len(), "combinational cycle in netlist");
+
+    // Endpoints: flop data pins, memory write pins, primary outputs.
+    let mut worst = 0u64;
+    for inst in nl.instances() {
+        if inst.kind.is_sequential() {
+            for i in &inst.inputs {
+                worst = worst.max(arrival[i.0]);
+            }
+        }
+    }
+    for mem in nl.memories() {
+        for i in mem.waddr.iter().chain(&mem.wdata).chain(mem.wen.as_ref()) {
+            worst = worst.max(arrival[i.0]);
+        }
+    }
+    for (_, bits) in nl.outputs() {
+        for b in bits {
+            worst = worst.max(arrival[b.0]);
+        }
+    }
+
+    TimingReport {
+        critical_path_ps: worst,
+        setup_ps: lib.setup_ps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::celllib::CellKind;
+    use crate::netlist::NetlistBuilder;
+
+    #[test]
+    fn chain_delay_adds_up() {
+        let lib = CellLibrary::generic_025u();
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input_port("a", 1)[0];
+        let x1 = b.cell(CellKind::Inv, &[a]);
+        let x2 = b.cell(CellKind::Inv, &[x1]);
+        let x3 = b.cell(CellKind::Inv, &[x2]);
+        b.output_port("y", &[x3]);
+        let r = longest_path(&b.build(), &lib);
+        assert_eq!(r.critical_path_ps, 3 * lib.delay(CellKind::Inv));
+    }
+
+    #[test]
+    fn flop_to_flop_includes_clk_to_q() {
+        let lib = CellLibrary::generic_025u();
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input_port("a", 1)[0];
+        let q = b.dff(a, false);
+        let inv = b.cell(CellKind::Inv, &[q]);
+        let q2 = b.dff(inv, false);
+        b.output_port("y", &[q2]);
+        let r = longest_path(&b.build(), &lib);
+        assert_eq!(
+            r.critical_path_ps,
+            lib.delay(CellKind::Dff) + lib.delay(CellKind::Inv)
+        );
+    }
+
+    #[test]
+    fn slack_and_meets() {
+        let r = TimingReport {
+            critical_path_ps: 30_000,
+            setup_ps: 150,
+        };
+        assert!(r.meets(40_000)); // the paper's 40 ns clock
+        assert_eq!(r.slack_ps(40_000), 40_000 - 30_000 - 150);
+        assert!(!r.meets(30_000));
+    }
+
+    #[test]
+    fn memory_read_latency_counts() {
+        let lib = CellLibrary::generic_025u();
+        let mut b = NetlistBuilder::new("m");
+        let addr = b.input_port("addr", 2);
+        let dout = b.memory(
+            "rom",
+            4,
+            (0..4).map(|i| scflow_hwtypes::Bv::new(i, 4)).collect(),
+            addr,
+            vec![],
+            vec![],
+            None,
+        );
+        let inv = b.cell(CellKind::Inv, &[dout[0]]);
+        b.output_port("y", &[inv]);
+        let nl = b.build();
+        let r = longest_path(&nl, &lib);
+        assert_eq!(
+            r.critical_path_ps,
+            nl.memories()[0].read_delay_ps + lib.delay(CellKind::Inv)
+        );
+    }
+}

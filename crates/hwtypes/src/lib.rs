@@ -1,0 +1,129 @@
+//! Hardware data types for the `scflow` design-flow reproduction.
+//!
+//! This crate stands in for the SystemC datatype layer (`sc_int`, `sc_uint`,
+//! `sc_logic`, `sc_lv`, `sc_fixed`). It provides:
+//!
+//! * [`UInt`] / [`SInt`] — const-generic fixed-width integers with the
+//!   wrap/mask semantics of `sc_uint<W>` / `sc_int<W>` (used by the
+//!   synthesisable SRC models after the paper's *type refinement* step),
+//! * [`Bv`] — a runtime-width bit-vector value used by the RTL and gate
+//!   simulators where widths are data, not types,
+//! * [`Logic`] and [`LogicVec`] — four-valued logic (`0/1/X/Z`) for
+//!   gate-level simulation,
+//! * [`SFixed`] — a small signed fixed-point type for filter-coefficient
+//!   quantisation.
+//!
+//! # Example
+//!
+//! ```
+//! use scflow_hwtypes::{UInt, SInt};
+//!
+//! let a = UInt::<8>::new(200);
+//! let b = UInt::<8>::new(100);
+//! // sc_uint<8> wraps modulo 2^8:
+//! assert_eq!((a + b).value(), 44);
+//!
+//! let s = SInt::<6>::new(31);
+//! assert_eq!((s + SInt::<6>::new(1)).value(), -32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bv;
+mod fixed;
+mod logic;
+mod sint;
+mod uint;
+
+pub use bv::Bv;
+pub use fixed::SFixed;
+pub use logic::{Logic, LogicVec};
+pub use sint::SInt;
+pub use uint::UInt;
+
+/// Maximum bit width supported by the scalar value types in this crate.
+///
+/// All of [`UInt`], [`SInt`] and [`Bv`] store their payload in a single
+/// 64-bit word, mirroring the `sc_int`/`sc_uint` limit of 64 bits.
+pub const MAX_WIDTH: u32 = 64;
+
+/// Returns the mask selecting the low `width` bits of a `u64`.
+///
+/// # Panics
+///
+/// Panics if `width > 64`.
+#[inline]
+pub fn mask(width: u32) -> u64 {
+    assert!(width <= MAX_WIDTH, "width {width} exceeds {MAX_WIDTH}");
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Sign-extends the low `width` bits of `raw` into an `i64`.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `width > 64`.
+#[inline]
+pub fn sign_extend(raw: u64, width: u32) -> i64 {
+    assert!((1..=MAX_WIDTH).contains(&width), "bad width {width}");
+    let shift = 64 - width;
+    ((raw << shift) as i64) >> shift
+}
+
+/// Number of bits needed to represent `value` as an unsigned quantity.
+///
+/// `clog2`-style helper used by synthesis to size counters and addresses.
+/// Returns 1 for `value == 0` so that every value has a representable width.
+#[inline]
+pub fn bits_for(value: u64) -> u32 {
+    if value == 0 {
+        1
+    } else {
+        64 - value.leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_widths() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(8), 0xFF);
+        assert_eq!(mask(63), u64::MAX >> 1);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mask_too_wide() {
+        let _ = mask(65);
+    }
+
+    #[test]
+    fn sign_extend_basics() {
+        assert_eq!(sign_extend(0b1111, 4), -1);
+        assert_eq!(sign_extend(0b0111, 4), 7);
+        assert_eq!(sign_extend(0b1000, 4), -8);
+        assert_eq!(sign_extend(u64::MAX, 64), -1);
+        assert_eq!(sign_extend(1, 1), -1);
+        assert_eq!(sign_extend(0, 1), 0);
+    }
+
+    #[test]
+    fn bits_for_values() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+}

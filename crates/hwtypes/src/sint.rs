@@ -1,0 +1,284 @@
+//! Const-generic signed integers with `sc_int<W>` semantics.
+
+use crate::{mask, sign_extend, Bv, UInt, MAX_WIDTH};
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Mul, Neg, Not, Shl, Shr, Sub};
+
+/// A signed two's-complement integer with exactly `W` bits (`1 <= W <= 64`).
+///
+/// Mirrors `sc_int<W>`: values are stored sign-extended and all arithmetic
+/// wraps at `W` bits, so `SInt::<6>::new(31) + 1 == -32`. This is the type
+/// the SRC behavioural model uses for samples and accumulators after the
+/// paper's *type refinement* step.
+///
+/// # Example
+///
+/// ```
+/// use scflow_hwtypes::SInt;
+///
+/// let acc = SInt::<20>::new(-1000) + SInt::<20>::new(250);
+/// assert_eq!(acc.value(), -750);
+/// assert_eq!((acc >> 2).value(), -188); // arithmetic shift, floor
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SInt<const W: u32>(i64);
+
+impl<const W: u32> SInt<W> {
+    /// The number of bits, as a value.
+    pub const WIDTH: u32 = W;
+
+    /// Creates a value, wrapping into the `W`-bit two's-complement range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `W` is 0 or greater than 64.
+    #[inline]
+    pub fn new(value: i64) -> Self {
+        assert!(W >= 1 && W <= MAX_WIDTH, "SInt width must be 1..=64");
+        SInt(sign_extend(value as u64, W))
+    }
+
+    /// The largest representable value, `2^(W-1) - 1`.
+    #[inline]
+    pub fn max_value() -> Self {
+        SInt((mask(W) >> 1) as i64)
+    }
+
+    /// The smallest representable value, `-2^(W-1)`.
+    #[inline]
+    pub fn min_value() -> Self {
+        SInt::new(i64::MIN >> (64 - W))
+    }
+
+    /// The contained value.
+    #[inline]
+    pub fn value(self) -> i64 {
+        self.0
+    }
+
+    /// The raw bit pattern, masked to `W` bits.
+    #[inline]
+    pub fn raw_bits(self) -> u64 {
+        (self.0 as u64) & mask(W)
+    }
+
+    /// Returns bit `index` (LSB = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= W`.
+    #[inline]
+    pub fn bit(self, index: u32) -> bool {
+        assert!(index < W, "bit {index} out of width {W}");
+        (self.0 >> index) & 1 == 1
+    }
+
+    /// Resizes to a different width, truncating or sign-extending.
+    #[inline]
+    pub fn resize<const W2: u32>(self) -> SInt<W2> {
+        SInt::<W2>::new(self.0)
+    }
+
+    /// Reinterprets the bit pattern as unsigned.
+    #[inline]
+    pub fn to_uint(self) -> UInt<W> {
+        UInt::new(self.raw_bits())
+    }
+
+    /// Converts to a runtime-width bit vector.
+    #[inline]
+    pub fn to_bv(self) -> Bv {
+        Bv::from_i64(self.0, W)
+    }
+
+    /// Saturating addition: clamps to the `W`-bit range instead of wrapping.
+    #[inline]
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        let sum = self.0.saturating_add(rhs.0);
+        if sum > Self::max_value().0 {
+            Self::max_value()
+        } else if sum < Self::min_value().0 {
+            Self::min_value()
+        } else {
+            SInt(sum)
+        }
+    }
+
+    /// The absolute value, wrapping on `min_value()` like hardware would.
+    #[inline]
+    pub fn wrapping_abs(self) -> Self {
+        SInt::new(self.0.wrapping_abs())
+    }
+}
+
+impl<const W: u32> From<SInt<W>> for i64 {
+    fn from(v: SInt<W>) -> i64 {
+        v.0
+    }
+}
+
+impl<const W: u32> Add for SInt<W> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        SInt::new(self.0.wrapping_add(rhs.0))
+    }
+}
+
+impl<const W: u32> Sub for SInt<W> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        SInt::new(self.0.wrapping_sub(rhs.0))
+    }
+}
+
+impl<const W: u32> Mul for SInt<W> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        SInt::new(self.0.wrapping_mul(rhs.0))
+    }
+}
+
+impl<const W: u32> Neg for SInt<W> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        SInt::new(self.0.wrapping_neg())
+    }
+}
+
+impl<const W: u32> BitAnd for SInt<W> {
+    type Output = Self;
+    #[inline]
+    fn bitand(self, rhs: Self) -> Self {
+        SInt(self.0 & rhs.0)
+    }
+}
+
+impl<const W: u32> BitOr for SInt<W> {
+    type Output = Self;
+    #[inline]
+    fn bitor(self, rhs: Self) -> Self {
+        SInt(self.0 | rhs.0)
+    }
+}
+
+impl<const W: u32> BitXor for SInt<W> {
+    type Output = Self;
+    #[inline]
+    fn bitxor(self, rhs: Self) -> Self {
+        SInt(self.0 ^ rhs.0)
+    }
+}
+
+impl<const W: u32> Not for SInt<W> {
+    type Output = Self;
+    #[inline]
+    fn not(self) -> Self {
+        SInt::new(!self.0)
+    }
+}
+
+impl<const W: u32> Shl<u32> for SInt<W> {
+    type Output = Self;
+    #[inline]
+    fn shl(self, amount: u32) -> Self {
+        if amount >= 64 {
+            SInt(0)
+        } else {
+            SInt::new(self.0.wrapping_shl(amount))
+        }
+    }
+}
+
+/// Arithmetic (sign-preserving) right shift, matching `sc_int`.
+impl<const W: u32> Shr<u32> for SInt<W> {
+    type Output = Self;
+    #[inline]
+    fn shr(self, amount: u32) -> Self {
+        SInt(self.0 >> amount.min(63))
+    }
+}
+
+impl<const W: u32> fmt::Debug for SInt<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{W}'sd{}", self.0)
+    }
+}
+
+impl<const W: u32> fmt::Display for SInt<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_wraps_into_range() {
+        assert_eq!(SInt::<4>::new(7).value(), 7);
+        assert_eq!(SInt::<4>::new(8).value(), -8);
+        assert_eq!(SInt::<4>::new(-9).value(), 7);
+        assert_eq!(SInt::<64>::new(i64::MIN).value(), i64::MIN);
+    }
+
+    #[test]
+    fn limits() {
+        assert_eq!(SInt::<8>::max_value().value(), 127);
+        assert_eq!(SInt::<8>::min_value().value(), -128);
+        assert_eq!(SInt::<1>::max_value().value(), 0);
+        assert_eq!(SInt::<1>::min_value().value(), -1);
+    }
+
+    #[test]
+    fn wrapping_arithmetic() {
+        let max = SInt::<6>::max_value();
+        assert_eq!((max + SInt::new(1)).value(), -32);
+        assert_eq!((SInt::<6>::min_value() - SInt::new(1)).value(), 31);
+        assert_eq!((SInt::<8>::new(-50) * SInt::new(3)).value(), -150 + 256);
+        assert_eq!((-SInt::<8>::min_value()).value(), -128); // hardware negation wrap
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        let max = SInt::<8>::max_value();
+        assert_eq!(max.saturating_add(SInt::new(1)), max);
+        let min = SInt::<8>::min_value();
+        assert_eq!(min.saturating_add(SInt::new(-1)), min);
+        assert_eq!(SInt::<8>::new(5).saturating_add(SInt::new(6)).value(), 11);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!((SInt::<8>::new(-4) >> 1).value(), -2);
+        assert_eq!((SInt::<8>::new(-1) >> 5).value(), -1);
+        assert_eq!((SInt::<8>::new(3) << 6).value(), -64); // 192 wraps to -64
+    }
+
+    #[test]
+    fn raw_bits_and_uint_view() {
+        let v = SInt::<4>::new(-1);
+        assert_eq!(v.raw_bits(), 0xF);
+        assert_eq!(v.to_uint().value(), 0xF);
+        assert_eq!(v.to_bv().as_i64(), -1);
+    }
+
+    #[test]
+    fn resize_sign_extends() {
+        let v = SInt::<4>::new(-3);
+        let w: SInt<12> = v.resize();
+        assert_eq!(w.value(), -3);
+        let narrow: SInt<3> = SInt::<8>::new(5).resize();
+        assert_eq!(narrow.value(), -3); // 0b101 reinterpreted at 3 bits
+    }
+
+    #[test]
+    fn abs() {
+        assert_eq!(SInt::<8>::new(-5).wrapping_abs().value(), 5);
+        assert_eq!(SInt::<8>::min_value().wrapping_abs().value(), -128);
+    }
+}

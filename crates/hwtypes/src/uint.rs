@@ -1,0 +1,299 @@
+//! Const-generic unsigned integers with `sc_uint<W>` semantics.
+
+use crate::{mask, Bv, MAX_WIDTH};
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Mul, Not, Shl, Shr, Sub};
+
+/// An unsigned integer with exactly `W` bits (`1 <= W <= 64`).
+///
+/// Mirrors `sc_uint<W>`: all values are kept masked to `W` bits and all
+/// arithmetic wraps modulo `2^W`. The width is part of the type, so mixing
+/// widths is a compile error — exactly the property the paper's *type
+/// refinement* step introduces into the behavioural model.
+///
+/// # Example
+///
+/// ```
+/// use scflow_hwtypes::UInt;
+///
+/// let x = UInt::<4>::new(9);
+/// assert_eq!((x << 1).value(), 2); // 18 mod 16
+/// assert_eq!(x.bit(3), true);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct UInt<const W: u32>(u64);
+
+impl<const W: u32> UInt<W> {
+    /// The number of bits, as a value.
+    pub const WIDTH: u32 = W;
+
+    /// Creates a value, masking to `W` bits (like assigning to `sc_uint<W>`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `W` is 0 or greater than 64 (checked once per
+    /// instantiation).
+    #[inline]
+    pub fn new(value: u64) -> Self {
+        assert!(W >= 1 && W <= MAX_WIDTH, "UInt width must be 1..=64");
+        UInt(value & mask(W))
+    }
+
+    /// The maximum representable value, `2^W - 1`.
+    #[inline]
+    pub fn max_value() -> Self {
+        UInt(mask(W))
+    }
+
+    /// The contained value.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns bit `index` (LSB = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= W`.
+    #[inline]
+    pub fn bit(self, index: u32) -> bool {
+        assert!(index < W, "bit {index} out of width {W}");
+        (self.0 >> index) & 1 == 1
+    }
+
+    /// Returns the value with bit `index` set to `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= W`.
+    #[inline]
+    pub fn with_bit(self, index: u32, bit: bool) -> Self {
+        assert!(index < W, "bit {index} out of width {W}");
+        if bit {
+            UInt(self.0 | (1 << index))
+        } else {
+            UInt(self.0 & !(1 << index))
+        }
+    }
+
+    /// Extracts bits `[hi:lo]` into a (possibly narrower) `UInt<W2>` value.
+    ///
+    /// The result is masked to `W2` bits; `hi - lo + 1` should equal `W2`
+    /// for a lossless extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= W`.
+    #[inline]
+    pub fn range<const W2: u32>(self, hi: u32, lo: u32) -> UInt<W2> {
+        assert!(hi >= lo && hi < W, "bad range [{hi}:{lo}] of {W}");
+        UInt::<W2>::new(self.0 >> lo)
+    }
+
+    /// Resizes to a different width, truncating or zero-extending.
+    #[inline]
+    pub fn resize<const W2: u32>(self) -> UInt<W2> {
+        UInt::<W2>::new(self.0)
+    }
+
+    /// Converts to a runtime-width bit vector.
+    #[inline]
+    pub fn to_bv(self) -> Bv {
+        Bv::new(self.0, W)
+    }
+
+    /// Wrapping increment by one.
+    #[inline]
+    pub fn wrapping_inc(self) -> Self {
+        UInt::new(self.0.wrapping_add(1))
+    }
+
+    /// Wrapping decrement by one.
+    #[inline]
+    pub fn wrapping_dec(self) -> Self {
+        UInt::new(self.0.wrapping_sub(1))
+    }
+}
+
+impl<const W: u32> From<UInt<W>> for u64 {
+    fn from(v: UInt<W>) -> u64 {
+        v.0
+    }
+}
+
+impl<const W: u32> Add for UInt<W> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        UInt::new(self.0.wrapping_add(rhs.0))
+    }
+}
+
+impl<const W: u32> Sub for UInt<W> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        UInt::new(self.0.wrapping_sub(rhs.0))
+    }
+}
+
+impl<const W: u32> Mul for UInt<W> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        UInt::new(self.0.wrapping_mul(rhs.0))
+    }
+}
+
+impl<const W: u32> BitAnd for UInt<W> {
+    type Output = Self;
+    #[inline]
+    fn bitand(self, rhs: Self) -> Self {
+        UInt(self.0 & rhs.0)
+    }
+}
+
+impl<const W: u32> BitOr for UInt<W> {
+    type Output = Self;
+    #[inline]
+    fn bitor(self, rhs: Self) -> Self {
+        UInt(self.0 | rhs.0)
+    }
+}
+
+impl<const W: u32> BitXor for UInt<W> {
+    type Output = Self;
+    #[inline]
+    fn bitxor(self, rhs: Self) -> Self {
+        UInt(self.0 ^ rhs.0)
+    }
+}
+
+impl<const W: u32> Not for UInt<W> {
+    type Output = Self;
+    #[inline]
+    fn not(self) -> Self {
+        UInt::new(!self.0)
+    }
+}
+
+impl<const W: u32> Shl<u32> for UInt<W> {
+    type Output = Self;
+    #[inline]
+    fn shl(self, amount: u32) -> Self {
+        if amount >= 64 {
+            UInt(0)
+        } else {
+            UInt::new(self.0 << amount)
+        }
+    }
+}
+
+impl<const W: u32> Shr<u32> for UInt<W> {
+    type Output = Self;
+    #[inline]
+    fn shr(self, amount: u32) -> Self {
+        if amount >= 64 {
+            UInt(0)
+        } else {
+            UInt(self.0 >> amount)
+        }
+    }
+}
+
+impl<const W: u32> fmt::Debug for UInt<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{W}'d{}", self.0)
+    }
+}
+
+impl<const W: u32> fmt::Display for UInt<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl<const W: u32> fmt::LowerHex for UInt<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl<const W: u32> fmt::Binary for UInt<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_on_construction() {
+        assert_eq!(UInt::<4>::new(0x1F).value(), 0xF);
+        assert_eq!(UInt::<64>::new(u64::MAX).value(), u64::MAX);
+    }
+
+    #[test]
+    fn wrapping_arithmetic() {
+        let m = UInt::<8>::max_value();
+        assert_eq!((m + UInt::new(1)).value(), 0);
+        assert_eq!((UInt::<8>::new(0) - UInt::new(1)).value(), 0xFF);
+        assert_eq!((UInt::<8>::new(20) * UInt::new(20)).value(), 400 % 256);
+    }
+
+    #[test]
+    fn inc_dec_wrap() {
+        assert_eq!(UInt::<2>::new(3).wrapping_inc().value(), 0);
+        assert_eq!(UInt::<2>::new(0).wrapping_dec().value(), 3);
+    }
+
+    #[test]
+    fn bit_ops() {
+        let v = UInt::<8>::new(0b1010_0101);
+        assert!(v.bit(0));
+        assert!(!v.bit(1));
+        assert_eq!(v.with_bit(1, true).value(), 0b1010_0111);
+        assert_eq!(v.with_bit(0, false).value(), 0b1010_0100);
+        assert_eq!((!v).value(), 0b0101_1010);
+        assert_eq!((v & UInt::new(0x0F)).value(), 0b0101);
+        assert_eq!((v | UInt::new(0x0F)).value(), 0b1010_1111);
+        assert_eq!((v ^ UInt::new(0xFF)).value(), 0b0101_1010);
+    }
+
+    #[test]
+    fn range_and_resize() {
+        let v = UInt::<8>::new(0xA5);
+        let hi: UInt<4> = v.range(7, 4);
+        let lo: UInt<4> = v.range(3, 0);
+        assert_eq!(hi.value(), 0xA);
+        assert_eq!(lo.value(), 0x5);
+        let wide: UInt<12> = v.resize();
+        assert_eq!(wide.value(), 0xA5);
+        let narrow: UInt<4> = v.resize();
+        assert_eq!(narrow.value(), 0x5);
+    }
+
+    #[test]
+    fn shifts_truncate() {
+        let v = UInt::<4>::new(0b1001);
+        assert_eq!((v << 1).value(), 0b0010);
+        assert_eq!((v >> 1).value(), 0b0100);
+        assert_eq!((v << 99).value(), 0);
+    }
+
+    #[test]
+    fn to_bv_roundtrip() {
+        let v = UInt::<12>::new(0x5A5);
+        assert_eq!(v.to_bv().as_u64(), 0x5A5);
+        assert_eq!(v.to_bv().width(), 12);
+    }
+
+    #[test]
+    fn ordering_and_default() {
+        assert!(UInt::<8>::new(3) < UInt::<8>::new(7));
+        assert_eq!(UInt::<8>::default().value(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Free-running clock generator.
+
+use crate::event::Event;
+use crate::signal::Signal;
+use crate::{Kernel, SimTime};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// A free-running clock (the `sc_clock` analogue).
+///
+/// Starts low; the first rising edge occurs after half a period. Clocked
+/// processes typically loop on `kernel.wait(clock.posedge()).await`. The
+/// clock counts its rising edges, which is how simulated-cycles-per-second
+/// figures (the paper's Figure 8/9 metric) are obtained.
+///
+/// # Example
+///
+/// ```
+/// use scflow_kernel::{Kernel, SimTime};
+///
+/// let k = Kernel::new();
+/// let clk = k.clock("clk", SimTime::from_ns(40)); // the paper's 25 MHz
+/// k.run_for(SimTime::from_us(1));
+/// assert_eq!(clk.cycles(), 25);
+/// ```
+#[derive(Clone)]
+pub struct Clock {
+    signal: Signal<bool>,
+    posedge: Event,
+    negedge: Event,
+    period: SimTime,
+    cycles: Rc<Cell<u64>>,
+}
+
+impl Clock {
+    pub(crate) fn new(kernel: &Kernel, name: String, period: SimTime) -> Self {
+        assert!(!period.is_zero(), "clock period must be non-zero");
+        assert!(
+            period.as_ps().is_multiple_of(2),
+            "clock period must be an even number of picoseconds"
+        );
+        let signal = kernel.signal(format!("{name}.sig"), false);
+        let posedge = kernel.event(format!("{name}.posedge"));
+        let negedge = kernel.event(format!("{name}.negedge"));
+        let cycles = Rc::new(Cell::new(0));
+        let half = SimTime::from_ps(period.as_ps() / 2);
+
+        kernel.spawn(format!("{name}.gen"), {
+            let k = kernel.clone();
+            let signal = signal.clone();
+            let posedge = posedge.clone();
+            let negedge = negedge.clone();
+            let cycles = cycles.clone();
+            async move {
+                loop {
+                    k.wait_time(half).await;
+                    signal.write(true);
+                    posedge.notify_delta();
+                    cycles.set(cycles.get() + 1);
+                    k.wait_time(half).await;
+                    signal.write(false);
+                    negedge.notify_delta();
+                }
+            }
+        });
+
+        Clock {
+            signal,
+            posedge,
+            negedge,
+            period,
+            cycles,
+        }
+    }
+
+    /// The clock's level signal.
+    pub fn signal(&self) -> &Signal<bool> {
+        &self.signal
+    }
+
+    /// Event fired at every rising edge (in the same delta in which the
+    /// level signal reads `true`).
+    pub fn posedge(&self) -> &Event {
+        &self.posedge
+    }
+
+    /// Event fired at every falling edge.
+    pub fn negedge(&self) -> &Event {
+        &self.negedge
+    }
+
+    /// The clock period.
+    pub fn period(&self) -> SimTime {
+        self.period
+    }
+
+    /// Number of rising edges generated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles.get()
+    }
+}
+
+impl std::fmt::Debug for Clock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Clock")
+            .field("period", &self.period)
+            .field("cycles", &self.cycles.get())
+            .finish()
+    }
+}

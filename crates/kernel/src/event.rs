@@ -1,0 +1,59 @@
+//! Notifiable events (the `sc_event` analogue).
+
+use crate::sched::{Sched, WakeTarget};
+use crate::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A notifiable synchronisation primitive, mirroring `sc_event`.
+///
+/// Events are created with [`Kernel::event`](crate::Kernel::event) and
+/// support the three SystemC notification flavours:
+///
+/// * [`notify`](Event::notify) — **immediate**: waiters become runnable in
+///   the *current* evaluate phase,
+/// * [`notify_delta`](Event::notify_delta) — waiters run in the next delta
+///   cycle at the same simulated time,
+/// * [`notify_at`](Event::notify_at) — waiters run after a simulated delay.
+///
+/// Cloning an `Event` clones the handle, not the event: all clones notify
+/// and wait on the same underlying event.
+#[derive(Clone)]
+pub struct Event {
+    sched: Rc<RefCell<Sched>>,
+    id: usize,
+}
+
+impl Event {
+    pub(crate) fn new(sched: Rc<RefCell<Sched>>, id: usize) -> Self {
+        Event { sched, id }
+    }
+
+    pub(crate) fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Immediate notification: processes waiting on this event become
+    /// runnable within the current evaluate phase.
+    pub fn notify(&self) {
+        self.sched.borrow_mut().fire_event(self.id);
+    }
+
+    /// Delta notification: waiters resume in the next delta cycle.
+    pub fn notify_delta(&self) {
+        self.sched.borrow_mut().delta_events.push(self.id);
+    }
+
+    /// Timed notification: waiters resume after `delay` of simulated time.
+    pub fn notify_at(&self, delay: SimTime) {
+        let mut s = self.sched.borrow_mut();
+        let at = s.now + delay;
+        s.schedule_at(at, WakeTarget::Event(self.id));
+    }
+}
+
+impl std::fmt::Debug for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Event#{}", self.id)
+    }
+}

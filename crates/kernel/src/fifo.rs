@@ -1,0 +1,177 @@
+//! Bounded FIFO channel (the `sc_fifo<T>` analogue).
+
+use crate::event::Event;
+use crate::Kernel;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// A bounded FIFO channel with blocking read/write, mirroring `sc_fifo<T>`.
+///
+/// [`write`](Fifo::write) suspends the calling process while the FIFO is
+/// full; [`read`](Fifo::read) suspends while it is empty. Non-blocking
+/// variants are provided for testbench use. Cloning the handle shares the
+/// channel.
+///
+/// # Example
+///
+/// ```
+/// use scflow_kernel::Kernel;
+///
+/// let k = Kernel::new();
+/// let fifo = k.fifo::<u32>("samples", 4);
+///
+/// k.spawn("producer", {
+///     let (k, f) = (k.clone(), fifo.clone());
+///     async move {
+///         for i in 0..8 {
+///             f.write(&k, i).await;
+///         }
+///     }
+/// });
+///
+/// let done = k.signal("sum", 0u32);
+/// k.spawn("consumer", {
+///     let (k, f, done) = (k.clone(), fifo.clone(), done.clone());
+///     async move {
+///         let mut sum = 0;
+///         for _ in 0..8 {
+///             sum += f.read(&k).await;
+///         }
+///         done.write(sum);
+///     }
+/// });
+///
+/// k.run();
+/// assert_eq!(done.read(), 28);
+/// ```
+pub struct Fifo<T> {
+    inner: Rc<FifoInner<T>>,
+}
+
+impl<T> Clone for Fifo<T> {
+    fn clone(&self) -> Self {
+        Fifo {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+struct FifoInner<T> {
+    name: String,
+    capacity: usize,
+    queue: RefCell<VecDeque<T>>,
+    data_written: Event,
+    data_read: Event,
+}
+
+impl<T: 'static> Fifo<T> {
+    pub(crate) fn new(kernel: &Kernel, name: String, capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be at least 1");
+        let data_written = kernel.event(format!("{name}.written"));
+        let data_read = kernel.event(format!("{name}.read"));
+        Fifo {
+            inner: Rc::new(FifoInner {
+                name,
+                capacity,
+                queue: RefCell::new(VecDeque::with_capacity(capacity)),
+                data_written,
+                data_read,
+            }),
+        }
+    }
+
+    /// The channel's name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Number of items currently queued.
+    pub fn num_available(&self) -> usize {
+        self.inner.queue.borrow().len()
+    }
+
+    /// Number of free slots.
+    pub fn num_free(&self) -> usize {
+        self.inner.capacity - self.num_available()
+    }
+
+    /// Writes `value`, suspending the calling process while the FIFO is
+    /// full.
+    pub async fn write(&self, kernel: &Kernel, value: T) {
+        let mut value = Some(value);
+        loop {
+            {
+                let mut q = self.inner.queue.borrow_mut();
+                if q.len() < self.inner.capacity {
+                    q.push_back(value.take().expect("value still pending"));
+                    self.inner.data_written.notify_delta();
+                    return;
+                }
+            }
+            kernel.wait(&self.inner.data_read).await;
+        }
+    }
+
+    /// Reads the oldest item, suspending while the FIFO is empty.
+    pub async fn read(&self, kernel: &Kernel) -> T {
+        loop {
+            {
+                let mut q = self.inner.queue.borrow_mut();
+                if let Some(v) = q.pop_front() {
+                    self.inner.data_read.notify_delta();
+                    return v;
+                }
+            }
+            kernel.wait(&self.inner.data_written).await;
+        }
+    }
+
+    /// Non-blocking write. Returns the value back if the FIFO is full.
+    pub fn try_write(&self, value: T) -> Result<(), T> {
+        let mut q = self.inner.queue.borrow_mut();
+        if q.len() < self.inner.capacity {
+            q.push_back(value);
+            self.inner.data_written.notify_delta();
+            Ok(())
+        } else {
+            Err(value)
+        }
+    }
+
+    /// Non-blocking read. Returns `None` if the FIFO is empty.
+    pub fn try_read(&self) -> Option<T> {
+        let v = self.inner.queue.borrow_mut().pop_front();
+        if v.is_some() {
+            self.inner.data_read.notify_delta();
+        }
+        v
+    }
+
+    /// Event notified (delta) after each successful write.
+    pub fn data_written_event(&self) -> &Event {
+        &self.inner.data_written
+    }
+
+    /// Event notified (delta) after each successful read.
+    pub fn data_read_event(&self) -> &Event {
+        &self.inner.data_read
+    }
+}
+
+impl<T> std::fmt::Debug for Fifo<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Fifo({}, {}/{})",
+            self.inner.name,
+            self.inner.queue.borrow().len(),
+            self.inner.capacity
+        )
+    }
+}

@@ -1,0 +1,377 @@
+//! The public kernel handle and the simulation main loop.
+
+use crate::clock::Clock;
+use crate::event::Event;
+use crate::fifo::Fifo;
+use crate::sched::{Sched, TaskId, WakeTarget};
+use crate::signal::Signal;
+use crate::stats::SimStats;
+use crate::trace::Trace;
+use crate::SimTime;
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// A handle to the discrete-event simulation kernel.
+///
+/// `Kernel` is a cheap clone-able handle (`Rc` internally); clone it into
+/// every process that needs to wait or query simulated time. The kernel is
+/// single-threaded and deterministic, like the SystemC reference scheduler.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Clone)]
+pub struct Kernel {
+    pub(crate) sched: Rc<RefCell<Sched>>,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel {
+    /// Creates an empty kernel at time zero.
+    pub fn new() -> Self {
+        Kernel {
+            sched: Rc::new(RefCell::new(Sched::new())),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.borrow().now
+    }
+
+    /// Simulation statistics accumulated so far.
+    pub fn stats(&self) -> SimStats {
+        self.sched.borrow().stats.clone()
+    }
+
+    /// Spawns a process (the `SC_THREAD` analogue).
+    ///
+    /// The process starts runnable and is first polled at the next
+    /// evaluate phase (time zero for processes spawned before [`run`]).
+    ///
+    /// [`run`]: Kernel::run
+    pub fn spawn(&self, name: impl Into<String>, fut: impl Future<Output = ()> + 'static) {
+        self.sched.borrow_mut().new_task(name, Box::pin(fut));
+    }
+
+    /// Creates a new event (the `sc_event` analogue).
+    pub fn event(&self, name: impl Into<String>) -> Event {
+        let id = self.sched.borrow_mut().new_event(name);
+        Event::new(self.sched.clone(), id)
+    }
+
+    /// Creates a signal primitive channel (the `sc_signal<T>` analogue).
+    pub fn signal<T: Clone + PartialEq + std::fmt::Debug + 'static>(
+        &self,
+        name: impl Into<String>,
+        initial: T,
+    ) -> Signal<T> {
+        Signal::new(self, name.into(), initial)
+    }
+
+    /// Creates a free-running clock with the given period.
+    ///
+    /// The clock starts low; the first rising edge occurs after half a
+    /// period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero or an odd number of picoseconds.
+    pub fn clock(&self, name: impl Into<String>, period: SimTime) -> Clock {
+        Clock::new(self, name.into(), period)
+    }
+
+    /// Creates a bounded FIFO channel (the `sc_fifo<T>` analogue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn fifo<T: 'static>(&self, name: impl Into<String>, capacity: usize) -> Fifo<T> {
+        Fifo::new(self, name.into(), capacity)
+    }
+
+    /// Creates a trace buffer that signals can be attached to with
+    /// [`Signal::attach_trace`].
+    pub fn trace(&self) -> Trace {
+        Trace::new()
+    }
+
+    /// Spawns a method process (the `SC_METHOD` analogue): `body` runs
+    /// once at elaboration and then again every time any event in
+    /// `sensitivity` fires — the natural shape for combinational
+    /// modelling, where the sensitivity list is the set of
+    /// [`Signal::changed`](crate::Signal::changed) events read by the
+    /// body.
+    pub fn spawn_method(
+        &self,
+        name: impl Into<String>,
+        sensitivity: &[&Event],
+        mut body: impl FnMut() + 'static,
+    ) {
+        let events: Vec<Event> = sensitivity.iter().map(|&e| e.clone()).collect();
+        let k = self.clone();
+        self.spawn(name, async move {
+            loop {
+                body();
+                let refs: Vec<&Event> = events.iter().collect();
+                k.wait_any(&refs).await;
+            }
+        });
+    }
+
+    /// Suspends the calling process until `event` is notified.
+    ///
+    /// Must be awaited from inside a spawned process.
+    pub fn wait(&self, event: &Event) -> WaitEvent {
+        WaitEvent {
+            sched: self.sched.clone(),
+            event: event.id(),
+            registered: false,
+        }
+    }
+
+    /// Suspends the calling process until any of `events` is notified.
+    pub fn wait_any(&self, events: &[&Event]) -> WaitAny {
+        WaitAny {
+            sched: self.sched.clone(),
+            events: events.iter().map(|e| e.id()).collect(),
+            registered: false,
+        }
+    }
+
+    /// Suspends the calling process for `delay` of simulated time.
+    pub fn wait_time(&self, delay: SimTime) -> WaitTime {
+        WaitTime {
+            sched: self.sched.clone(),
+            delay,
+            registered: false,
+        }
+    }
+
+    /// Requests that the simulation loop return after the current delta.
+    pub fn stop(&self) {
+        self.sched.borrow_mut().stop_requested = true;
+    }
+
+    /// Runs until no activity remains (all processes blocked forever or
+    /// finished and no pending notifications), or [`stop`] is called.
+    ///
+    /// [`stop`]: Kernel::stop
+    pub fn run(&self) {
+        self.run_limit(SimTime::MAX);
+    }
+
+    /// Runs until simulated time would exceed `deadline`, activity is
+    /// exhausted, or [`stop`](Kernel::stop) is called. Notifications at
+    /// exactly `deadline` are still processed.
+    pub fn run_until(&self, deadline: SimTime) {
+        self.run_limit(deadline);
+    }
+
+    /// Runs for `span` of simulated time from now (see [`run_until`]).
+    ///
+    /// [`run_until`]: Kernel::run_until
+    pub fn run_for(&self, span: SimTime) {
+        let deadline = self.now() + span;
+        self.run_limit(deadline);
+    }
+
+    fn run_limit(&self, deadline: SimTime) {
+        {
+            let mut s = self.sched.borrow_mut();
+            s.stop_requested = false;
+        }
+        loop {
+            // Evaluate phase: run every runnable process. Immediate
+            // notifications can extend the queue while we drain it.
+            loop {
+                let tid = {
+                    let mut s = self.sched.borrow_mut();
+                    match s.runnable.pop_front() {
+                        Some(t) => t,
+                        None => break,
+                    }
+                };
+                self.poll_task(tid);
+            }
+
+            // Update phase: commit primitive-channel writes.
+            let updates = std::mem::take(&mut self.sched.borrow_mut().updates);
+            if !updates.is_empty() {
+                let now = self.now();
+                let mut fired = Vec::new();
+                for u in updates {
+                    if let Some(ev) = u.apply(now) {
+                        fired.push(ev);
+                    }
+                }
+                let mut s = self.sched.borrow_mut();
+                s.stats.signal_updates += fired.len() as u64;
+                s.delta_events.extend(fired);
+            }
+
+            // Delta-notification phase.
+            {
+                let mut s = self.sched.borrow_mut();
+                let delta = std::mem::take(&mut s.delta_events);
+                if !delta.is_empty() {
+                    s.stats.delta_cycles += 1;
+                    for ev in delta {
+                        s.fire_event(ev);
+                    }
+                }
+                if s.stop_requested {
+                    return;
+                }
+                if !s.runnable.is_empty() {
+                    continue; // next delta at the same time
+                }
+
+                // Timed-notification phase: advance time.
+                let next = match s.next_time() {
+                    Some(t) => t,
+                    None => return, // starvation: nothing left to do
+                };
+                if next > deadline {
+                    // Leave future notifications pending; park at deadline.
+                    s.now = deadline;
+                    return;
+                }
+                s.now = next;
+                s.stats.timed_steps += 1;
+                for target in s.pop_due(next) {
+                    match target {
+                        WakeTarget::Task(t, epoch) => s.wake(t, epoch),
+                        WakeTarget::Event(ev) => s.fire_event(ev),
+                    }
+                }
+            }
+        }
+    }
+
+    fn poll_task(&self, tid: TaskId) {
+        let fut = {
+            let mut s = self.sched.borrow_mut();
+            if s.tasks[tid].finished {
+                return;
+            }
+            s.current = tid;
+            s.tasks[tid].fut.take()
+        };
+        let Some(mut fut) = fut else { return };
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        let ready = fut.as_mut().poll(&mut cx).is_ready();
+        let mut s = self.sched.borrow_mut();
+        s.stats.processes_polled += 1;
+        s.current = usize::MAX;
+        if ready {
+            s.tasks[tid].finished = true;
+        } else {
+            s.tasks[tid].fut = Some(fut);
+        }
+    }
+
+    /// The name of a process, for diagnostics.
+    pub fn process_names(&self) -> Vec<String> {
+        self.sched
+            .borrow()
+            .tasks
+            .iter()
+            .map(|t| t.name.clone())
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.sched.borrow();
+        f.debug_struct("Kernel")
+            .field("now", &s.now)
+            .field("tasks", &s.tasks.len())
+            .field("events", &s.events.len())
+            .finish()
+    }
+}
+
+/// Future returned by [`Kernel::wait`].
+pub struct WaitEvent {
+    sched: Rc<RefCell<Sched>>,
+    event: usize,
+    registered: bool,
+}
+
+impl Future for WaitEvent {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.registered {
+            return Poll::Ready(());
+        }
+        let mut s = self.sched.borrow_mut();
+        let tid = s.current;
+        debug_assert!(tid != usize::MAX, "wait() awaited outside a process");
+        let epoch = s.tasks[tid].epoch;
+        let ev = self.event;
+        s.events[ev].waiters.push((tid, epoch));
+        drop(s);
+        self.registered = true;
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`Kernel::wait_any`].
+pub struct WaitAny {
+    sched: Rc<RefCell<Sched>>,
+    events: Vec<usize>,
+    registered: bool,
+}
+
+impl Future for WaitAny {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.registered {
+            return Poll::Ready(());
+        }
+        let mut s = self.sched.borrow_mut();
+        let tid = s.current;
+        debug_assert!(tid != usize::MAX, "wait_any() awaited outside a process");
+        let epoch = s.tasks[tid].epoch;
+        for &ev in &self.events {
+            s.events[ev].waiters.push((tid, epoch));
+        }
+        drop(s);
+        self.registered = true;
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`Kernel::wait_time`].
+pub struct WaitTime {
+    sched: Rc<RefCell<Sched>>,
+    delay: SimTime,
+    registered: bool,
+}
+
+impl Future for WaitTime {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.registered {
+            return Poll::Ready(());
+        }
+        let mut s = self.sched.borrow_mut();
+        let tid = s.current;
+        debug_assert!(tid != usize::MAX, "wait_time() awaited outside a process");
+        let epoch = s.tasks[tid].epoch;
+        let at = s.now + self.delay;
+        s.schedule_at(at, WakeTarget::Task(tid, epoch));
+        drop(s);
+        self.registered = true;
+        Poll::Pending
+    }
+}

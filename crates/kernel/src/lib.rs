@@ -1,0 +1,66 @@
+//! A SystemC-style discrete-event simulation kernel.
+//!
+//! This crate is the substrate standing in for the OSCI SystemC 2.0
+//! reference simulator in the DATE 2004 paper *Evaluation of a
+//! Refinement-Driven SystemC-Based Design Flow*. It implements the same
+//! scheduler semantics:
+//!
+//! * an **evaluate phase** that runs all runnable processes,
+//! * an **update phase** that commits primitive-channel (signal) writes,
+//! * **delta notifications** that re-enter the evaluate phase at the same
+//!   simulated time, and
+//! * **timed notifications** that advance simulated time.
+//!
+//! Processes are plain Rust `async` blocks (the analogue of `SC_THREAD`):
+//! they suspend at [`Kernel::wait`]/[`Kernel::wait_time`] points and are
+//! resumed by event notifications, exactly like `wait(event)` in SystemC.
+//! The kernel is deliberately single-threaded; determinism of the reference
+//! scheduler is part of what the paper's refinement-verification story
+//! relies on.
+//!
+//! # Example
+//!
+//! ```
+//! use scflow_kernel::{Kernel, SimTime};
+//!
+//! let kernel = Kernel::new();
+//! let sig = kernel.signal("count", 0u32);
+//!
+//! kernel.spawn("counter", {
+//!     let k = kernel.clone();
+//!     let sig = sig.clone();
+//!     async move {
+//!         for _ in 0..10 {
+//!             k.wait_time(SimTime::from_ns(5)).await;
+//!             let v = sig.read();
+//!             sig.write(v + 1);
+//!         }
+//!     }
+//! });
+//!
+//! kernel.run();
+//! assert_eq!(sig.read(), 10);
+//! assert_eq!(kernel.now(), SimTime::from_ns(50));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod event;
+mod fifo;
+mod kernel;
+mod sched;
+mod signal;
+mod stats;
+mod time;
+mod trace;
+
+pub use clock::Clock;
+pub use event::Event;
+pub use fifo::Fifo;
+pub use kernel::Kernel;
+pub use signal::Signal;
+pub use stats::SimStats;
+pub use time::SimTime;
+pub use trace::{Trace, TraceRecord};

@@ -1,0 +1,190 @@
+//! Scheduler internals: task table, event table, timed queue, update queue.
+//!
+//! This module is crate-private; the public face is [`crate::Kernel`].
+
+use crate::stats::SimStats;
+use crate::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+pub(crate) type TaskId = usize;
+pub(crate) type EventId = usize;
+
+/// A coroutine process (the `SC_THREAD` analogue).
+pub(crate) struct Task {
+    pub name: String,
+    /// Taken out while being polled so the scheduler cell is not borrowed
+    /// across user code.
+    pub fut: Option<Pin<Box<dyn Future<Output = ()>>>>,
+    /// Bumped every time the task is woken; wait-list registrations carry
+    /// the epoch they were made in so stale registrations (e.g. the losing
+    /// events of a `wait_any`) are ignored.
+    pub epoch: u64,
+    pub finished: bool,
+}
+
+/// A notifiable event (the `sc_event` analogue).
+pub(crate) struct EventState {
+    #[allow(dead_code)]
+    pub name: String,
+    /// `(task, epoch)` pairs waiting on this event.
+    pub waiters: Vec<(TaskId, u64)>,
+}
+
+/// What a timed-queue entry wakes when its time arrives.
+pub(crate) enum WakeTarget {
+    /// Resume a task directly (`wait_time`).
+    Task(TaskId, u64),
+    /// Fire an event (`Event::notify_at`), waking its waiters.
+    Event(EventId),
+}
+
+struct TimedEntry {
+    time: SimTime,
+    seq: u64,
+    target: WakeTarget,
+}
+
+impl PartialEq for TimedEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for TimedEntry {}
+impl PartialOrd for TimedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimedEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A primitive channel that has requested an update this delta.
+///
+/// Implemented by `Signal`'s shared state. `apply` commits the pending
+/// write and returns the value-changed event to delta-notify, if any.
+pub(crate) trait Updatable {
+    fn apply(&self, now: SimTime) -> Option<EventId>;
+}
+
+/// The scheduler state behind `Kernel`'s `Rc<RefCell<..>>`.
+pub(crate) struct Sched {
+    pub now: SimTime,
+    pub tasks: Vec<Task>,
+    pub events: Vec<EventState>,
+    pub runnable: VecDeque<TaskId>,
+    /// Events to fire at the delta-notification phase.
+    pub delta_events: Vec<EventId>,
+    /// Primitive channels with pending updates.
+    pub updates: Vec<Rc<dyn Updatable>>,
+    timed: BinaryHeap<Reverse<TimedEntry>>,
+    seq: u64,
+    /// The task currently being polled (valid only during a poll).
+    pub current: TaskId,
+    pub stop_requested: bool,
+    pub stats: SimStats,
+}
+
+impl Sched {
+    pub fn new() -> Self {
+        Sched {
+            now: SimTime::ZERO,
+            tasks: Vec::new(),
+            events: Vec::new(),
+            runnable: VecDeque::new(),
+            delta_events: Vec::new(),
+            updates: Vec::new(),
+            timed: BinaryHeap::new(),
+            seq: 0,
+            current: usize::MAX,
+            stop_requested: false,
+            stats: SimStats::default(),
+        }
+    }
+
+    pub fn new_event(&mut self, name: impl Into<String>) -> EventId {
+        let id = self.events.len();
+        self.events.push(EventState {
+            name: name.into(),
+            waiters: Vec::new(),
+        });
+        id
+    }
+
+    pub fn new_task(
+        &mut self,
+        name: impl Into<String>,
+        fut: Pin<Box<dyn Future<Output = ()>>>,
+    ) -> TaskId {
+        let id = self.tasks.len();
+        self.tasks.push(Task {
+            name: name.into(),
+            fut: Some(fut),
+            epoch: 0,
+            finished: false,
+        });
+        self.runnable.push_back(id);
+        id
+    }
+
+    /// Wakes a task if the registration epoch is still current.
+    pub fn wake(&mut self, task: TaskId, epoch: u64) {
+        let t = &mut self.tasks[task];
+        if !t.finished && t.epoch == epoch {
+            t.epoch += 1;
+            self.runnable.push_back(task);
+        }
+    }
+
+    /// Fires an event now: drains its waiters into the runnable queue.
+    pub fn fire_event(&mut self, event: EventId) {
+        self.stats.events_fired += 1;
+        let waiters = std::mem::take(&mut self.events[event].waiters);
+        for (task, epoch) in waiters {
+            self.wake(task, epoch);
+        }
+    }
+
+    /// Schedules `target` to be woken at absolute time `at`.
+    pub fn schedule_at(&mut self, at: SimTime, target: WakeTarget) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.timed.push(Reverse(TimedEntry {
+            time: at,
+            seq,
+            target,
+        }));
+    }
+
+    /// The time of the earliest pending timed notification.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.timed.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Pops every timed entry scheduled for exactly `at`.
+    pub fn pop_due(&mut self, at: SimTime) -> Vec<WakeTarget> {
+        let mut due = Vec::new();
+        while let Some(Reverse(e)) = self.timed.peek() {
+            if e.time > at {
+                break;
+            }
+            due.push(self.timed.pop().expect("peeked").0.target);
+        }
+        due
+    }
+
+    /// `true` when nothing can ever run again.
+    #[allow(dead_code)]
+    pub fn idle(&self) -> bool {
+        self.runnable.is_empty()
+            && self.delta_events.is_empty()
+            && self.updates.is_empty()
+            && self.timed.is_empty()
+    }
+}

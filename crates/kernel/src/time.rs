@@ -1,0 +1,178 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A point in (or span of) simulated time, in integer picoseconds.
+///
+/// The picosecond base resolution comfortably covers the paper's 40 ns clock
+/// while leaving headroom for gate delays in the tens-of-picoseconds range.
+///
+/// # Example
+///
+/// ```
+/// use scflow_kernel::SimTime;
+///
+/// let period = SimTime::from_ns(40);
+/// assert_eq!(period * 25, SimTime::from_us(1));
+/// assert_eq!(period.as_ps(), 40_000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable time (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000)
+    }
+
+    /// The time in picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// The time in (truncated) nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The time as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// `true` at time zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics on underflow (subtracting a later time from an earlier one).
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0s")
+        } else if ps.is_multiple_of(1_000_000_000) {
+            write!(f, "{}ms", ps / 1_000_000_000)
+        } else if ps.is_multiple_of(1_000_000) {
+            write!(f, "{}us", ps / 1_000_000)
+        } else if ps.is_multiple_of(1_000) {
+            write!(f, "{}ns", ps / 1_000)
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_ns(1).as_ps(), 1_000);
+        assert_eq!(SimTime::from_us(1).as_ns(), 1_000);
+        assert_eq!(SimTime::from_ms(2).as_ps(), 2_000_000_000);
+        assert!((SimTime::from_us(1).as_secs_f64() - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ns(40);
+        assert_eq!(a + a, SimTime::from_ns(80));
+        assert_eq!(a * 25, SimTime::from_ns(1000));
+        assert_eq!(a - SimTime::from_ns(15), SimTime::from_ns(25));
+        assert_eq!(SimTime::ZERO.saturating_sub(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimTime::ZERO.to_string(), "0s");
+        assert_eq!(SimTime::from_ps(5).to_string(), "5ps");
+        assert_eq!(SimTime::from_ns(40).to_string(), "40ns");
+        assert_eq!(SimTime::from_us(3).to_string(), "3us");
+        assert_eq!(SimTime::from_ms(7).to_string(), "7ms");
+        assert_eq!(SimTime::from_ps(1500).to_string(), "1500ps");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_ns(1) < SimTime::from_ns(2));
+        assert!(SimTime::MAX > SimTime::from_ms(1));
+    }
+}

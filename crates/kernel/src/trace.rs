@@ -1,0 +1,156 @@
+//! Value-change tracing (a small `sc_trace`/VCD analogue).
+
+use crate::SimTime;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// A single recorded value change.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time of the change.
+    pub time: SimTime,
+    /// Signal name.
+    pub signal: String,
+    /// New value, pre-rendered.
+    pub value: String,
+}
+
+/// A shared buffer of value changes.
+///
+/// Create with [`Kernel::trace`](crate::Kernel::trace) and attach signals
+/// with [`Signal::attach_trace`](crate::Signal::attach_trace). Useful both
+/// for debugging and for the refinement-verification story: two models can
+/// be compared change-by-change.
+///
+/// # Example
+///
+/// ```
+/// use scflow_kernel::{Kernel, SimTime};
+///
+/// let k = Kernel::new();
+/// let s = k.signal("x", 0u8);
+/// let trace = k.trace();
+/// s.attach_trace(&trace);
+/// s.write(3);
+/// k.run();
+/// assert_eq!(trace.len(), 2); // initial value + the change
+/// assert!(trace.to_vcd().contains("$var"));
+/// ```
+#[derive(Clone, Default)]
+pub struct Trace {
+    records: Rc<RefCell<Vec<TraceRecord>>>,
+}
+
+impl Trace {
+    /// Creates an empty trace buffer.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a record.
+    pub fn record(&self, time: SimTime, signal: &str, value: String) {
+        self.records.borrow_mut().push(TraceRecord {
+            time,
+            signal: signal.to_owned(),
+            value,
+        });
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.borrow().len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.borrow().is_empty()
+    }
+
+    /// A snapshot of all records in insertion order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.records.borrow().clone()
+    }
+
+    /// Records for one signal only.
+    pub fn records_for(&self, signal: &str) -> Vec<TraceRecord> {
+        self.records
+            .borrow()
+            .iter()
+            .filter(|r| r.signal == signal)
+            .cloned()
+            .collect()
+    }
+
+    /// Renders the trace as a minimal VCD document.
+    ///
+    /// Values are emitted as string changes (`s<value> <id>`), which keeps
+    /// arbitrary `Debug`-rendered payloads legal VCD.
+    pub fn to_vcd(&self) -> String {
+        let records = self.records.borrow();
+        let mut signals: Vec<&str> = Vec::new();
+        for r in records.iter() {
+            if !signals.contains(&r.signal.as_str()) {
+                signals.push(&r.signal);
+            }
+        }
+        let id_of = |name: &str| {
+            let idx = signals.iter().position(|s| *s == name).expect("known");
+            format!("s{idx}")
+        };
+
+        let mut out = String::new();
+        out.push_str("$timescale 1ps $end\n$scope module top $end\n");
+        for s in &signals {
+            let _ = writeln!(out, "$var string 1 {} {} $end", id_of(s), s);
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        let mut last_time: Option<SimTime> = None;
+        for r in records.iter() {
+            if last_time != Some(r.time) {
+                let _ = writeln!(out, "#{}", r.time.as_ps());
+                last_time = Some(r.time);
+            }
+            let _ = writeln!(out, "s{} {}", r.value, id_of(&r.signal));
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Trace({} records)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        t.record(SimTime::from_ns(1), "a", "1".into());
+        t.record(SimTime::from_ns(2), "b", "0".into());
+        t.record(SimTime::from_ns(3), "a", "0".into());
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.records_for("a").len(), 2);
+        assert_eq!(t.records()[1].signal, "b");
+    }
+
+    #[test]
+    fn vcd_structure() {
+        let t = Trace::new();
+        t.record(SimTime::from_ns(1), "x", "1".into());
+        t.record(SimTime::from_ns(1), "y", "0".into());
+        t.record(SimTime::from_ns(2), "x", "0".into());
+        let vcd = t.to_vcd();
+        assert!(vcd.contains("$timescale 1ps $end"));
+        assert!(vcd.contains("$var string 1 s0 x $end"));
+        assert!(vcd.contains("$var string 1 s1 y $end"));
+        // one #time header per distinct time
+        assert_eq!(vcd.matches("#1000").count(), 1);
+        assert_eq!(vcd.matches("#2000").count(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type for RTL construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported while building or validating an RTL module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RtlError {
+    /// A net name was declared twice.
+    DuplicateNet(String),
+    /// A net is driven by more than one source.
+    MultipleDrivers(String),
+    /// A non-input net has no driver.
+    Undriven(String),
+    /// The combinational logic contains a cycle through the named net.
+    CombCycle(String),
+    /// An expression's operand widths are inconsistent.
+    WidthMismatch(String),
+    /// A referenced net or memory does not exist.
+    UnknownNet(String),
+    /// A register was declared but `set_next` was never called.
+    MissingNext(String),
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::DuplicateNet(n) => write!(f, "duplicate net name `{n}`"),
+            RtlError::MultipleDrivers(n) => write!(f, "net `{n}` has multiple drivers"),
+            RtlError::Undriven(n) => write!(f, "net `{n}` has no driver"),
+            RtlError::CombCycle(n) => write!(f, "combinational cycle through net `{n}`"),
+            RtlError::WidthMismatch(m) => write!(f, "width mismatch: {m}"),
+            RtlError::UnknownNet(m) => write!(f, "unknown reference: {m}"),
+            RtlError::MissingNext(n) => write!(f, "register `{n}` has no next-value expression"),
+        }
+    }
+}
+
+impl Error for RtlError {}

@@ -1,0 +1,423 @@
+//! Combinational expressions over nets, constants and memories.
+
+use crate::module::{MemoryId, NetId};
+use scflow_hwtypes::Bv;
+
+/// Unary combinational operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnaryOp {
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// AND-reduction to one bit.
+    RedAnd,
+    /// OR-reduction to one bit.
+    RedOr,
+    /// XOR-reduction to one bit (parity).
+    RedXor,
+}
+
+/// Binary combinational operators.
+///
+/// Arithmetic and bitwise operators require equal operand widths and
+/// produce that width (widen explicitly with [`Expr::zext`]/[`Expr::sext`]
+/// first, as synthesis would insert extension logic). Comparisons produce a
+/// single bit. Shift amounts may have any width.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping unsigned multiplication.
+    Mul,
+    /// Wrapping signed multiplication.
+    MulS,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (dynamic amount).
+    Shl,
+    /// Logical shift right (dynamic amount).
+    Shr,
+    /// Arithmetic shift right (dynamic amount).
+    Sar,
+    /// Equality, 1-bit result.
+    Eq,
+    /// Inequality, 1-bit result.
+    Ne,
+    /// Unsigned less-than, 1-bit result.
+    Ult,
+    /// Unsigned less-or-equal, 1-bit result.
+    Ule,
+    /// Signed less-than, 1-bit result.
+    Slt,
+    /// Signed less-or-equal, 1-bit result.
+    Sle,
+}
+
+impl BinOp {
+    /// `true` for operators whose result is a single bit.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Ult | BinOp::Ule | BinOp::Slt | BinOp::Sle
+        )
+    }
+
+    /// `true` for the shift operators (relaxed RHS width rule).
+    pub fn is_shift(self) -> bool {
+        matches!(self, BinOp::Shl | BinOp::Shr | BinOp::Sar)
+    }
+}
+
+/// A combinational expression tree.
+///
+/// Expressions are built with the fluent methods ([`Expr::add`],
+/// [`Expr::mux`], …) and evaluated by the interpreter, or lowered to gates
+/// by the synthesis crate. Every expression has a statically known width
+/// ([`Expr::width`]).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// A constant value.
+    Const(Bv),
+    /// The value of a net. The width is recorded for validation.
+    Net(NetId, u32),
+    /// A unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `cond ? then : else` (cond must be 1 bit wide).
+    Mux(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Bit slice `[hi:lo]`, inclusive.
+    Slice(Box<Expr>, u32, u32),
+    /// Concatenation `{hi, lo}`.
+    Concat(Box<Expr>, Box<Expr>),
+    /// Zero extension (or truncation) to a width.
+    Zext(Box<Expr>, u32),
+    /// Sign extension (or truncation) to a width.
+    Sext(Box<Expr>, u32),
+    /// Asynchronous (combinational) memory read.
+    ReadMem(MemoryId, Box<Expr>, u32),
+}
+
+#[allow(clippy::should_implement_trait)] // fluent HDL-style expression builders
+impl Expr {
+    /// A constant expression.
+    pub fn constant(value: Bv) -> Expr {
+        Expr::Const(value)
+    }
+
+    /// A constant from raw bits and width.
+    pub fn lit(bits: u64, width: u32) -> Expr {
+        Expr::Const(Bv::new(bits, width))
+    }
+
+    /// A net reference. The declared width must match the net's width.
+    pub fn net(id: NetId, width: u32) -> Expr {
+        Expr::Net(id, width)
+    }
+
+    /// The width of the expression's result in bits.
+    pub fn width(&self) -> u32 {
+        match self {
+            Expr::Const(v) => v.width(),
+            Expr::Net(_, w) => *w,
+            Expr::Unary(op, a) => match op {
+                UnaryOp::RedAnd | UnaryOp::RedOr | UnaryOp::RedXor => 1,
+                _ => a.width(),
+            },
+            Expr::Binary(op, a, _) => {
+                if op.is_comparison() {
+                    1
+                } else {
+                    a.width()
+                }
+            }
+            Expr::Mux(_, t, _) => t.width(),
+            Expr::Slice(_, hi, lo) => hi - lo + 1,
+            Expr::Concat(a, b) => a.width() + b.width(),
+            Expr::Zext(_, w) | Expr::Sext(_, w) => *w,
+            Expr::ReadMem(_, _, w) => *w,
+        }
+    }
+
+    /// Wrapping addition (equal widths).
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// Wrapping subtraction (equal widths).
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// Wrapping unsigned multiplication (equal widths).
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    /// Wrapping signed multiplication (equal widths).
+    pub fn mul_signed(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::MulS, Box::new(self), Box::new(rhs))
+    }
+
+    /// Bitwise AND.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::And, Box::new(self), Box::new(rhs))
+    }
+
+    /// Bitwise OR.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Or, Box::new(self), Box::new(rhs))
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Xor, Box::new(self), Box::new(rhs))
+    }
+
+    /// Bitwise NOT.
+    pub fn not(self) -> Expr {
+        Expr::Unary(UnaryOp::Not, Box::new(self))
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(self) -> Expr {
+        Expr::Unary(UnaryOp::Neg, Box::new(self))
+    }
+
+    /// OR-reduction to one bit.
+    pub fn red_or(self) -> Expr {
+        Expr::Unary(UnaryOp::RedOr, Box::new(self))
+    }
+
+    /// AND-reduction to one bit.
+    pub fn red_and(self) -> Expr {
+        Expr::Unary(UnaryOp::RedAnd, Box::new(self))
+    }
+
+    /// XOR-reduction (parity) to one bit.
+    pub fn red_xor(self) -> Expr {
+        Expr::Unary(UnaryOp::RedXor, Box::new(self))
+    }
+
+    /// Logical shift left by a dynamic amount.
+    pub fn shl(self, amount: Expr) -> Expr {
+        Expr::Binary(BinOp::Shl, Box::new(self), Box::new(amount))
+    }
+
+    /// Logical shift right by a dynamic amount.
+    pub fn shr(self, amount: Expr) -> Expr {
+        Expr::Binary(BinOp::Shr, Box::new(self), Box::new(amount))
+    }
+
+    /// Arithmetic shift right by a dynamic amount.
+    pub fn sar(self, amount: Expr) -> Expr {
+        Expr::Binary(BinOp::Sar, Box::new(self), Box::new(amount))
+    }
+
+    /// Equality comparison (1-bit result).
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    /// Inequality comparison (1-bit result).
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Ne, Box::new(self), Box::new(rhs))
+    }
+
+    /// Unsigned less-than (1-bit result).
+    pub fn ult(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Ult, Box::new(self), Box::new(rhs))
+    }
+
+    /// Unsigned less-or-equal (1-bit result).
+    pub fn ule(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Ule, Box::new(self), Box::new(rhs))
+    }
+
+    /// Signed less-than (1-bit result).
+    pub fn slt(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Slt, Box::new(self), Box::new(rhs))
+    }
+
+    /// Signed less-or-equal (1-bit result).
+    pub fn sle(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Sle, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ? then : else`. `self` must be one bit wide.
+    pub fn mux(self, then: Expr, alt: Expr) -> Expr {
+        Expr::Mux(Box::new(self), Box::new(then), Box::new(alt))
+    }
+
+    /// Bit slice `[hi:lo]`, inclusive.
+    pub fn slice(self, hi: u32, lo: u32) -> Expr {
+        Expr::Slice(Box::new(self), hi, lo)
+    }
+
+    /// Single-bit extraction.
+    pub fn bit(self, index: u32) -> Expr {
+        self.slice(index, index)
+    }
+
+    /// Concatenation with `low` in the low bits: `{self, low}`.
+    pub fn concat(self, low: Expr) -> Expr {
+        Expr::Concat(Box::new(self), Box::new(low))
+    }
+
+    /// Zero extension (or truncation) to `width`.
+    pub fn zext(self, width: u32) -> Expr {
+        Expr::Zext(Box::new(self), width)
+    }
+
+    /// Sign extension (or truncation) to `width`.
+    pub fn sext(self, width: u32) -> Expr {
+        Expr::Sext(Box::new(self), width)
+    }
+
+    /// Combinational read of memory `mem` (declared data width `width`).
+    pub fn read_mem(mem: MemoryId, addr: Expr, width: u32) -> Expr {
+        Expr::ReadMem(mem, Box::new(addr), width)
+    }
+
+    /// Visits every net referenced by this expression.
+    pub fn for_each_net(&self, f: &mut impl FnMut(NetId)) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Net(id, _) => f(*id),
+            Expr::Unary(_, a) => a.for_each_net(f),
+            Expr::Binary(_, a, b) | Expr::Concat(a, b) => {
+                a.for_each_net(f);
+                b.for_each_net(f);
+            }
+            Expr::Mux(c, t, e) => {
+                c.for_each_net(f);
+                t.for_each_net(f);
+                e.for_each_net(f);
+            }
+            Expr::Slice(a, _, _) | Expr::Zext(a, _) | Expr::Sext(a, _) => a.for_each_net(f),
+            Expr::ReadMem(_, a, _) => a.for_each_net(f),
+        }
+    }
+
+    /// Counts operator nodes by rough class, for design statistics.
+    pub fn count_ops(&self, counts: &mut OpCounts) {
+        match self {
+            Expr::Const(_) | Expr::Net(_, _) => {}
+            Expr::Unary(op, a) => {
+                match op {
+                    UnaryOp::Neg => counts.arith += 1,
+                    _ => counts.logic += 1,
+                }
+                a.count_ops(counts);
+            }
+            Expr::Binary(op, a, b) => {
+                match op {
+                    BinOp::Add | BinOp::Sub => counts.arith += 1,
+                    BinOp::Mul | BinOp::MulS => counts.mul += 1,
+                    BinOp::Shl | BinOp::Shr | BinOp::Sar => counts.shift += 1,
+                    o if o.is_comparison() => counts.cmp += 1,
+                    _ => counts.logic += 1,
+                }
+                a.count_ops(counts);
+                b.count_ops(counts);
+            }
+            Expr::Mux(c, t, e) => {
+                counts.mux += 1;
+                c.count_ops(counts);
+                t.count_ops(counts);
+                e.count_ops(counts);
+            }
+            Expr::Slice(a, _, _) | Expr::Zext(a, _) | Expr::Sext(a, _) => a.count_ops(counts),
+            Expr::Concat(a, b) => {
+                a.count_ops(counts);
+                b.count_ops(counts);
+            }
+            Expr::ReadMem(_, a, _) => {
+                counts.mem_reads += 1;
+                a.count_ops(counts);
+            }
+        }
+    }
+}
+
+/// Operator counts per class, produced by [`Expr::count_ops`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Adders/subtractors/negations.
+    pub arith: usize,
+    /// Multipliers.
+    pub mul: usize,
+    /// Shifters.
+    pub shift: usize,
+    /// Comparators.
+    pub cmp: usize,
+    /// Bitwise logic operators.
+    pub logic: usize,
+    /// Multiplexers.
+    pub mux: usize,
+    /// Combinational memory reads.
+    pub mem_reads: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: usize, w: u32) -> Expr {
+        Expr::net(NetId(id), w)
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(Expr::lit(3, 4).width(), 4);
+        assert_eq!(n(0, 8).add(n(1, 8)).width(), 8);
+        assert_eq!(n(0, 8).eq(n(1, 8)).width(), 1);
+        assert_eq!(n(0, 8).red_or().width(), 1);
+        assert_eq!(n(0, 8).slice(5, 2).width(), 4);
+        assert_eq!(n(0, 8).concat(n(1, 4)).width(), 12);
+        assert_eq!(n(0, 8).zext(16).width(), 16);
+        assert_eq!(n(0, 8).sext(12).width(), 12);
+        assert_eq!(n(0, 1).mux(n(1, 8), n(2, 8)).width(), 8);
+        assert_eq!(Expr::read_mem(MemoryId(0), n(0, 6), 18).width(), 18);
+    }
+
+    #[test]
+    fn net_visitor() {
+        let e = n(3, 8).add(n(5, 8)).mux_nets();
+        let mut seen = Vec::new();
+        e.for_each_net(&mut |id| seen.push(id.0));
+        seen.sort_unstable();
+        seen.dedup(); // mux duplicates its cloned arms
+        assert_eq!(seen, vec![1, 3, 5]);
+    }
+
+    impl Expr {
+        fn mux_nets(self) -> Expr {
+            Expr::net(NetId(1), 1).mux(self.clone(), self)
+        }
+    }
+
+    #[test]
+    fn op_counting() {
+        let e = n(0, 8)
+            .add(n(1, 8))
+            .mul(n(2, 8))
+            .eq(Expr::lit(0, 8))
+            .mux(n(3, 8).shl(Expr::lit(1, 3)), n(4, 8).not());
+        let mut c = OpCounts::default();
+        e.count_ops(&mut c);
+        assert_eq!(c.arith, 1);
+        assert_eq!(c.mul, 1);
+        assert_eq!(c.cmp, 1);
+        assert_eq!(c.mux, 1);
+        assert_eq!(c.shift, 1);
+        assert_eq!(c.logic, 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Edge-case tests for the builder's forward-wire API, error paths and
+//! the Verilog printer.
+
+use scflow_hwtypes::Bv;
+use scflow_rtl::{Expr, ModuleBuilder, RtlError, RtlSim};
+
+#[test]
+fn forward_wire_driven_later_works() {
+    // The shared-unit pattern: consumers built before the driver.
+    let mut b = ModuleBuilder::new("fw");
+    let a = b.input("a", 8);
+    let shared = b.wire("shared", 8);
+    b.output("o1", Expr::net(shared, 8).add(Expr::lit(1, 8)));
+    b.output("o2", Expr::net(shared, 8).xor(Expr::lit(0xFF, 8)));
+    b.drive(shared, b.n(a).mul(Expr::lit(3, 8)));
+    let m = b.build().expect("valid");
+    let mut sim = RtlSim::new(&m);
+    sim.set_input("a", Bv::new(5, 8));
+    sim.settle();
+    assert_eq!(sim.output("o1").as_u64(), 16);
+    assert_eq!(sim.output("o2").as_u64(), 15 ^ 0xFF);
+}
+
+#[test]
+fn undriven_forward_wire_rejected() {
+    let mut b = ModuleBuilder::new("fw");
+    let w = b.wire("w", 4);
+    b.output("o", Expr::net(w, 4));
+    assert!(matches!(b.build(), Err(RtlError::Undriven(_))));
+}
+
+#[test]
+fn doubly_driven_forward_wire_rejected() {
+    let mut b = ModuleBuilder::new("fw");
+    let w = b.wire("w", 4);
+    b.drive(w, Expr::lit(1, 4));
+    b.drive(w, Expr::lit(2, 4));
+    b.output("o", Expr::net(w, 4));
+    assert!(matches!(b.build(), Err(RtlError::MultipleDrivers(_))));
+}
+
+#[test]
+fn wrong_width_drive_rejected() {
+    let mut b = ModuleBuilder::new("fw");
+    let w = b.wire("w", 4);
+    b.drive(w, Expr::lit(1, 8));
+    b.output("o", Expr::net(w, 4));
+    assert!(matches!(b.build(), Err(RtlError::WidthMismatch(_))));
+}
+
+#[test]
+fn cycle_through_forward_wire_rejected() {
+    let mut b = ModuleBuilder::new("fw");
+    let w = b.wire("w", 4);
+    let x = b.comb("x", Expr::net(w, 4).add(Expr::lit(1, 4)));
+    b.drive(w, b.n(x));
+    b.output("o", b.n(x));
+    assert!(matches!(b.build(), Err(RtlError::CombCycle(_))));
+}
+
+#[test]
+fn mem_write_width_checked() {
+    let mut b = ModuleBuilder::new("m");
+    let a = b.input("a", 8);
+    let mem = b.memory("ram", 4, vec![Bv::zero(4); 8]);
+    b.mem_write(mem, b.n(a).slice(2, 0), b.n(a), Expr::lit(1, 1)); // 8-bit data into 4-bit mem
+    b.output("o", Expr::read_mem(mem, b.n(a).slice(2, 0), 4));
+    assert!(matches!(b.build(), Err(RtlError::WidthMismatch(_))));
+}
+
+#[test]
+fn register_init_is_masked_to_width() {
+    let mut b = ModuleBuilder::new("m");
+    let r = b.reg("r", 4, Bv::new(0xFF, 8)); // init wider than the register
+    b.set_next(r, b.n(r));
+    b.output("o", b.n(r));
+    let m = b.build().expect("valid");
+    let sim = RtlSim::new(&m);
+    assert_eq!(sim.output("o").as_u64(), 0xF);
+}
+
+#[test]
+fn set_next_twice_rejected() {
+    let mut b = ModuleBuilder::new("m");
+    let r = b.reg("r", 4, Bv::zero(4));
+    b.set_next(r, Expr::lit(1, 4));
+    b.set_next(r, Expr::lit(2, 4));
+    b.output("o", b.n(r));
+    assert!(matches!(b.build(), Err(RtlError::MultipleDrivers(_))));
+}
+
+#[test]
+fn verilog_printer_handles_all_operator_classes() {
+    let mut b = ModuleBuilder::new("ops");
+    let a = b.input("a", 8);
+    let c = b.input("b", 8);
+    let s = b.input("s", 3);
+    let mem = b.memory("rom", 8, (0..4u64).map(|i| Bv::new(i, 8)).collect());
+    let sum = b.comb("sum", b.n(a).add(b.n(c)));
+    let cmp = b.comb("cmp", b.n(a).slt(b.n(c)));
+    let sh = b.comb("sh", b.n(a).sar(b.n(s)));
+    let red = b.comb("red", b.n(a).red_xor());
+    let mr = b.comb("mr", Expr::read_mem(mem, b.n(s).slice(1, 0), 8));
+    let r = b.reg("r", 8, Bv::zero(8));
+    b.set_next(r, b.n(cmp).mux(b.n(sum), b.n(sh)));
+    b.output("o", b.n(r).xor(b.n(mr)).and(b.n(red).sext(8)));
+    let m = b.build().expect("valid");
+    let v = m.to_verilog();
+    assert!(v.contains("module ops ("));
+    assert!(v.contains("$signed(")); // signed compare / arithmetic ops
+    assert!(v.contains(">>>"));
+    assert!(v.contains("(^"));
+    assert!(v.contains("rom["));
+    assert!(v.contains("always @(posedge clk)"));
+    assert!(v.contains("? "));
+}
+
+#[test]
+fn stats_count_memories_and_reads() {
+    let mut b = ModuleBuilder::new("m");
+    let a = b.input("a", 2);
+    let rom = b.memory("rom", 8, (0..4u64).map(|i| Bv::new(i, 8)).collect());
+    b.output("o", Expr::read_mem(rom, b.n(a), 8));
+    let m = b.build().expect("valid");
+    let s = m.stats();
+    assert_eq!(s.memories, 1);
+    assert_eq!(s.memory_bits, 32);
+    assert_eq!(s.ops.mem_reads, 1);
+}

@@ -1,0 +1,164 @@
+//! Behavioural synthesis — the CoCentric SystemC Compiler analogue.
+//!
+//! A [`BehProgram`] (sequential statements over variables, memories and
+//! I/O ports, executed in an implicit infinite loop like an `SC_THREAD`)
+//! is compiled into an FSM + datapath RTL module:
+//!
+//! 1. **Scheduling**: statements are packed into control steps under
+//!    resource constraints (multipliers, memory ports, operator chaining
+//!    depth). Two modes, as in the paper:
+//!    [`SchedulingMode::Superstate`] — the cycle count between I/O
+//!    operations is not fixed, so I/O uses valid/ready handshaking (this
+//!    "offers the greatest optimisation potential" but pays handshake
+//!    logic); [`SchedulingMode::FixedCycle`] — I/O happens at fixed
+//!    cycles, handshaking is dropped for simple strobes.
+//! 2. **Register allocation**: conservatively one register per variable,
+//!    or lifetime-based merging (`merge_registers`) — the register
+//!    over-allocation of behavioural synthesis is the paper's explanation
+//!    for the RTL flow's area win.
+//! 3. **Binding & emission**: multipliers and memory read ports are
+//!    shared across states behind operand muxes (`share_resources`, the
+//!    paper's "all arithmetic operations moved into a single process
+//!    allowing resource sharing"); an FSM state register plus
+//!    per-register next-value muxes are emitted as an RTL
+//!    [`scflow_rtl::Module`], ready for RTL synthesis.
+//!
+//! # Example
+//!
+//! ```
+//! use scflow_synth::beh::{BehOptions, ProgramBuilder};
+//!
+//! // out = in0 * in0 + 1, forever.
+//! let mut p = ProgramBuilder::new("sq");
+//! let i = p.input("i", 8);
+//! let o = p.output("o", 16);
+//! let x = p.var("x", 8);
+//! let y = p.var("y", 16);
+//! p.read(x, i);
+//! let xv = p.v(x);
+//! let sq = xv.clone().sext(16).mul_signed(xv.sext(16));
+//! p.assign(y, sq);
+//! let inc = p.v(y).add(p.lit(1, 16));
+//! p.assign(y, inc);
+//! let out_expr = p.v(y);
+//! p.write(o, out_expr);
+//! let program = p.build();
+//!
+//! let out = scflow_synth::beh::synthesize_beh(&program, &BehOptions::default())?;
+//! assert!(out.report.states >= 2);
+//! assert!(out.module.registers().len() >= 2);
+//! # Ok::<(), scflow_synth::SynthError>(())
+//! ```
+
+mod alloc;
+mod emit;
+mod ir;
+mod sched;
+
+pub use ir::{BExpr, BehProgram, MemId, PortId, ProgramBuilder, Stmt, VarId};
+pub use sched::{Next, Schedule, ScheduledState};
+
+use crate::SynthError;
+use scflow_rtl::Module;
+
+/// The I/O scheduling mode (the paper's central behavioural-synthesis
+/// distinction).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedulingMode {
+    /// Cycle count between I/O operations is not fixed; I/O handshakes
+    /// with valid/ready. Default, as in the paper's first behavioural
+    /// model.
+    #[default]
+    Superstate,
+    /// I/O at fixed cycles; handshake replaced by strobes (the paper's
+    /// optimisation that removed "handshaking in loops").
+    FixedCycle,
+}
+
+/// Knobs for [`synthesize_beh`].
+#[derive(Clone, Debug)]
+pub struct BehOptions {
+    /// I/O scheduling mode.
+    pub mode: SchedulingMode,
+    /// Share multipliers and memory read ports across states (operand
+    /// muxes in front of one unit). Off = one unit per textual site.
+    pub share_resources: bool,
+    /// Merge registers with disjoint lifetimes (left-edge style). Off =
+    /// one register per variable (the conservative allocation the paper's
+    /// behavioural flow suffered from).
+    pub merge_registers: bool,
+    /// Maximum multiplications scheduled into one control step.
+    pub max_mul_per_state: usize,
+    /// Maximum additive operators (add/sub/neg) per control step.
+    pub max_add_per_state: usize,
+    /// Maximum operator-chaining depth within a control step.
+    pub max_chain_depth: usize,
+    /// Allow several statements to share one control step (with value
+    /// forwarding). Off = one statement per step, the conservative
+    /// schedule that keeps every intermediate in a register across steps.
+    pub pack_statements: bool,
+}
+
+impl Default for BehOptions {
+    fn default() -> Self {
+        BehOptions {
+            mode: SchedulingMode::Superstate,
+            share_resources: true,
+            merge_registers: false,
+            max_mul_per_state: 1,
+            max_add_per_state: 2,
+            max_chain_depth: 3,
+            pack_statements: true,
+        }
+    }
+}
+
+/// Summary of a behavioural synthesis run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BehReport {
+    /// FSM states generated.
+    pub states: usize,
+    /// Datapath registers allocated (excluding the state register).
+    pub registers: usize,
+    /// Total datapath register bits.
+    pub register_bits: usize,
+    /// Variables before register merging.
+    pub variables: usize,
+    /// Shared multiplier units instantiated (0 when unshared).
+    pub shared_multipliers: usize,
+}
+
+/// The output of [`synthesize_beh`].
+#[derive(Clone, Debug)]
+pub struct BehSynthOutput {
+    /// The generated FSM + datapath, ready for RTL synthesis and for
+    /// interpreted RTL simulation.
+    pub module: Module,
+    /// Allocation summary.
+    pub report: BehReport,
+}
+
+/// Schedules a behavioural program without emitting RTL — useful for
+/// inspecting the control steps ([`Schedule::describe`]).
+///
+/// # Errors
+///
+/// Same conditions as [`synthesize_beh`].
+pub fn schedule_only(program: &BehProgram, opts: &BehOptions) -> Result<Schedule, SynthError> {
+    sched::schedule(program, opts)
+}
+
+/// Compiles a behavioural program to RTL.
+///
+/// # Errors
+///
+/// Returns [`SynthError::Unsupported`] for programs outside the supported
+/// subset (see the module documentation).
+pub fn synthesize_beh(
+    program: &BehProgram,
+    opts: &BehOptions,
+) -> Result<BehSynthOutput, SynthError> {
+    let schedule = sched::schedule(program, opts)?;
+    let allocation = alloc::allocate(program, &schedule, opts);
+    emit::emit(program, &schedule, &allocation, opts)
+}

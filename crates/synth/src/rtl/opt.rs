@@ -1,0 +1,352 @@
+//! Netlist optimisation: constant folding, algebraic simplification,
+//! structural CSE, register merging/sweeping, dead-gate elimination.
+//!
+//! These are the always-on cleanups a logic-synthesis `compile` performs;
+//! the paper's "unoptimised" design variants differ in their *source*
+//! structure, which these passes preserve (a redundant but live register
+//! stays; only literal duplicates and constants are swept).
+
+use scflow_gate::{CellKind, GNetId, GateNetlist, NetlistBuilder};
+use scflow_hwtypes::Logic;
+use std::collections::HashMap;
+
+/// What an original net resolves to after simplification.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Val {
+    Const(bool),
+    /// Points at a representative original net (root of an alias chain).
+    Net(GNetId),
+}
+
+/// Runs the optimisation pipeline to a fixed point (bounded).
+pub fn optimize(nl: &GateNetlist) -> GateNetlist {
+    let mut cur = one_pass(nl);
+    for _ in 0..4 {
+        let next = one_pass(&cur);
+        if next.instances().len() == cur.instances().len() {
+            return next;
+        }
+        cur = next;
+    }
+    cur
+}
+
+fn one_pass(nl: &GateNetlist) -> GateNetlist {
+    let n = nl.net_count();
+
+    // --- 1. Forward simplification over combinational gates ------------
+    // resolution[net] = what the net's value is, if simplified.
+    let mut val: Vec<Val> = (0..n).map(|i| Val::Net(GNetId(i))).collect();
+    val[nl.const0().0] = Val::Const(false);
+    val[nl.const1().0] = Val::Const(true);
+
+    let resolve = |val: &[Val], mut id: GNetId| -> Val {
+        loop {
+            match val[id.0] {
+                Val::Net(next) if next != id => id = next,
+                v @ Val::Const(_) => return v,
+                _ => return Val::Net(id),
+            }
+        }
+    };
+
+    // Producer info for kept gates: output net -> (kind, resolved inputs).
+    let mut producer: HashMap<GNetId, (CellKind, Vec<Val>)> = HashMap::new();
+    // Structural hash for CSE.
+    let mut cse: HashMap<(CellKind, Vec<Val>), GNetId> = HashMap::new();
+    // Whether each instance survives this pass.
+    let mut keep = vec![false; nl.instances().len()];
+
+    for (idx, inst) in topo_comb(nl) {
+        let ins: Vec<Val> = inst.inputs.iter().map(|&i| resolve(&val, i)).collect();
+        if let Some(v) = simplify(inst.kind, &ins, &producer) {
+            val[inst.output.0] = v;
+            continue;
+        }
+        // CSE.
+        let key = (inst.kind, ins.clone());
+        if let Some(&existing) = cse.get(&key) {
+            val[inst.output.0] = Val::Net(existing);
+            continue;
+        }
+        cse.insert(key, inst.output);
+        producer.insert(inst.output, (inst.kind, ins));
+        keep[idx] = true;
+    }
+
+    // --- 2. Flop constant-sweep and duplicate merging -------------------
+    // A flop whose D resolves to a constant equal to its init is constant.
+    // Flops with identical (D, init) merge.
+    let mut flop_cse: HashMap<(Val, bool), GNetId> = HashMap::new();
+    for (idx, inst) in nl.instances().iter().enumerate() {
+        if !inst.kind.is_sequential() {
+            continue;
+        }
+        // Scan flops have extra pins; only plain DFFs participate.
+        if inst.kind != CellKind::Dff {
+            keep[idx] = true;
+            continue;
+        }
+        let d = resolve(&val, inst.inputs[0]);
+        let init = inst.init.unwrap_or(false);
+        if let Val::Const(c) = d {
+            if c == init {
+                val[inst.output.0] = Val::Const(c);
+                continue;
+            }
+        }
+        if let Some(&existing) = flop_cse.get(&(d, init)) {
+            val[inst.output.0] = Val::Net(existing);
+            continue;
+        }
+        flop_cse.insert((d, init), inst.output);
+        keep[idx] = true;
+    }
+
+    // --- 3. Liveness from outputs and memory pins ------------------------
+    let mut live_net = vec![false; n];
+    let mut stack: Vec<GNetId> = Vec::new();
+    let mark = |stack: &mut Vec<GNetId>, val: &[Val], id: GNetId| {
+        if let Val::Net(root) = resolve(val, id) {
+            stack.push(root);
+        }
+    };
+    for (_, bits) in nl.outputs() {
+        for &b in bits {
+            mark(&mut stack, &val, b);
+        }
+    }
+    for mem in nl.memories() {
+        for &b in mem
+            .raddr
+            .iter()
+            .chain(&mem.waddr)
+            .chain(&mem.wdata)
+            .chain(mem.wen.as_ref())
+        {
+            mark(&mut stack, &val, b);
+        }
+    }
+    // driver lookup: output net -> instance index (kept only)
+    let mut driver: HashMap<GNetId, usize> = HashMap::new();
+    for (idx, inst) in nl.instances().iter().enumerate() {
+        if keep[idx] {
+            driver.insert(inst.output, idx);
+        }
+    }
+    let mut live_inst = vec![false; nl.instances().len()];
+    while let Some(id) = stack.pop() {
+        if live_net[id.0] {
+            continue;
+        }
+        live_net[id.0] = true;
+        if let Some(&idx) = driver.get(&id) {
+            if !live_inst[idx] {
+                live_inst[idx] = true;
+                for &i in &nl.instances()[idx].inputs {
+                    mark(&mut stack, &val, i);
+                }
+            }
+        }
+    }
+
+    // --- 4. Rebuild ------------------------------------------------------
+    let mut b = NetlistBuilder::new(nl.name().to_owned());
+    let mut new_net: HashMap<GNetId, GNetId> = HashMap::new();
+    new_net.insert(nl.const0(), b.const0());
+    new_net.insert(nl.const1(), b.const1());
+
+    // Input ports keep their shape.
+    for (name, bits) in nl.inputs() {
+        let nb = b.input_port(name, bits.len() as u32);
+        for (&old, new) in bits.iter().zip(nb) {
+            new_net.insert(old, new);
+        }
+    }
+
+    // Pre-create nets for live kept instance outputs and memory douts.
+    for (idx, inst) in nl.instances().iter().enumerate() {
+        if keep[idx] && live_inst[idx] {
+            let name = format!("n{}", inst.output.0);
+            let id = b.net(name);
+            new_net.insert(inst.output, id);
+        }
+    }
+    let mut mem_new_dout: Vec<Vec<GNetId>> = Vec::new();
+    for mem in nl.memories() {
+        let dout: Vec<GNetId> = mem
+            .dout
+            .iter()
+            .enumerate()
+            .map(|(i, &old)| {
+                let id = b.net(format!("{}_dout[{i}]", mem.name));
+                new_net.insert(old, id);
+                id
+            })
+            .collect();
+        mem_new_dout.push(dout);
+    }
+
+    let lookup = |b: &NetlistBuilder, new_net: &HashMap<GNetId, GNetId>, v: Val| -> GNetId {
+        match v {
+            Val::Const(false) => b.const0(),
+            Val::Const(true) => b.const1(),
+            Val::Net(id) => *new_net
+                .get(&id)
+                .unwrap_or_else(|| panic!("unmapped net {}", id.0)),
+        }
+    };
+
+    // Place live instances (pre-created outputs make order irrelevant).
+    for (idx, inst) in nl.instances().iter().enumerate() {
+        if !(keep[idx] && live_inst[idx]) {
+            continue;
+        }
+        let ins: Vec<GNetId> = inst
+            .inputs
+            .iter()
+            .map(|&i| lookup(&b, &new_net, resolve(&val, i)))
+            .collect();
+        let out = new_net[&inst.output];
+        if inst.kind.is_sequential() {
+            // dff_onto only handles plain DFFs; scan flops are inserted
+            // after optimisation, so this is the only sequential kind here.
+            b.dff_onto(ins[0], out, inst.init.unwrap_or(false));
+        } else {
+            b.cell_onto(inst.kind, &ins, out);
+        }
+    }
+
+    // Memories.
+    for (mi, mem) in nl.memories().iter().enumerate() {
+        let map_bits = |b: &NetlistBuilder, bits: &[GNetId]| -> Vec<GNetId> {
+            bits.iter()
+                .map(|&x| lookup(b, &new_net, resolve(&val, x)))
+                .collect()
+        };
+        let raddr = map_bits(&b, &mem.raddr);
+        let waddr = map_bits(&b, &mem.waddr);
+        let wdata = map_bits(&b, &mem.wdata);
+        let wen = mem.wen.map(|w| lookup(&b, &new_net, resolve(&val, w)));
+        b.memory_onto(
+            &mem.name,
+            mem.width,
+            mem.init.clone(),
+            raddr,
+            mem_new_dout[mi].clone(),
+            waddr,
+            wdata,
+            wen,
+        );
+    }
+
+    // Output ports.
+    for (name, bits) in nl.outputs() {
+        let nb: Vec<GNetId> = bits
+            .iter()
+            .map(|&x| lookup(&b, &new_net, resolve(&val, x)))
+            .collect();
+        b.output_port(name, &nb);
+    }
+
+    b.build()
+}
+
+/// Topological order over combinational instances (flops are roots).
+fn topo_comb(nl: &GateNetlist) -> Vec<(usize, &scflow_gate::Instance)> {
+    let comb: Vec<usize> = nl
+        .instances()
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| !i.kind.is_sequential())
+        .map(|(i, _)| i)
+        .collect();
+    let mut driver: HashMap<GNetId, usize> = HashMap::new();
+    for (pos, &idx) in comb.iter().enumerate() {
+        driver.insert(nl.instances()[idx].output, pos);
+    }
+    let mut indeg = vec![0usize; comb.len()];
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); comb.len()];
+    for (pos, &idx) in comb.iter().enumerate() {
+        for i in &nl.instances()[idx].inputs {
+            if let Some(&d) = driver.get(i) {
+                deps[d].push(pos);
+                indeg[pos] += 1;
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..comb.len()).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(comb.len());
+    while let Some(pos) = ready.pop() {
+        order.push((comb[pos], &nl.instances()[comb[pos]]));
+        for &j in &deps[pos] {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                ready.push(j);
+            }
+        }
+    }
+    assert_eq!(order.len(), comb.len(), "combinational cycle");
+    order
+}
+
+/// Tries to simplify a gate to a constant or an alias of one input.
+fn simplify(
+    kind: CellKind,
+    ins: &[Val],
+    producer: &HashMap<GNetId, (CellKind, Vec<Val>)>,
+) -> Option<Val> {
+    // Full constant folding through the cell's logic function.
+    let logics: Vec<Logic> = ins
+        .iter()
+        .map(|v| match v {
+            Val::Const(c) => Logic::from_bool(*c),
+            Val::Net(_) => Logic::X,
+        })
+        .collect();
+    if let Some(b) = kind.eval(&logics).to_bool() {
+        return Some(Val::Const(b));
+    }
+
+    match kind {
+        CellKind::Buf => Some(ins[0]),
+        CellKind::Inv => {
+            // INV(INV(x)) = x
+            if let Val::Net(id) = ins[0] {
+                if let Some((CellKind::Inv, inner)) = producer.get(&id) {
+                    return Some(inner[0]);
+                }
+            }
+            None
+        }
+        CellKind::And2 => match (ins[0], ins[1]) {
+            (Val::Const(true), other) | (other, Val::Const(true)) => Some(other),
+            (a, b) if a == b => Some(a),
+            _ => None,
+        },
+        CellKind::Or2 => match (ins[0], ins[1]) {
+            (Val::Const(false), other) | (other, Val::Const(false)) => Some(other),
+            (a, b) if a == b => Some(a),
+            _ => None,
+        },
+        CellKind::Xor2 => match (ins[0], ins[1]) {
+            (Val::Const(false), other) | (other, Val::Const(false)) => Some(other),
+            (a, b) if a == b => Some(Val::Const(false)),
+            _ => None,
+        },
+        CellKind::Xnor2 => match (ins[0], ins[1]) {
+            (a, b) if a == b => Some(Val::Const(true)),
+            _ => None,
+        },
+        CellKind::Mux2 => {
+            // [a, b, sel]: sel ? b : a
+            match ins[2] {
+                Val::Const(false) => Some(ins[0]),
+                Val::Const(true) => Some(ins[1]),
+                _ if ins[0] == ins[1] => Some(ins[0]),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}

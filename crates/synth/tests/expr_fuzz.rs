@@ -1,0 +1,132 @@
+//! Property-based equivalence fuzzing of the technology mapper: random
+//! combinational expression trees are synthesised to gates (with and
+//! without optimisation) and compared against the interpreted RTL
+//! semantics on random input vectors.
+
+use proptest::prelude::*;
+use scflow_gate::{CellLibrary, GateSim};
+use scflow_hwtypes::Bv;
+use scflow_rtl::{Expr, ModuleBuilder, NetId, RtlSim};
+use scflow_synth::rtl::{synthesize, SynthOptions};
+
+/// Input port shapes available to generated expressions.
+const INPUTS: [(&str, u32); 5] = [("a", 8), ("b", 8), ("c", 16), ("d", 1), ("e", 4)];
+
+/// A generated expression, with the input-net table fixed by convention
+/// (net ids 0..5 in `INPUTS` order).
+fn leaf(width: u32) -> BoxedStrategy<Expr> {
+    prop_oneof![
+        any::<u64>().prop_map(move |v| Expr::lit(v, width)),
+        (0usize..INPUTS.len()).prop_map(move |i| {
+            let (_, w) = INPUTS[i];
+            let net = Expr::net(NetId(i), w);
+            if w >= width {
+                net.slice(width - 1, 0)
+            } else {
+                net.zext(width)
+            }
+        }),
+    ]
+    .boxed()
+}
+
+fn arb_expr(width: u32, depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        return leaf(width);
+    }
+    let sub = move || arb_expr(width, depth - 1);
+    let sub_other = move |w: u32| arb_expr(w, depth - 1);
+    prop_oneof![
+        leaf(width),
+        (sub(), sub()).prop_map(|(a, b)| a.add(b)),
+        (sub(), sub()).prop_map(|(a, b)| a.sub(b)),
+        (sub(), sub()).prop_map(|(a, b)| a.mul(b)),
+        (sub(), sub()).prop_map(|(a, b)| a.mul_signed(b)),
+        (sub(), sub()).prop_map(|(a, b)| a.and(b)),
+        (sub(), sub()).prop_map(|(a, b)| a.or(b)),
+        (sub(), sub()).prop_map(|(a, b)| a.xor(b)),
+        sub().prop_map(|a| a.not()),
+        sub().prop_map(|a| a.neg()),
+        // comparisons and reductions re-widened to the target width
+        (sub(), sub()).prop_map(move |(a, b)| a.ult(b).zext(width)),
+        (sub(), sub()).prop_map(move |(a, b)| a.slt(b).zext(width)),
+        (sub(), sub()).prop_map(move |(a, b)| a.eq(b).zext(width)),
+        (sub(), sub()).prop_map(move |(a, b)| a.sle(b).zext(width)),
+        sub().prop_map(move |a| a.red_or().zext(width)),
+        sub().prop_map(move |a| a.red_xor().zext(width)),
+        // dynamic shifts (amount from a narrow subtree)
+        (sub(), sub_other(3)).prop_map(|(a, s)| a.shl(s)),
+        (sub(), sub_other(3)).prop_map(|(a, s)| a.shr(s)),
+        (sub(), sub_other(3)).prop_map(|(a, s)| a.sar(s)),
+        // mux with a 1-bit condition
+        (sub_other(1), sub(), sub()).prop_map(|(c, t, e)| c.mux(t, e)),
+        // width play: extend then slice back
+        sub().prop_map(move |a| a.sext(width + 4).slice(width - 1, 0)),
+        (sub_other(3), sub_other(5)).prop_map(move |(hi, lo)| {
+            hi.concat(lo).zext(width)
+        }),
+    ]
+    .boxed()
+}
+
+fn build_module(expr: &Expr) -> scflow_rtl::Module {
+    let mut b = ModuleBuilder::new("fuzz");
+    for (name, w) in INPUTS {
+        b.input(name, w);
+    }
+    b.output("o", expr.clone());
+    b.build().expect("generated module is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn synthesized_gates_match_interpreted_rtl(
+        expr in arb_expr(8, 3),
+        vectors in proptest::collection::vec(any::<[u64; 5]>(), 4),
+    ) {
+        let module = build_module(&expr);
+        let lib = CellLibrary::generic_025u();
+        for optimize in [false, true] {
+            let result = synthesize(
+                &module,
+                &lib,
+                &SynthOptions { optimize, insert_scan: false },
+            ).expect("synthesis");
+            let mut gate = GateSim::new(&result.netlist, &lib);
+            let mut rtl = RtlSim::new(&module);
+            for v in &vectors {
+                for (i, (name, w)) in INPUTS.iter().enumerate() {
+                    let bv = Bv::new(v[i], *w);
+                    gate.set_input(name, bv);
+                    rtl.set_input(name, bv);
+                }
+                gate.settle();
+                rtl.settle();
+                prop_assert_eq!(
+                    gate.output("o"),
+                    Some(rtl.output("o")),
+                    "optimize={} expr={:?}",
+                    optimize,
+                    &expr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimization_preserves_port_shape(expr in arb_expr(8, 2)) {
+        let module = build_module(&expr);
+        let lib = CellLibrary::generic_025u();
+        let opt = synthesize(&module, &lib, &SynthOptions { optimize: true, insert_scan: false })
+            .expect("synthesis");
+        let unopt = synthesize(&module, &lib, &SynthOptions { optimize: false, insert_scan: false })
+            .expect("synthesis");
+        prop_assert_eq!(opt.netlist.inputs().len(), unopt.netlist.inputs().len());
+        prop_assert_eq!(opt.netlist.outputs().len(), unopt.netlist.outputs().len());
+        prop_assert!(opt.netlist.instances().len() <= unopt.netlist.instances().len());
+    }
+}
