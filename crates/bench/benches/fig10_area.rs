@@ -1,51 +1,57 @@
 //! Figure 10 bench: times the synthesis runs that produce the area table
 //! (the table itself is printed by `cargo run -p scflow-bench --bin
-//! tables -- --fig10`).
+//! tables -- --fig10`). Runs on the in-repo `scflow-testkit` harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use scflow::models::beh::{synthesize_beh_src, BehVariant};
 use scflow::models::rtl::{build_rtl_src, RtlVariant};
 use scflow::models::vhdl_ref::build_vhdl_ref;
 use scflow::SrcConfig;
 use scflow_gate::CellLibrary;
 use scflow_synth::rtl::{synthesize, SynthOptions};
+use scflow_testkit::Harness;
 
-fn bench_fig10(c: &mut Criterion) {
+fn main() {
     let cfg = SrcConfig::cd_to_dvd();
     let lib = CellLibrary::generic_025u();
-    let mut group = c.benchmark_group("fig10_synthesis");
-    group.sample_size(10);
+    let mut h = Harness::new("fig10_synthesis");
 
-    group.bench_function("vhdl_ref", |b| {
+    {
         let m = build_vhdl_ref(&cfg).expect("build");
-        b.iter(|| synthesize(&m, &lib, &SynthOptions::default()).expect("synth"));
-    });
-    group.bench_function("beh_unopt", |b| {
+        h.bench("vhdl_ref", || {
+            synthesize(&m, &lib, &SynthOptions::default()).expect("synth")
+        });
+    }
+    {
         let m = synthesize_beh_src(&cfg, BehVariant::Unoptimised)
             .expect("beh")
             .module;
-        b.iter(|| synthesize(&m, &lib, &SynthOptions::default()).expect("synth"));
-    });
-    group.bench_function("beh_opt", |b| {
+        h.bench("beh_unopt", || {
+            synthesize(&m, &lib, &SynthOptions::default()).expect("synth")
+        });
+    }
+    {
         let m = synthesize_beh_src(&cfg, BehVariant::Optimised)
             .expect("beh")
             .module;
-        b.iter(|| synthesize(&m, &lib, &SynthOptions::default()).expect("synth"));
-    });
-    group.bench_function("rtl_unopt", |b| {
+        h.bench("beh_opt", || {
+            synthesize(&m, &lib, &SynthOptions::default()).expect("synth")
+        });
+    }
+    {
         let m = build_rtl_src(&cfg, RtlVariant::Unoptimised).expect("build");
-        b.iter(|| synthesize(&m, &lib, &SynthOptions::default()).expect("synth"));
-    });
-    group.bench_function("rtl_opt", |b| {
+        h.bench("rtl_unopt", || {
+            synthesize(&m, &lib, &SynthOptions::default()).expect("synth")
+        });
+    }
+    {
         let m = build_rtl_src(&cfg, RtlVariant::Optimised).expect("build");
-        b.iter(|| synthesize(&m, &lib, &SynthOptions::default()).expect("synth"));
-    });
-    group.finish();
+        h.bench("rtl_opt", || {
+            synthesize(&m, &lib, &SynthOptions::default()).expect("synth")
+        });
+    }
+    print!("{}", h.table());
 
     // Print the actual area table once so bench logs carry the result.
     let fig = scflow_bench::measure_fig10(&cfg);
     println!("\n=== Figure 10: area relative to VHDL reference ===\n{fig}");
 }
-
-criterion_group!(benches, bench_fig10);
-criterion_main!(benches);

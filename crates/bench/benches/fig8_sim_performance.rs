@@ -1,57 +1,69 @@
 //! Figure 8 bench: simulation performance across the abstraction levels
-//! (C++, SystemC channels, refined channel, behavioural, RTL), measured as
-//! Criterion throughput on a fixed conversion workload.
+//! (C++, SystemC channels, refined channel, behavioural, RTL), measured
+//! with the in-repo `scflow-testkit` harness as simulated-cycles-per-wall-
+//! second on a fixed conversion workload. Emits `BENCH_fig8.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use scflow::algo::AlgoSrc;
-use scflow::models::beh::run_beh_model;
+use scflow::models::beh::{run_beh_model, CLOCK_PERIOD};
 use scflow::models::channel::run_channel_model;
 use scflow::models::refined::run_refined_model;
 use scflow::models::rtl::run_rtl_model;
+use scflow::models::SimRun;
 use scflow::{stimulus, SrcConfig};
+use scflow_testkit::Harness;
 
-fn bench_fig8(c: &mut Criterion) {
+/// Simulated 25 MHz-equivalent clock cycles covered by one model run.
+fn sim_cycles(run: &SimRun) -> u64 {
+    match run.clock_cycles {
+        Some(c) => c,
+        None => run.sim_time.as_ps() / CLOCK_PERIOD.as_ps(),
+    }
+}
+
+fn main() {
     let cfg = SrcConfig::cd_to_dvd();
-    let mut group = c.benchmark_group("fig8_sim_performance");
-    group.sample_size(10);
+    let mut h = Harness::new("fig8_sim_performance");
 
     // Workload sizes chosen so each iteration is meaningful but short; the
     // normalised cycles/s figures come from the `tables` binary.
     let big = stimulus::sine(44_100, 1000.0, 44_100.0, 9000.0);
-    group.bench_function("cpp_algorithmic", |b| {
-        b.iter(|| {
-            let mut src = AlgoSrc::new(&cfg);
-            std::hint::black_box(src.process(&big));
-        })
+    h.bench_cycles("cpp_algorithmic", || {
+        let mut src = AlgoSrc::new(&cfg);
+        let out = std::hint::black_box(src.process(&big));
+        // Unclocked model: audio time covered, scaled to 25 MHz cycles.
+        let seconds_covered = out.len() as f64 / f64::from(cfg.out_rate);
+        (seconds_covered * 25e6) as u64
     });
 
     let medium = stimulus::sine(1_000, 1000.0, 44_100.0, 9000.0);
-    group.bench_function("systemc_channel", |b| {
-        b.iter(|| std::hint::black_box(run_channel_model(&cfg, &medium)))
+    h.bench_cycles("systemc_channel", || {
+        sim_cycles(&std::hint::black_box(run_channel_model(&cfg, &medium)))
     });
-    group.bench_function("systemc_refined_channel", |b| {
-        b.iter(|| std::hint::black_box(run_refined_model(&cfg, &medium)))
+    h.bench_cycles("systemc_refined_channel", || {
+        sim_cycles(&std::hint::black_box(run_refined_model(&cfg, &medium)))
     });
 
     let small = stimulus::sine(120, 1000.0, 44_100.0, 9000.0);
-    group.bench_function("behavioural_clocked", |b| {
-        b.iter(|| std::hint::black_box(run_beh_model(&cfg, &small)))
+    h.bench_cycles("behavioural_clocked", || {
+        sim_cycles(&std::hint::black_box(run_beh_model(&cfg, &small)))
     });
-    group.bench_function("rtl_two_process", |b| {
-        b.iter(|| std::hint::black_box(run_rtl_model(&cfg, &small)))
+    h.bench_cycles("rtl_two_process", || {
+        sim_cycles(&std::hint::black_box(run_rtl_model(&cfg, &small)))
     });
-    group.finish();
+
+    print!("{}", h.table());
 
     // Emit the normalised figure once for the record.
     let rows = scflow_bench::measure_fig8(&cfg, 1);
     println!("\n=== Figure 8: simulated 25 MHz cycles per wall second ===");
-    for r in rows {
+    for r in &rows {
         println!(
             "{:<12} {:>14.0} cyc/s   ({} outputs in {:?})",
             r.model, r.cycles_per_sec, r.outputs, r.wall
         );
     }
-}
 
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);
+    let path = scflow_bench::bench_output_path("BENCH_fig8.json");
+    h.write_json(&path).expect("write BENCH_fig8.json");
+    println!("\nwrote {}", path.display());
+}

@@ -1,7 +1,7 @@
 //! Figure 9 bench: native HDL simulation (interpreted testbench) vs
-//! SystemC-testbench co-simulation, on the three HDL artefacts.
+//! SystemC-testbench co-simulation, on the three HDL artefacts. Runs on
+//! the in-repo `scflow-testkit` harness and emits `BENCH_fig9.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use scflow::models::rtl::{build_rtl_src, RtlVariant};
 use scflow::verify::GoldenVectors;
 use scflow::{stimulus, SrcConfig};
@@ -9,8 +9,9 @@ use scflow_cosim::{run_kernel_cosim, run_native_hdl};
 use scflow_gate::{CellLibrary, GateSim};
 use scflow_rtl::RtlSim;
 use scflow_synth::rtl::{synthesize, SynthOptions};
+use scflow_testkit::Harness;
 
-fn bench_fig9(c: &mut Criterion) {
+fn main() {
     let cfg = SrcConfig::cd_to_dvd();
     let lib = CellLibrary::generic_025u();
     let input = stimulus::sine(30, 1000.0, 44_100.0, 9000.0);
@@ -21,44 +22,36 @@ fn bench_fig9(c: &mut Criterion) {
         .expect("synth")
         .netlist;
 
-    let mut group = c.benchmark_group("fig9_cosim");
-    group.sample_size(10);
-    group.bench_function("rtl_dut_vhdl_tb", |b| {
-        b.iter(|| {
-            let mut dut = RtlSim::new(&rtl_module);
-            std::hint::black_box(run_native_hdl(&mut dut, &golden, 1_000_000))
-        })
+    let mut h = Harness::new("fig9_cosim");
+    h.bench_cycles("rtl_dut_vhdl_tb", || {
+        let mut dut = RtlSim::new(&rtl_module);
+        std::hint::black_box(run_native_hdl(&mut dut, &golden, 1_000_000)).cycles
     });
-    group.bench_function("rtl_dut_systemc_tb", |b| {
-        b.iter(|| {
-            let mut dut = RtlSim::new(&rtl_module);
-            std::hint::black_box(run_kernel_cosim(&mut dut, &golden, 1_000_000))
-        })
+    h.bench_cycles("rtl_dut_systemc_tb", || {
+        let mut dut = RtlSim::new(&rtl_module);
+        std::hint::black_box(run_kernel_cosim(&mut dut, &golden, 1_000_000)).cycles
     });
-    group.bench_function("gate_rtl_dut_vhdl_tb", |b| {
-        b.iter(|| {
-            let mut dut = GateSim::new(&gate_rtl, &lib);
-            std::hint::black_box(run_native_hdl(&mut dut, &golden, 1_000_000))
-        })
+    h.bench_cycles("gate_rtl_dut_vhdl_tb", || {
+        let mut dut = GateSim::new(&gate_rtl, &lib);
+        std::hint::black_box(run_native_hdl(&mut dut, &golden, 1_000_000)).cycles
     });
-    group.bench_function("gate_rtl_dut_systemc_tb", |b| {
-        b.iter(|| {
-            let mut dut = GateSim::new(&gate_rtl, &lib);
-            std::hint::black_box(run_kernel_cosim(&mut dut, &golden, 1_000_000))
-        })
+    h.bench_cycles("gate_rtl_dut_systemc_tb", || {
+        let mut dut = GateSim::new(&gate_rtl, &lib);
+        std::hint::black_box(run_kernel_cosim(&mut dut, &golden, 1_000_000)).cycles
     });
-    group.finish();
+    print!("{}", h.table());
 
     // Full figure (all six bars), printed once.
     let rows = scflow_bench::measure_fig9(&cfg, 30);
     println!("\n=== Figure 9: co-simulation vs native HDL simulation ===");
-    for r in rows {
+    for r in &rows {
         println!(
             "{:<9} {:<11} {:>12.0} cyc/s  ({} cycles)",
             r.dut, r.testbench, r.cycles_per_sec, r.cycles
         );
     }
-}
 
-criterion_group!(benches, bench_fig9);
-criterion_main!(benches);
+    let path = scflow_bench::bench_output_path("BENCH_fig9.json");
+    h.write_json(&path).expect("write BENCH_fig9.json");
+    println!("\nwrote {}", path.display());
+}

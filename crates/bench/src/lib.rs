@@ -1,4 +1,4 @@
-//! Shared measurement harness behind the Criterion benches and the
+//! Shared measurement harness behind the figure benches and the
 //! `tables` binary that regenerate the paper's figures.
 //!
 //! * [`measure_fig8`] — simulation performance (simulated clock cycles per
@@ -362,4 +362,16 @@ pub fn timing_table(cfg: &SrcConfig) -> Vec<(String, u64, bool)> {
             )
         })
         .collect()
+}
+
+/// Where the benchmark JSON artefacts (`BENCH_fig8.json`, …) land:
+/// `$SCFLOW_BENCH_DIR` when set, otherwise the workspace root.
+pub fn bench_output_path(file: &str) -> std::path::PathBuf {
+    match std::env::var_os("SCFLOW_BENCH_DIR") {
+        Some(d) => std::path::PathBuf::from(d).join(file),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join(file),
+    }
 }

@@ -157,3 +157,79 @@ fn time_quantisation_appears_at_the_clocked_levels() {
         "continuous-time model should not be clock-quantised"
     );
 }
+
+#[test]
+fn differential_kernel_models_agree_on_seeded_noise() {
+    // The paper's per-refinement-step re-validation, run differentially:
+    // every kernel model against the golden stream on random stimuli, with
+    // the earliest divergence (signal, index, both values) reported.
+    use scflow_testkit::diff::first_divergence_multi;
+    use scflow_testkit::Rng;
+
+    let cfg = SrcConfig::cd_to_dvd();
+    let mut seeds = Rng::new(0xD1FF_0001);
+    for _ in 0..3 {
+        let seed = seeds.next_u64();
+        let g = GoldenVectors::generate(&cfg, stimulus::noise(240, 9_000, seed));
+        let chan = run_channel_model(&cfg, &g.input).outputs;
+        let refined = run_refined_model(&cfg, &g.input).outputs;
+        let beh = run_beh_model(&cfg, &g.input).outputs;
+        let rtl = run_rtl_model(&cfg, &g.input).outputs;
+        if let Some(d) = first_divergence_multi(&[
+            ("channel.out", &g.output, &chan),
+            ("refined.out", &g.output, &refined),
+            ("beh.out", &g.output, &beh),
+            ("rtl.out", &g.output, &rtl),
+        ]) {
+            panic!("stimulus seed {seed:#x}: {d}");
+        }
+    }
+}
+
+#[test]
+fn differential_divergence_reports_the_injected_bug() {
+    // Negative control: the deliberately buggy RTL variant must be caught
+    // by the same differential harness, with a located first divergence.
+    use scflow_testkit::diff::diff_models;
+
+    let cfg = SrcConfig::dvd_to_cd();
+    let g = golden(&cfg, 200);
+    let run_variant = |variant: RtlVariant, input: &Vec<i16>| {
+        let m = build_rtl_src(&cfg, variant).expect("build");
+        let mut sim = scflow_rtl::RtlSim::new(&m);
+        scflow::models::harness::run_handshake(
+            &mut sim,
+            input,
+            g.len(),
+            scflow::flow::cycle_budget(g.len()),
+        )
+        .0
+    };
+    // The buggy variant is output-equivalent (the bug is a latent buffer
+    // overrun, not a data error), so the differential run must stay clean.
+    let agreed = diff_models(
+        "rtl.out",
+        &g.input,
+        |s| run_variant(RtlVariant::Optimised, s),
+        |s| run_variant(RtlVariant::OptimisedBuggy, s),
+    )
+    .expect("output-equivalent variants");
+    assert_eq!(agreed, g.len());
+
+    // A genuinely wrong model (off-by-one gain) is located at its first
+    // bad sample.
+    let d = diff_models(
+        "rtl.out",
+        &g.input,
+        |s| run_variant(RtlVariant::Optimised, s),
+        |s| {
+            run_variant(RtlVariant::Optimised, s)
+                .into_iter()
+                .map(|v| v.saturating_add(1))
+                .collect()
+        },
+    )
+    .expect_err("perturbed stream must diverge");
+    assert_eq!(d.index, 0);
+    assert_eq!(d.signal, "rtl.out");
+}

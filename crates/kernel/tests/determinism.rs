@@ -1,0 +1,94 @@
+//! Scheduler determinism: the paper's refinement discipline compares
+//! models change-by-change, which is only sound if the kernel itself is
+//! deterministic — two runs of the same design over the same stimulus
+//! must produce *byte-identical* traces.
+
+use scflow_kernel::{Kernel, SimTime, Trace};
+use scflow_testkit::Rng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One full producer/FIFO/consumer run over seeded-random stimulus and
+/// pacing, with the consumer-visible stream traced.
+fn traced_run(seed: u64) -> (String, Vec<i16>) {
+    let mut rng = Rng::new(seed);
+    let stimulus = rng.i16_vec(64);
+    let prod_delays: Vec<u64> = (0..stimulus.len()).map(|_| rng.range_u64(0, 30)).collect();
+    let cons_delays: Vec<u64> = (0..stimulus.len()).map(|_| rng.range_u64(0, 30)).collect();
+
+    let k = Kernel::new();
+    let trace = k.trace();
+    let out_sig = k.signal("out", 0i16);
+    out_sig.attach_trace(&trace);
+    let clk = k.clock("clk", SimTime::from_ns(40));
+    let fifo = k.fifo::<i16>("f", 3);
+    let received: Rc<RefCell<Vec<i16>>> = Rc::new(RefCell::new(Vec::new()));
+    let n = stimulus.len();
+
+    k.spawn("producer", {
+        let (k2, fifo) = (k.clone(), fifo.clone());
+        let stimulus = stimulus.clone();
+        async move {
+            for (i, s) in stimulus.into_iter().enumerate() {
+                if prod_delays[i] > 0 {
+                    k2.wait_time(SimTime::from_ns(prod_delays[i])).await;
+                }
+                fifo.write(&k2, s).await;
+            }
+        }
+    });
+    k.spawn("consumer", {
+        let (k2, fifo, out_sig, received) = (k.clone(), fifo.clone(), out_sig.clone(), received.clone());
+        async move {
+            for i in 0..n {
+                if cons_delays[i] > 0 {
+                    k2.wait_time(SimTime::from_ns(cons_delays[i])).await;
+                }
+                let v = fifo.read(&k2).await;
+                out_sig.write(v);
+                received.borrow_mut().push(v);
+            }
+            // The free-running clock would keep the simulation alive
+            // forever; end it once the last sample has been consumed.
+            k2.stop();
+        }
+    });
+    k.run();
+    assert!(clk.cycles() > 0, "clock ran alongside the channel traffic");
+    let vcd = trace.to_vcd();
+    let received = received.borrow().clone();
+    (vcd, received)
+}
+
+#[test]
+fn identical_stimulus_gives_byte_identical_vcd() {
+    let (vcd_a, out_a) = traced_run(0x5EED);
+    let (vcd_b, out_b) = traced_run(0x5EED);
+    assert_eq!(out_a, out_b, "output streams must match");
+    assert_eq!(vcd_a, vcd_b, "Trace::to_vcd must be byte-identical");
+    assert!(vcd_a.contains("$var"), "trace actually recorded something");
+    assert!(!out_a.is_empty());
+}
+
+#[test]
+fn different_stimulus_gives_a_different_trace() {
+    // Guards against the determinism test trivially passing because the
+    // trace is empty or stimulus-independent.
+    let (vcd_a, _) = traced_run(0x5EED);
+    let (vcd_c, _) = traced_run(0xFACE);
+    assert_ne!(vcd_a, vcd_c);
+}
+
+/// Determinism also holds for a pure Trace used directly (no kernel):
+/// record order is insertion order, never a hash-map order.
+#[test]
+fn direct_trace_records_are_ordered() {
+    let build = || {
+        let t = Trace::new();
+        for i in 0..20u64 {
+            t.record(SimTime::from_ns(i), &format!("sig{}", i % 3), format!("{i}"));
+        }
+        t.to_vcd()
+    };
+    assert_eq!(build(), build());
+}

@@ -2,71 +2,115 @@
 //! combinational expression trees are synthesised to gates (with and
 //! without optimisation) and compared against the interpreted RTL
 //! semantics on random input vectors.
+//!
+//! The expression generator is a hand-rolled `scflow_testkit` strategy —
+//! recursive structures don't need combinator support, just an impl of
+//! `Strategy` whose `shrink` proposes same-width subtrees.
 
-use proptest::prelude::*;
 use scflow_gate::{CellLibrary, GateSim};
 use scflow_hwtypes::Bv;
 use scflow_rtl::{Expr, ModuleBuilder, NetId, RtlSim};
 use scflow_synth::rtl::{synthesize, SynthOptions};
+use scflow_testkit::prop::{check_with, ints, vecs, Config, Strategy};
+use scflow_testkit::{prop_assert, prop_assert_eq, Rng};
 
 /// Input port shapes available to generated expressions.
 const INPUTS: [(&str, u32); 5] = [("a", 8), ("b", 8), ("c", 16), ("d", 1), ("e", 4)];
 
-/// A generated expression, with the input-net table fixed by convention
-/// (net ids 0..5 in `INPUTS` order).
-fn leaf(width: u32) -> BoxedStrategy<Expr> {
-    prop_oneof![
-        any::<u64>().prop_map(move |v| Expr::lit(v, width)),
-        (0usize..INPUTS.len()).prop_map(move |i| {
-            let (_, w) = INPUTS[i];
-            let net = Expr::net(NetId(i), w);
-            if w >= width {
-                net.slice(width - 1, 0)
-            } else {
-                net.zext(width)
-            }
-        }),
-    ]
-    .boxed()
+/// A leaf: literal, or an input net adapted to `width`.
+fn gen_leaf(rng: &mut Rng, width: u32) -> Expr {
+    if rng.bool() {
+        Expr::lit(rng.next_u64(), width)
+    } else {
+        let i = rng.index(INPUTS.len());
+        let (_, w) = INPUTS[i];
+        let net = Expr::net(NetId(i), w);
+        if w >= width {
+            net.slice(width - 1, 0)
+        } else {
+            net.zext(width)
+        }
+    }
 }
 
-fn arb_expr(width: u32, depth: u32) -> BoxedStrategy<Expr> {
-    if depth == 0 {
-        return leaf(width);
+fn gen_expr(rng: &mut Rng, width: u32, depth: u32) -> Expr {
+    if depth == 0 || rng.chance(0.15) {
+        return gen_leaf(rng, width);
     }
-    let sub = move || arb_expr(width, depth - 1);
-    let sub_other = move |w: u32| arb_expr(w, depth - 1);
-    prop_oneof![
-        leaf(width),
-        (sub(), sub()).prop_map(|(a, b)| a.add(b)),
-        (sub(), sub()).prop_map(|(a, b)| a.sub(b)),
-        (sub(), sub()).prop_map(|(a, b)| a.mul(b)),
-        (sub(), sub()).prop_map(|(a, b)| a.mul_signed(b)),
-        (sub(), sub()).prop_map(|(a, b)| a.and(b)),
-        (sub(), sub()).prop_map(|(a, b)| a.or(b)),
-        (sub(), sub()).prop_map(|(a, b)| a.xor(b)),
-        sub().prop_map(|a| a.not()),
-        sub().prop_map(|a| a.neg()),
+    let d = depth - 1;
+    match rng.index(21) {
+        0 => gen_expr(rng, width, d).add(gen_expr(rng, width, d)),
+        1 => gen_expr(rng, width, d).sub(gen_expr(rng, width, d)),
+        2 => gen_expr(rng, width, d).mul(gen_expr(rng, width, d)),
+        3 => gen_expr(rng, width, d).mul_signed(gen_expr(rng, width, d)),
+        4 => gen_expr(rng, width, d).and(gen_expr(rng, width, d)),
+        5 => gen_expr(rng, width, d).or(gen_expr(rng, width, d)),
+        6 => gen_expr(rng, width, d).xor(gen_expr(rng, width, d)),
+        7 => gen_expr(rng, width, d).not(),
+        8 => gen_expr(rng, width, d).neg(),
         // comparisons and reductions re-widened to the target width
-        (sub(), sub()).prop_map(move |(a, b)| a.ult(b).zext(width)),
-        (sub(), sub()).prop_map(move |(a, b)| a.slt(b).zext(width)),
-        (sub(), sub()).prop_map(move |(a, b)| a.eq(b).zext(width)),
-        (sub(), sub()).prop_map(move |(a, b)| a.sle(b).zext(width)),
-        sub().prop_map(move |a| a.red_or().zext(width)),
-        sub().prop_map(move |a| a.red_xor().zext(width)),
+        9 => gen_expr(rng, width, d).ult(gen_expr(rng, width, d)).zext(width),
+        10 => gen_expr(rng, width, d).slt(gen_expr(rng, width, d)).zext(width),
+        11 => gen_expr(rng, width, d).eq(gen_expr(rng, width, d)).zext(width),
+        12 => gen_expr(rng, width, d).sle(gen_expr(rng, width, d)).zext(width),
+        13 => gen_expr(rng, width, d).red_or().zext(width),
+        14 => gen_expr(rng, width, d).red_xor().zext(width),
         // dynamic shifts (amount from a narrow subtree)
-        (sub(), sub_other(3)).prop_map(|(a, s)| a.shl(s)),
-        (sub(), sub_other(3)).prop_map(|(a, s)| a.shr(s)),
-        (sub(), sub_other(3)).prop_map(|(a, s)| a.sar(s)),
+        15 => gen_expr(rng, width, d).shl(gen_expr(rng, 3, d)),
+        16 => gen_expr(rng, width, d).shr(gen_expr(rng, 3, d)),
+        17 => gen_expr(rng, width, d).sar(gen_expr(rng, 3, d)),
         // mux with a 1-bit condition
-        (sub_other(1), sub(), sub()).prop_map(|(c, t, e)| c.mux(t, e)),
+        18 => gen_expr(rng, 1, d).mux(gen_expr(rng, width, d), gen_expr(rng, width, d)),
         // width play: extend then slice back
-        sub().prop_map(move |a| a.sext(width + 4).slice(width - 1, 0)),
-        (sub_other(3), sub_other(5)).prop_map(move |(hi, lo)| {
-            hi.concat(lo).zext(width)
-        }),
-    ]
-    .boxed()
+        19 => gen_expr(rng, width, d).sext(width + 4).slice(width - 1, 0),
+        _ => gen_expr(rng, 3, d).concat(gen_expr(rng, 5, d)).zext(width),
+    }
+}
+
+/// Direct subexpressions of a node.
+fn children(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::Const(_) | Expr::Net(_, _) => vec![],
+        Expr::Unary(_, a) | Expr::Slice(a, _, _) | Expr::Zext(a, _) | Expr::Sext(a, _) => {
+            vec![a]
+        }
+        Expr::Binary(_, a, b) | Expr::Concat(a, b) => vec![a, b],
+        Expr::Mux(c, t, f) => vec![c, t, f],
+        Expr::ReadMem(_, a, _) => vec![a],
+    }
+}
+
+/// Strategy over expression trees of a fixed result width.
+struct ExprStrategy {
+    width: u32,
+    depth: u32,
+}
+
+impl Strategy for ExprStrategy {
+    type Value = Expr;
+
+    fn generate(&self, rng: &mut Rng) -> Expr {
+        gen_expr(rng, self.width, self.depth)
+    }
+
+    fn shrink(&self, v: &Expr) -> Vec<Expr> {
+        // A failing tree shrinks to any same-width subtree, or to a trivial
+        // leaf — enough to cut a counterexample down to the offending op.
+        let mut out = vec![Expr::lit(0, self.width)];
+        let mut stack = vec![v];
+        while let Some(e) = stack.pop() {
+            for child in children(e) {
+                if child.width() == self.width && child != v {
+                    out.push(child.clone());
+                }
+                stack.push(child);
+            }
+            if out.len() > 24 {
+                break;
+            }
+        }
+        out
+    }
 }
 
 fn build_module(expr: &Expr) -> scflow_rtl::Module {
@@ -78,55 +122,84 @@ fn build_module(expr: &Expr) -> scflow_rtl::Module {
     b.build().expect("generated module is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48, ..ProptestConfig::default()
-    })]
+#[test]
+fn synthesized_gates_match_interpreted_rtl() {
+    let strategy = (
+        ExprStrategy { width: 8, depth: 3 },
+        vecs(ints(0u64..=u64::MAX), 20..=20),
+    );
+    check_with(
+        &Config::from_env().with_cases(48),
+        "synthesized gates match interpreted RTL",
+        &strategy,
+        |(expr, flat_vectors)| {
+            let module = build_module(expr);
+            let lib = CellLibrary::generic_025u();
+            for optimize in [false, true] {
+                let result = synthesize(
+                    &module,
+                    &lib,
+                    &SynthOptions {
+                        optimize,
+                        insert_scan: false,
+                    },
+                )
+                .expect("synthesis");
+                let mut gate = GateSim::new(&result.netlist, &lib);
+                let mut rtl = RtlSim::new(&module);
+                for v in flat_vectors.chunks(INPUTS.len()) {
+                    for (i, (name, w)) in INPUTS.iter().enumerate() {
+                        let bv = Bv::new(v[i], *w);
+                        gate.set_input(name, bv);
+                        rtl.set_input(name, bv);
+                    }
+                    gate.settle();
+                    rtl.settle();
+                    prop_assert_eq!(
+                        gate.output("o"),
+                        Some(rtl.output("o")),
+                        "optimize={} expr={:?}",
+                        optimize,
+                        expr
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn synthesized_gates_match_interpreted_rtl(
-        expr in arb_expr(8, 3),
-        vectors in proptest::collection::vec(any::<[u64; 5]>(), 4),
-    ) {
-        let module = build_module(&expr);
-        let lib = CellLibrary::generic_025u();
-        for optimize in [false, true] {
-            let result = synthesize(
+#[test]
+fn optimization_preserves_port_shape() {
+    check_with(
+        &Config::from_env().with_cases(48),
+        "optimization preserves port shape",
+        &ExprStrategy { width: 8, depth: 2 },
+        |expr| {
+            let module = build_module(expr);
+            let lib = CellLibrary::generic_025u();
+            let opt = synthesize(
                 &module,
                 &lib,
-                &SynthOptions { optimize, insert_scan: false },
-            ).expect("synthesis");
-            let mut gate = GateSim::new(&result.netlist, &lib);
-            let mut rtl = RtlSim::new(&module);
-            for v in &vectors {
-                for (i, (name, w)) in INPUTS.iter().enumerate() {
-                    let bv = Bv::new(v[i], *w);
-                    gate.set_input(name, bv);
-                    rtl.set_input(name, bv);
-                }
-                gate.settle();
-                rtl.settle();
-                prop_assert_eq!(
-                    gate.output("o"),
-                    Some(rtl.output("o")),
-                    "optimize={} expr={:?}",
-                    optimize,
-                    &expr
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn optimization_preserves_port_shape(expr in arb_expr(8, 2)) {
-        let module = build_module(&expr);
-        let lib = CellLibrary::generic_025u();
-        let opt = synthesize(&module, &lib, &SynthOptions { optimize: true, insert_scan: false })
+                &SynthOptions {
+                    optimize: true,
+                    insert_scan: false,
+                },
+            )
             .expect("synthesis");
-        let unopt = synthesize(&module, &lib, &SynthOptions { optimize: false, insert_scan: false })
+            let unopt = synthesize(
+                &module,
+                &lib,
+                &SynthOptions {
+                    optimize: false,
+                    insert_scan: false,
+                },
+            )
             .expect("synthesis");
-        prop_assert_eq!(opt.netlist.inputs().len(), unopt.netlist.inputs().len());
-        prop_assert_eq!(opt.netlist.outputs().len(), unopt.netlist.outputs().len());
-        prop_assert!(opt.netlist.instances().len() <= unopt.netlist.instances().len());
-    }
+            prop_assert_eq!(opt.netlist.inputs().len(), unopt.netlist.inputs().len());
+            prop_assert_eq!(opt.netlist.outputs().len(), unopt.netlist.outputs().len());
+            prop_assert!(opt.netlist.instances().len() <= unopt.netlist.instances().len());
+            Ok(())
+        },
+    );
 }

@@ -11,7 +11,6 @@ use scflow_synth::rtl::{synthesize, SynthOptions};
 /// Drives both simulators with the same random inputs and compares every
 /// output every cycle.
 fn check_equivalence(module: &Module, cycles: u64, seed: u64) {
-    use rand::{rngs::StdRng, Rng, SeedableRng};
     let lib = CellLibrary::generic_025u();
 
     for optimize in [false, true] {
@@ -22,7 +21,7 @@ fn check_equivalence(module: &Module, cycles: u64, seed: u64) {
         let result = synthesize(module, &lib, &opts).expect("synthesis");
         let mut gate = GateSim::new(&result.netlist, &lib);
         let mut rtl = RtlSim::new(module);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = scflow_testkit::Rng::new(seed);
 
         // Functional mode (combinational designs get no scan ports).
         if result.netlist.input_port("scan_en").is_some() {
@@ -45,7 +44,7 @@ fn check_equivalence(module: &Module, cycles: u64, seed: u64) {
 
         for cycle in 0..cycles {
             for (name, width) in &inputs {
-                let v = Bv::new(rng.gen::<u64>(), *width);
+                let v = Bv::new(rng.next_u64(), *width);
                 gate.set_input(name, v);
                 rtl.set_input(name, v);
             }

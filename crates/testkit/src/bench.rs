@@ -1,0 +1,305 @@
+//! Criterion-free micro-benchmark harness: warmup, N timed iterations,
+//! median and MAD (median absolute deviation), an optional
+//! simulated-cycles-per-second metric, a text table and JSON emission for
+//! the `BENCH_*.json` trajectory files.
+//!
+//! Environment overrides: `SCFLOW_BENCH_ITERS`, `SCFLOW_BENCH_WARMUP`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Statistics of one benchmarked function.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Median absolute deviation of the per-iteration times, nanoseconds.
+    pub mad_ns: f64,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Mean iteration time, nanoseconds.
+    pub mean_ns: f64,
+    /// Simulated clock cycles per iteration (when the workload reports
+    /// them).
+    pub cycles: Option<u64>,
+    /// Simulated cycles per wall second, from the *median* iteration —
+    /// the paper's Figure 8/9 metric.
+    pub cycles_per_sec: Option<f64>,
+    /// Extra named metrics carried into the JSON output.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// A group of benchmarks sharing warmup/iteration settings.
+pub struct Harness {
+    /// Group name (becomes the JSON `group` field).
+    pub group: String,
+    /// Untimed warmup iterations per benchmark.
+    pub warmup: u32,
+    /// Timed iterations per benchmark.
+    pub iters: u32,
+    /// Results, in registration order.
+    pub results: Vec<BenchResult>,
+}
+
+fn env_u32(key: &str, default: u32) -> u32 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+impl Harness {
+    /// A harness with the defaults (10 timed iterations, 2 warmup),
+    /// overridable via `SCFLOW_BENCH_ITERS`/`SCFLOW_BENCH_WARMUP`.
+    pub fn new(group: &str) -> Self {
+        Harness {
+            group: group.to_owned(),
+            warmup: env_u32("SCFLOW_BENCH_WARMUP", 2),
+            iters: env_u32("SCFLOW_BENCH_ITERS", 10),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the timed iteration count (env still wins).
+    pub fn with_iters(mut self, iters: u32) -> Self {
+        self.iters = env_u32("SCFLOW_BENCH_ITERS", iters);
+        self
+    }
+
+    /// Times `f`, keeping its result out of the optimiser's reach.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &BenchResult {
+        self.bench_cycles_inner(name, move || {
+            std::hint::black_box(f());
+            None
+        })
+    }
+
+    /// Times `f`, which reports the simulated clock cycles it covered; the
+    /// result gains a `cycles_per_sec` metric (median-based).
+    pub fn bench_cycles(&mut self, name: &str, mut f: impl FnMut() -> u64) -> &BenchResult {
+        self.bench_cycles_inner(name, move || Some(std::hint::black_box(f())))
+    }
+
+    fn bench_cycles_inner(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut() -> Option<u64>,
+    ) -> &BenchResult {
+        for _ in 0..self.warmup {
+            f();
+        }
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        let mut cycles = None;
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            cycles = f();
+            samples.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let med = median(&samples);
+        let mut devs: Vec<f64> = samples.iter().map(|s| (s - med).abs()).collect();
+        devs.sort_by(|a, b| a.total_cmp(b));
+        let result = BenchResult {
+            name: name.to_owned(),
+            iters: self.iters,
+            median_ns: med,
+            mad_ns: median(&devs),
+            min_ns: samples[0],
+            mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+            cycles,
+            cycles_per_sec: cycles.map(|c| c as f64 / (med / 1e9).max(1e-12)),
+            metrics: Vec::new(),
+        };
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Attaches a named metric to the most recent result.
+    pub fn metric(&mut self, key: &str, value: f64) {
+        if let Some(last) = self.results.last_mut() {
+            last.metrics.push((key.to_owned(), value));
+        }
+    }
+
+    /// Renders a plain-text results table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<26} {:>12} {:>10} {:>6} {:>16}",
+            "benchmark", "median", "+/- MAD", "iters", "sim cycles/s"
+        );
+        for r in &self.results {
+            let cps = r
+                .cycles_per_sec
+                .map(|c| format!("{c:.0}"))
+                .unwrap_or_else(|| "-".to_owned());
+            let _ = writeln!(
+                out,
+                "{:<26} {:>12} {:>10} {:>6} {:>16}",
+                r.name,
+                fmt_ns(r.median_ns),
+                fmt_ns(r.mad_ns),
+                r.iters,
+                cps
+            );
+        }
+        out
+    }
+
+    /// Serialises the whole group as JSON (no external crates: the format
+    /// is flat enough to write by hand).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = write!(out, "  \"group\": {},\n  \"harness\": \"scflow-testkit\",\n  \"warmup\": {},\n  \"results\": [", json_str(&self.group), self.warmup);
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": {}, \"iters\": {}, \"median_ns\": {}, \"mad_ns\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"cycles\": {}, \"cycles_per_sec\": {}",
+                json_str(&r.name),
+                r.iters,
+                json_num(r.median_ns),
+                json_num(r.mad_ns),
+                json_num(r.min_ns),
+                json_num(r.mean_ns),
+                r.cycles.map_or("null".to_owned(), |c| c.to_string()),
+                r.cycles_per_sec.map_or("null".to_owned(), json_num),
+            );
+            for (k, v) in &r.metrics {
+                let _ = write!(out, ", {}: {}", json_str(k), json_num(*v));
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes [`Harness::to_json`] to `path`.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_ordered_stats() {
+        let mut h = Harness {
+            group: "t".into(),
+            warmup: 1,
+            iters: 5,
+            results: Vec::new(),
+        };
+        let r = h.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+            acc
+        });
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns > 0.0);
+        assert_eq!(r.iters, 5);
+        assert!(r.cycles.is_none());
+    }
+
+    #[test]
+    fn cycles_metric_scales_with_median() {
+        let mut h = Harness {
+            group: "t".into(),
+            warmup: 0,
+            iters: 3,
+            results: Vec::new(),
+        };
+        let r = h.bench_cycles("fixed", || {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            25_000
+        });
+        let cps = r.cycles_per_sec.unwrap();
+        // 25k cycles in >= 1ms means <= 25M cycles/s (sleep only bounds below).
+        assert!(cps <= 25_000_000.0, "{cps}");
+        assert!(cps > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut h = Harness {
+            group: "fig\"8".into(),
+            warmup: 0,
+            iters: 2,
+            results: Vec::new(),
+        };
+        h.bench_cycles("m", || 10);
+        h.metric("outputs", 42.0);
+        let j = h.to_json();
+        assert!(j.contains("\"group\": \"fig\\\"8\""));
+        assert!(j.contains("\"cycles\": 10"));
+        assert!(j.contains("\"outputs\": 42"));
+        assert!(j.contains("\"cycles_per_sec\": "));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn median_of_even_and_odd() {
+        assert_eq!(median(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+}

@@ -1,0 +1,162 @@
+//! Differential testing across refinement levels: drive two models from
+//! the same stimulus and report the *first divergence* — which signal, at
+//! which step, at which simulated time, with both values. This is the
+//! paper's "re-validate for bit accuracy after every refinement step"
+//! packaged as a reusable API.
+
+use std::fmt::Debug;
+
+/// The first point where two runs disagree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Stream index (output-sample number, cycle, …) of the difference.
+    pub index: usize,
+    /// Name of the diverging signal/stream.
+    pub signal: String,
+    /// Left model's value, `Debug`-rendered (`"<missing>"` if its stream
+    /// ended early).
+    pub left: String,
+    /// Right model's value, same rendering.
+    pub right: String,
+    /// Simulated time of the diverging step, when the caller has one.
+    pub time_ps: Option<u64>,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "first divergence on `{}` at index {}",
+            self.signal, self.index
+        )?;
+        if let Some(t) = self.time_ps {
+            write!(f, " (t = {t} ps)")?;
+        }
+        write!(f, ": left {} vs right {}", self.left, self.right)
+    }
+}
+
+fn render<V: Debug>(v: Option<&V>) -> String {
+    match v {
+        Some(v) => format!("{v:?}"),
+        None => "<missing>".to_owned(),
+    }
+}
+
+/// Compares two equally-meant streams element by element. A length
+/// mismatch is a divergence at the first missing index.
+pub fn first_divergence<V: PartialEq + Debug>(
+    signal: &str,
+    left: &[V],
+    right: &[V],
+) -> Option<Divergence> {
+    first_divergence_timed(signal, left, right, &[])
+}
+
+/// [`first_divergence`] with per-index simulated times (indices beyond
+/// `times` report no time).
+pub fn first_divergence_timed<V: PartialEq + Debug>(
+    signal: &str,
+    left: &[V],
+    right: &[V],
+    times: &[u64],
+) -> Option<Divergence> {
+    let n = left.len().max(right.len());
+    for i in 0..n {
+        let (l, r) = (left.get(i), right.get(i));
+        if l != r {
+            return Some(Divergence {
+                index: i,
+                signal: signal.to_owned(),
+                left: render(l),
+                right: render(r),
+                time_ps: times.get(i).copied(),
+            });
+        }
+    }
+    None
+}
+
+/// Drives two models from the same stimulus and compares their output
+/// streams. Returns the agreed stream length, or the first divergence.
+///
+/// The models are plain closures (`stimulus -> output stream`) so any two
+/// refinement levels — golden C++ model, channel, behavioural, RTL, gate —
+/// can be paired without the testkit knowing their types.
+pub fn diff_models<S: ?Sized, V: PartialEq + Debug>(
+    signal: &str,
+    stimulus: &S,
+    left: impl FnOnce(&S) -> Vec<V>,
+    right: impl FnOnce(&S) -> Vec<V>,
+) -> Result<usize, Divergence> {
+    let l = left(stimulus);
+    let r = right(stimulus);
+    match first_divergence(signal, &l, &r) {
+        None => Ok(l.len()),
+        Some(d) => Err(d),
+    }
+}
+
+/// Compares several named streams pairwise and reports the earliest
+/// divergence across all of them (ties broken by declaration order) —
+/// for lockstep traces where each signal is recorded per cycle.
+pub fn first_divergence_multi<V: PartialEq + Debug>(
+    streams: &[(&str, &[V], &[V])],
+) -> Option<Divergence> {
+    streams
+        .iter()
+        .filter_map(|(name, l, r)| first_divergence(name, l, r))
+        .min_by_key(|d| d.index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_streams_have_no_divergence() {
+        assert_eq!(first_divergence("s", &[1, 2, 3], &[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn value_mismatch_is_located() {
+        let d = first_divergence_timed("out", &[1, 2, 3], &[1, 9, 3], &[10, 20, 30]).unwrap();
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left, "2");
+        assert_eq!(d.right, "9");
+        assert_eq!(d.time_ps, Some(20));
+        let text = d.to_string();
+        assert!(text.contains("`out`"));
+        assert!(text.contains("t = 20 ps"));
+    }
+
+    #[test]
+    fn length_mismatch_is_a_divergence() {
+        let d = first_divergence("s", &[1, 2, 3], &[1, 2]).unwrap();
+        assert_eq!(d.index, 2);
+        assert_eq!(d.right, "<missing>");
+    }
+
+    #[test]
+    fn diff_models_runs_both_closures() {
+        let ok = diff_models("y", &[1i16, 2, 3][..], |s| s.to_vec(), |s| s.to_vec());
+        assert_eq!(ok, Ok(3));
+        let err = diff_models(
+            "y",
+            &[1i16, 2, 3][..],
+            |s| s.to_vec(),
+            |s| s.iter().map(|v| v + 1).collect(),
+        );
+        assert_eq!(err.unwrap_err().index, 0);
+    }
+
+    #[test]
+    fn multi_reports_earliest() {
+        let a_l = [1, 2, 3];
+        let a_r = [1, 2, 9];
+        let b_l = [5, 5];
+        let b_r = [5, 6];
+        let d = first_divergence_multi(&[("a", &a_l, &a_r), ("b", &b_l, &b_r)]).unwrap();
+        assert_eq!((d.signal.as_str(), d.index), ("b", 1));
+    }
+}

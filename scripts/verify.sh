@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline: release build, the whole test
+# suite, and a smoke run of the tables binary that regenerates the
+# paper's figures. Everything is in-repo (no external crates), so this
+# must pass on a machine with no network and an empty registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --workspace --release --offline
+
+echo "== tests (release, offline) =="
+cargo test --workspace --release -q --offline
+
+echo "== dependency hermeticity =="
+# Every node in the dependency graph must be an in-repo path crate.
+if cargo tree --workspace --offline --prefix none --edges normal,build \
+    | awk 'NF { print $1 }' | sort -u | grep -v '^scflow'; then
+    echo "error: external dependency found in cargo tree" >&2
+    exit 1
+fi
+echo "ok: only scflow-* path crates"
+
+echo "== tables smoke run =="
+cargo run --release --offline -p scflow-bench --bin tables -- --fig8
+
+echo "verify: OK"

@@ -113,3 +113,58 @@ fn figure10_shape_is_library_independent() {
         );
     }
 }
+
+#[test]
+fn differential_rtl_vs_gate_on_seeded_noise() {
+    // Differential run across the synthesis boundary: interpreted RTL vs
+    // the synthesised gate netlist, on random (seeded) stimuli rather than
+    // the sine the figures use. A failure names the first diverging sample.
+    use scflow_testkit::diff::first_divergence;
+    use scflow_testkit::Rng;
+
+    let cfg = SrcConfig::cd_to_dvd();
+    let lib = CellLibrary::generic_025u();
+    let m = build_rtl_src(&cfg, RtlVariant::Optimised).expect("build");
+    let netlist = synthesize(&m, &lib, &SynthOptions::default())
+        .expect("synth")
+        .netlist;
+
+    let mut seeds = Rng::new(0xD1FF_0002);
+    for _ in 0..2 {
+        let seed = seeds.next_u64();
+        let g = GoldenVectors::generate(&cfg, stimulus::noise(100, 9_000, seed));
+        let budget = scflow::flow::cycle_budget(g.len());
+        let (rtl_out, _) = run_handshake(&mut RtlSim::new(&m), &g.input, g.len(), budget);
+        let (gate_out, _) = run_handshake(&mut GateSim::new(&netlist, &lib), &g.input, g.len(), budget);
+        if let Some(d) = first_divergence("dut.out", &rtl_out, &gate_out) {
+            panic!("stimulus seed {seed:#x}: {d}");
+        }
+        compare_bit_accurate(&g.output, &rtl_out)
+            .unwrap_or_else(|m| panic!("stimulus seed {seed:#x}: {m}"));
+    }
+}
+
+#[test]
+fn differential_cosim_testbenches_on_seeded_noise() {
+    // The two Figure 9 testbench configurations must agree sample-for-
+    // sample on random stimuli, with divergences time-stamped on the
+    // 40 ns clock grid.
+    use scflow_testkit::diff::first_divergence_timed;
+    use scflow_testkit::Rng;
+
+    let cfg = SrcConfig::cd_to_dvd();
+    let m = build_rtl_src(&cfg, RtlVariant::Optimised).expect("build");
+    let mut seeds = Rng::new(0xD1FF_0003);
+    let seed = seeds.next_u64();
+    let g = GoldenVectors::generate(&cfg, stimulus::noise(60, 9_000, seed));
+
+    let native = run_native_hdl(&mut RtlSim::new(&m), &g, 1_000_000);
+    let cosim = run_kernel_cosim(&mut RtlSim::new(&m), &g, 1_000_000);
+    let times: Vec<u64> = (0..native.outputs.len() as u64).map(|i| i * 40_000).collect();
+    if let Some(d) = first_divergence_timed("tb.out", &native.outputs, &cosim.outputs, &times) {
+        panic!("stimulus seed {seed:#x}: {d}");
+    }
+    assert_eq!(native.testbench_errors, 0);
+    compare_bit_accurate(&g.output, &native.outputs)
+        .unwrap_or_else(|m| panic!("stimulus seed {seed:#x}: {m}"));
+}
