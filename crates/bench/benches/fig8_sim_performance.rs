@@ -6,10 +6,13 @@
 use scflow::algo::AlgoSrc;
 use scflow::models::beh::{run_beh_model, CLOCK_PERIOD};
 use scflow::models::channel::run_channel_model;
+use scflow::models::harness::run_handshake;
 use scflow::models::refined::run_refined_model;
-use scflow::models::rtl::run_rtl_model;
+use scflow::models::rtl::{build_rtl_src, run_rtl_model, RtlVariant};
 use scflow::models::SimRun;
+use scflow::verify::GoldenVectors;
 use scflow::{stimulus, SrcConfig};
+use scflow_rtl::{CompiledProgram, RtlSim};
 use scflow_testkit::Harness;
 
 /// Simulated 25 MHz-equivalent clock cycles covered by one model run.
@@ -49,6 +52,25 @@ fn main() {
     });
     h.bench_cycles("rtl_two_process", || {
         sim_cycles(&std::hint::black_box(run_rtl_model(&cfg, &small)))
+    });
+
+    // The synthesisable RTL module on both unified-API engines, appended
+    // after the paper's five bars (their ordering is the figure).
+    let golden = GoldenVectors::generate(&cfg, small.clone());
+    let module = build_rtl_src(&cfg, RtlVariant::Optimised).expect("rtl module");
+    let budget = scflow::flow::cycle_budget(golden.len());
+    h.bench_cycles("rtl_interpreted", || {
+        let mut sim = RtlSim::new(&module);
+        let (out, cycles) = run_handshake(&mut sim, &small, golden.len(), budget);
+        assert_eq!(out, golden.output, "interpreted engine diverged");
+        std::hint::black_box(cycles)
+    });
+    h.bench_cycles("rtl_compiled", || {
+        let program = CompiledProgram::compile(&module).expect("rtl compiles");
+        let mut sim = program.simulator();
+        let (out, cycles) = run_handshake(&mut sim, &small, golden.len(), budget);
+        assert_eq!(out, golden.output, "compiled engine diverged");
+        std::hint::black_box(cycles)
     });
 
     print!("{}", h.table());

@@ -5,9 +5,9 @@
 use scflow::models::rtl::{build_rtl_src, RtlVariant};
 use scflow::verify::GoldenVectors;
 use scflow::{stimulus, SrcConfig};
-use scflow_cosim::{run_kernel_cosim, run_native_hdl};
+use scflow_cosim::{run_kernel_cosim, run_native_hdl, run_native_hdl_compiled};
 use scflow_gate::{CellLibrary, GateSim};
-use scflow_rtl::RtlSim;
+use scflow_rtl::{CompiledProgram, RtlSim};
 use scflow_synth::rtl::{synthesize, SynthOptions};
 use scflow_testkit::Harness;
 
@@ -37,6 +37,18 @@ fn main() {
     });
     h.bench_cycles("gate_rtl_dut_systemc_tb", || {
         let mut dut = GateSim::new(&gate_rtl, &lib);
+        std::hint::black_box(run_kernel_cosim(&mut dut, &golden, 1_000_000)).cycles
+    });
+    // The RTL DUT on the compiled levelized engine, appended after the
+    // paper's rows (their ordering is the figure). The native-HDL row
+    // compiles the testbench too: the all-compiled configuration.
+    let rtl_program = CompiledProgram::compile(&rtl_module).expect("rtl compiles");
+    h.bench_cycles("rtl_compiled_dut_vhdl_tb", || {
+        let mut dut = rtl_program.simulator();
+        std::hint::black_box(run_native_hdl_compiled(&mut dut, &golden, 1_000_000)).cycles
+    });
+    h.bench_cycles("rtl_compiled_dut_systemc_tb", || {
+        let mut dut = rtl_program.simulator();
         std::hint::black_box(run_kernel_cosim(&mut dut, &golden, 1_000_000)).cycles
     });
     print!("{}", h.table());

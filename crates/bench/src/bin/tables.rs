@@ -7,7 +7,7 @@
 
 use scflow::SrcConfig;
 
-const KNOWN_FLAGS: [&str; 13] = [
+const KNOWN_FLAGS: [&str; 14] = [
     "--down",
     "--all",
     "--verify",
@@ -20,6 +20,7 @@ const KNOWN_FLAGS: [&str; 13] = [
     "--ablation-regs",
     "--ablation-share",
     "--ablation-pack",
+    "--check-engines",
     "--help",
 ];
 
@@ -35,7 +36,7 @@ fn main() {
         eprintln!(
             "usage: tables [--down] [--all] [--verify] [--fig7] [--fig8] [--fig9] \
              [--fig10] [--timing] [--ablation-sched] [--ablation-regs] \
-             [--ablation-share] [--ablation-pack]"
+             [--ablation-share] [--ablation-pack] [--check-engines]"
         );
         std::process::exit(2);
     }
@@ -157,5 +158,22 @@ fn main() {
             "statement packing",
             scflow_bench::ablation_statement_packing(&cfg),
         );
+    }
+
+    if has("--check-engines") {
+        println!("=== Engine check: compiled levelized vs interpreted RTL ===\n");
+        let check = scflow_bench::check_engines(&cfg, 120);
+        println!("{:<14} {:>16}", "engine", "cycles/sec");
+        println!("{:<14} {:>16.0}", "interpreted", check.interpreted_cps);
+        println!("{:<14} {:>16.0}", "compiled", check.compiled_cps);
+        println!("speedup: {:.2}x\n", check.speedup());
+        if check.speedup() < 1.0 {
+            eprintln!(
+                "FAILED: compiled engine is slower than the interpreter \
+                 ({:.0} vs {:.0} cycles/sec)",
+                check.compiled_cps, check.interpreted_cps
+            );
+            std::process::exit(1);
+        }
     }
 }

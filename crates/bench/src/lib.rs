@@ -17,13 +17,14 @@
 use scflow::algo::AlgoSrc;
 use scflow::models::beh::{beh_options, beh_program, run_beh_model, BehVariant, CLOCK_PERIOD};
 use scflow::models::channel::run_channel_model;
+use scflow::models::harness::run_handshake;
 use scflow::models::refined::run_refined_model;
 use scflow::models::rtl::{build_rtl_src, run_rtl_model, RtlVariant};
 use scflow::verify::GoldenVectors;
 use scflow::{stimulus, SrcConfig};
-use scflow_cosim::{run_kernel_cosim, run_native_hdl};
+use scflow_cosim::{run_kernel_cosim, run_native_hdl, run_native_hdl_compiled};
 use scflow_gate::{CellLibrary, GateSim};
-use scflow_rtl::RtlSim;
+use scflow_rtl::{CompiledProgram, RtlSim};
 use scflow_synth::beh::synthesize_beh;
 use scflow_synth::rtl::{synthesize, SynthOptions};
 use std::time::Instant;
@@ -122,7 +123,96 @@ pub fn measure_fig8(cfg: &SrcConfig, scale: usize) -> Vec<Fig8Row> {
         });
     }
 
+    // The synthesisable RTL module on both unified-API engines: the
+    // tree-walking interpreter and the compiled levelized engine. Appended
+    // after the paper's five bars so Figure 8's original ordering reads
+    // off the leading rows unchanged.
+    {
+        let input = stimulus::sine(400 * scale, 1000.0, f64::from(cfg.in_rate), 9000.0);
+        let golden = GoldenVectors::generate(cfg, input.clone());
+        let module = build_rtl_src(cfg, RtlVariant::Optimised).expect("rtl module");
+        let budget = scflow::flow::cycle_budget(golden.len());
+
+        let t0 = Instant::now();
+        let mut sim = RtlSim::new(&module);
+        let (out, cycles) = run_handshake(&mut sim, &input, golden.len(), budget);
+        let wall = t0.elapsed();
+        assert_eq!(out, golden.output, "interpreted engine diverged");
+        rows.push(Fig8Row {
+            model: "RTL-interp",
+            cycles_per_sec: cycles as f64 / wall.as_secs_f64().max(1e-12),
+            wall,
+            outputs: out.len(),
+        });
+
+        let t0 = Instant::now();
+        let program = CompiledProgram::compile(&module).expect("rtl compiles");
+        let mut sim = program.simulator();
+        let (out, cycles) = run_handshake(&mut sim, &input, golden.len(), budget);
+        let wall = t0.elapsed();
+        assert_eq!(out, golden.output, "compiled engine diverged");
+        rows.push(Fig8Row {
+            model: "RTL-compiled",
+            cycles_per_sec: cycles as f64 / wall.as_secs_f64().max(1e-12),
+            wall,
+            outputs: out.len(),
+        });
+    }
+
     rows
+}
+
+/// Result of the interpreted-vs-compiled engine sanity race.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineCheck {
+    /// Interpreter throughput, simulated cycles per wall second.
+    pub interpreted_cps: f64,
+    /// Compiled-engine throughput, simulated cycles per wall second.
+    pub compiled_cps: f64,
+}
+
+impl EngineCheck {
+    /// Compiled throughput over interpreted throughput.
+    pub fn speedup(&self) -> f64 {
+        self.compiled_cps / self.interpreted_cps.max(1e-12)
+    }
+}
+
+/// Races the compiled levelized engine against the tree-walking
+/// interpreter on the optimised RTL SRC (best of 3 each), asserting
+/// bit-identical outputs. Used by `tables --check-engines` and
+/// `scripts/verify.sh` to catch a compiled engine that has become slower
+/// than the interpreter.
+pub fn check_engines(cfg: &SrcConfig, n_inputs: usize) -> EngineCheck {
+    let input = stimulus::sine(n_inputs, 1000.0, f64::from(cfg.in_rate), 9000.0);
+    let golden = GoldenVectors::generate(cfg, input.clone());
+    let module = build_rtl_src(cfg, RtlVariant::Optimised).expect("rtl module");
+    let budget = scflow::flow::cycle_budget(golden.len());
+    const REPS: usize = 3;
+
+    let best = |mut run: Box<dyn FnMut() -> (Vec<i16>, u64)>| -> f64 {
+        let mut top = f64::NEG_INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let (out, cycles) = run();
+            let rate = cycles as f64 / t0.elapsed().as_secs_f64().max(1e-12);
+            assert_eq!(out, golden.output, "engine diverged from golden vectors");
+            top = top.max(rate);
+        }
+        top
+    };
+
+    let interpreted_cps = best(Box::new(|| {
+        run_handshake(&mut RtlSim::new(&module), &input, golden.len(), budget)
+    }));
+    let compiled_cps = best(Box::new(|| {
+        let program = CompiledProgram::compile(&module).expect("rtl compiles");
+        run_handshake(&mut program.simulator(), &input, golden.len(), budget)
+    }));
+    EngineCheck {
+        interpreted_cps,
+        compiled_cps,
+    }
 }
 
 /// One bar pair of Figure 9.
@@ -219,6 +309,22 @@ pub fn measure_fig9(cfg: &SrcConfig, n_inputs: usize) -> Vec<Fig9Row> {
         "Gate-RTL",
         "SystemC-TB",
         Box::new(|| run_kernel_cosim(&mut GateSim::new(&gate_rtl, &lib), &golden, budget).cycles),
+    );
+    // The RTL artefact on the compiled levelized engine, appended after
+    // the paper's six bars so Figure 9's original ordering is untouched.
+    // The native-HDL row compiles the testbench too (the all-compiled
+    // configuration); with only the DUT swapped the interpreted testbench
+    // dominates the cycle and hides the engine.
+    let rtl_program = CompiledProgram::compile(&rtl_module).expect("rtl compiles");
+    measure(
+        "RTL-comp",
+        "VHDL-TB",
+        Box::new(|| run_native_hdl_compiled(&mut rtl_program.simulator(), &golden, budget).cycles),
+    );
+    measure(
+        "RTL-comp",
+        "SystemC-TB",
+        Box::new(|| run_kernel_cosim(&mut rtl_program.simulator(), &golden, budget).cycles),
     );
     rows
 }

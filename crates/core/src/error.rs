@@ -1,0 +1,109 @@
+//! The flow-wide error type.
+//!
+//! Every fallible stage of the flow — RTL construction, compilation to
+//! the levelized engine, synthesis, testbench port access, gate-level
+//! levelization, and the bit-accuracy discipline itself — funnels into
+//! [`ScflowError`], so drivers can use `?` across stage boundaries and
+//! report a single error chain to the user.
+
+use crate::verify::Mismatch;
+use scflow_gate::GateError;
+use scflow_rtl::RtlError;
+use scflow_sim_api::SimError;
+use scflow_synth::SynthError;
+use std::error::Error;
+use std::fmt;
+
+/// Unified error for the whole design flow.
+#[derive(Debug)]
+pub enum ScflowError {
+    /// RTL construction or compilation failed.
+    Rtl(RtlError),
+    /// Synthesis failed.
+    Synth(SynthError),
+    /// A simulation engine rejected a port access.
+    Sim(SimError),
+    /// Gate-level construction or levelization failed.
+    Gate(GateError),
+    /// A model diverged from the golden vectors.
+    Accuracy {
+        /// The failing design.
+        design: String,
+        /// The first mismatch.
+        mismatch: Mismatch,
+    },
+}
+
+impl fmt::Display for ScflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScflowError::Rtl(e) => write!(f, "rtl error: {e}"),
+            ScflowError::Synth(e) => write!(f, "synthesis error: {e}"),
+            ScflowError::Sim(e) => write!(f, "simulation error: {e}"),
+            ScflowError::Gate(e) => write!(f, "gate-level error: {e}"),
+            ScflowError::Accuracy { design, mismatch } => {
+                write!(f, "bit-accuracy failure in {design}: {mismatch}")
+            }
+        }
+    }
+}
+
+impl Error for ScflowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScflowError::Rtl(e) => Some(e),
+            ScflowError::Synth(e) => Some(e),
+            ScflowError::Sim(e) => Some(e),
+            ScflowError::Gate(e) => Some(e),
+            ScflowError::Accuracy { .. } => None,
+        }
+    }
+}
+
+impl From<RtlError> for ScflowError {
+    fn from(e: RtlError) -> Self {
+        ScflowError::Rtl(e)
+    }
+}
+
+impl From<SynthError> for ScflowError {
+    fn from(e: SynthError) -> Self {
+        ScflowError::Synth(e)
+    }
+}
+
+impl From<SimError> for ScflowError {
+    fn from(e: SimError) -> Self {
+        ScflowError::Sim(e)
+    }
+}
+
+impl From<GateError> for ScflowError {
+    fn from(e: GateError) -> Self {
+        ScflowError::Gate(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_stage_prefixes() {
+        let e = ScflowError::Sim(SimError::UnknownPort("clk_en".into()));
+        assert_eq!(e.to_string(), "simulation error: no port named `clk_en`");
+        let e = ScflowError::Gate(GateError::CombLoop {
+            netlist: "ring".into(),
+        });
+        assert_eq!(
+            e.to_string(),
+            "gate-level error: combinational loop in netlist `ring`"
+        );
+    }
+
+    #[test]
+    fn source_chains_to_the_stage_error() {
+        let e = ScflowError::Sim(SimError::UnknownPort("x".into()));
+        assert!(e.source().is_some());
+    }
+}

@@ -5,58 +5,61 @@
 //! combinational/sequential, memories excluded, scan included);
 //! [`validate_all_levels`] re-runs the bit-accuracy check of every
 //! refinement step, which is the discipline the whole approach rests on.
+//!
+//! RTL validation runs on a selectable engine ([`SimEngine`]): the
+//! tree-walking interpreter or the compiled levelized engine. Both are
+//! bit-identical, so the choice only affects wall-clock time; the
+//! `SCFLOW_SIM_ENGINE` environment variable picks the default.
 
 use crate::config::SrcConfig;
 use crate::models::beh::{synthesize_beh_src, BehVariant};
 use crate::models::harness::{run_fixed, run_handshake};
 use crate::models::rtl::{build_rtl_src, RtlVariant};
 use crate::models::vhdl_ref::build_vhdl_ref;
-use crate::verify::{compare_bit_accurate, GoldenVectors, Mismatch};
+use crate::verify::{compare_bit_accurate, GoldenVectors};
 use scflow_gate::CellLibrary;
-use scflow_rtl::{Module, RtlSim};
+use scflow_rtl::{CompiledProgram, Module, RtlSim};
 use scflow_synth::rtl::{synthesize, SynthOptions, SynthResult};
-use std::error::Error;
 use std::fmt;
 
-/// Errors from the flow driver.
-#[derive(Debug)]
-pub enum FlowError {
-    /// RTL construction failed.
-    Rtl(scflow_rtl::RtlError),
-    /// Synthesis failed.
-    Synth(scflow_synth::SynthError),
-    /// A model diverged from the golden vectors.
-    Accuracy {
-        /// The failing design.
-        design: String,
-        /// The first mismatch.
-        mismatch: Mismatch,
-    },
+pub use crate::error::ScflowError;
+
+/// Former name of [`ScflowError`], kept as an alias for existing callers.
+#[deprecated(since = "0.1.0", note = "renamed to `ScflowError`")]
+pub type FlowError = ScflowError;
+
+/// Which RTL simulation engine the flow drives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SimEngine {
+    /// The per-cycle tree-walking interpreter ([`RtlSim`]) — the
+    /// paper's "interpreted" data point and the reference semantics.
+    #[default]
+    Interpreted,
+    /// The compiled levelized engine
+    /// ([`CompiledSim`](scflow_rtl::CompiledSim)) — one-time compilation
+    /// to flat bytecode, then activity-gated re-evaluation.
+    Compiled,
 }
 
-impl fmt::Display for FlowError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FlowError::Rtl(e) => write!(f, "rtl error: {e}"),
-            FlowError::Synth(e) => write!(f, "synthesis error: {e}"),
-            FlowError::Accuracy { design, mismatch } => {
-                write!(f, "bit-accuracy failure in {design}: {mismatch}")
-            }
+impl SimEngine {
+    /// Reads the engine choice from the `SCFLOW_SIM_ENGINE` environment
+    /// variable (`interpreted` or `compiled`, case-insensitive).
+    /// Unset or unrecognised values fall back to the default
+    /// ([`SimEngine::Interpreted`]).
+    pub fn from_env() -> Self {
+        match std::env::var("SCFLOW_SIM_ENGINE") {
+            Ok(v) if v.eq_ignore_ascii_case("compiled") => SimEngine::Compiled,
+            _ => SimEngine::Interpreted,
         }
     }
 }
 
-impl Error for FlowError {}
-
-impl From<scflow_rtl::RtlError> for FlowError {
-    fn from(e: scflow_rtl::RtlError) -> Self {
-        FlowError::Rtl(e)
-    }
-}
-
-impl From<scflow_synth::SynthError> for FlowError {
-    fn from(e: scflow_synth::SynthError) -> Self {
-        FlowError::Synth(e)
+impl fmt::Display for SimEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SimEngine::Interpreted => "interpreted",
+            SimEngine::Compiled => "compiled",
+        })
     }
 }
 
@@ -122,7 +125,7 @@ fn synth_row(
     design: &str,
     module: &Module,
     lib: &CellLibrary,
-) -> Result<(AreaRow, SynthResult), FlowError> {
+) -> Result<(AreaRow, SynthResult), ScflowError> {
     let result = synthesize(module, lib, &SynthOptions::default())?;
     let row = AreaRow {
         design: design.to_owned(),
@@ -142,7 +145,7 @@ fn synth_row(
 /// # Errors
 ///
 /// Propagates construction and synthesis errors.
-pub fn run_area_flow(cfg: &SrcConfig, lib: &CellLibrary) -> Result<AreaFigure, FlowError> {
+pub fn run_area_flow(cfg: &SrcConfig, lib: &CellLibrary) -> Result<AreaFigure, ScflowError> {
     let vhdl = build_vhdl_ref(cfg)?;
     let beh_unopt = synthesize_beh_src(cfg, BehVariant::Unoptimised)?.module;
     let beh_opt = synthesize_beh_src(cfg, BehVariant::Optimised)?.module;
@@ -176,51 +179,101 @@ pub fn cycle_budget(expected_outputs: usize) -> u64 {
     (expected_outputs as u64 + 4) * 400
 }
 
-/// Validates one synthesisable module (interpreted RTL simulation)
-/// against the golden vectors.
-///
-/// # Errors
-///
-/// Returns [`FlowError::Accuracy`] on the first output mismatch.
-pub fn validate_module(
+fn run_and_compare(
+    sim: &mut (impl scflow_sim_api::Simulation + ?Sized),
     design: &str,
-    module: &Module,
     golden: &GoldenVectors,
     fixed_mode: bool,
-) -> Result<(), FlowError> {
-    let mut sim = RtlSim::new(module);
+) -> Result<(), ScflowError> {
     let budget = cycle_budget(golden.len());
     let (outputs, _) = if fixed_mode {
-        run_fixed(&mut sim, &golden.input, golden.len(), budget)
+        run_fixed(sim, &golden.input, golden.len(), budget)
     } else {
-        run_handshake(&mut sim, &golden.input, golden.len(), budget)
+        run_handshake(sim, &golden.input, golden.len(), budget)
     };
-    compare_bit_accurate(&golden.output, &outputs).map_err(|mismatch| FlowError::Accuracy {
+    compare_bit_accurate(&golden.output, &outputs).map_err(|mismatch| ScflowError::Accuracy {
         design: design.to_owned(),
         mismatch,
     })
 }
 
+/// Validates one synthesisable module against the golden vectors on the
+/// chosen RTL engine.
+///
+/// # Errors
+///
+/// Returns [`ScflowError::Accuracy`] on the first output mismatch, and
+/// propagates compilation errors from the compiled engine.
+pub fn validate_module_with(
+    engine: SimEngine,
+    design: &str,
+    module: &Module,
+    golden: &GoldenVectors,
+    fixed_mode: bool,
+) -> Result<(), ScflowError> {
+    match engine {
+        SimEngine::Interpreted => {
+            let mut sim = RtlSim::new(module);
+            run_and_compare(&mut sim, design, golden, fixed_mode)
+        }
+        SimEngine::Compiled => {
+            let program = CompiledProgram::compile(module)?;
+            let mut sim = program.simulator();
+            run_and_compare(&mut sim, design, golden, fixed_mode)
+        }
+    }
+}
+
+/// Validates one synthesisable module against the golden vectors on the
+/// engine named by `SCFLOW_SIM_ENGINE` (interpreted by default).
+///
+/// # Errors
+///
+/// Returns [`ScflowError::Accuracy`] on the first output mismatch.
+pub fn validate_module(
+    design: &str,
+    module: &Module,
+    golden: &GoldenVectors,
+    fixed_mode: bool,
+) -> Result<(), ScflowError> {
+    validate_module_with(SimEngine::from_env(), design, module, golden, fixed_mode)
+}
+
 /// Re-validates every synthesisable design of the flow against the golden
-/// vectors (the paper's per-step bit-accuracy discipline, in one call).
+/// vectors (the paper's per-step bit-accuracy discipline, in one call),
+/// on the chosen RTL engine.
 ///
 /// # Errors
 ///
 /// Returns the first failing design.
-pub fn validate_all_levels(cfg: &SrcConfig, input: &[i16]) -> Result<(), FlowError> {
+pub fn validate_all_levels_with(
+    engine: SimEngine,
+    cfg: &SrcConfig,
+    input: &[i16],
+) -> Result<(), ScflowError> {
     let golden = GoldenVectors::generate(cfg, input.to_vec());
 
     let beh_unopt = synthesize_beh_src(cfg, BehVariant::Unoptimised)?.module;
-    validate_module("BEH unopt", &beh_unopt, &golden, false)?;
+    validate_module_with(engine, "BEH unopt", &beh_unopt, &golden, false)?;
     let beh_opt = synthesize_beh_src(cfg, BehVariant::Optimised)?.module;
-    validate_module("BEH opt", &beh_opt, &golden, true)?;
+    validate_module_with(engine, "BEH opt", &beh_opt, &golden, true)?;
     let rtl_unopt = build_rtl_src(cfg, RtlVariant::Unoptimised)?;
-    validate_module("RTL unopt", &rtl_unopt, &golden, false)?;
+    validate_module_with(engine, "RTL unopt", &rtl_unopt, &golden, false)?;
     let rtl_opt = build_rtl_src(cfg, RtlVariant::Optimised)?;
-    validate_module("RTL opt", &rtl_opt, &golden, false)?;
+    validate_module_with(engine, "RTL opt", &rtl_opt, &golden, false)?;
     let buggy = build_rtl_src(cfg, RtlVariant::OptimisedBuggy)?;
-    validate_module("RTL buggy", &buggy, &golden, false)?;
+    validate_module_with(engine, "RTL buggy", &buggy, &golden, false)?;
     let vhdl = build_vhdl_ref(cfg)?;
-    validate_module("VHDL-Ref", &vhdl, &golden, false)?;
+    validate_module_with(engine, "VHDL-Ref", &vhdl, &golden, false)?;
     Ok(())
+}
+
+/// Re-validates every synthesisable design on the engine named by
+/// `SCFLOW_SIM_ENGINE` (interpreted by default).
+///
+/// # Errors
+///
+/// Returns the first failing design.
+pub fn validate_all_levels(cfg: &SrcConfig, input: &[i16]) -> Result<(), ScflowError> {
+    validate_all_levels_with(SimEngine::from_env(), cfg, input)
 }

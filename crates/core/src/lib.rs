@@ -47,6 +47,7 @@
 pub mod algo;
 mod coeffs;
 mod config;
+pub mod error;
 pub mod flow;
 pub mod models;
 pub mod stimulus;
@@ -54,3 +55,38 @@ pub mod verify;
 
 pub use coeffs::{design_prototype, CoefficientRom};
 pub use config::SrcConfig;
+pub use error::ScflowError;
+
+/// One-stop imports for driving the flow.
+///
+/// Pulls in the configuration and driver entry points, the unified
+/// [`Simulation`](scflow_sim_api::Simulation) trait with every engine
+/// that implements it (interpreted RTL, compiled levelized RTL, event-
+/// driven and levelized gate level), and the shared testbench helpers:
+///
+/// ```
+/// use scflow::prelude::*;
+///
+/// let cfg = SrcConfig::cd_to_dvd();
+/// let module = scflow::models::rtl::build_rtl_src(&cfg, scflow::models::rtl::RtlVariant::Optimised).unwrap();
+/// let program = CompiledProgram::compile(&module).unwrap();
+/// let mut sim = program.simulator();
+/// sim.poke("out_sample_ready", Bv::bit(true));
+/// sim.settle();
+/// assert_eq!(sim.peek("out_sample_valid"), Bv::zero(1));
+/// ```
+pub mod prelude {
+    pub use crate::algo::AlgoSrc;
+    pub use crate::error::ScflowError;
+    pub use crate::flow::{
+        run_area_flow, validate_all_levels, validate_all_levels_with, validate_module,
+        validate_module_with, AreaFigure, SimEngine,
+    };
+    pub use crate::models::harness::{run_fixed, run_handshake};
+    pub use crate::verify::{compare_bit_accurate, GoldenVectors};
+    pub use crate::{design_prototype, stimulus, CoefficientRom, SrcConfig};
+    pub use scflow_gate::{CellLibrary, FastGateSim, GateError, GateSim};
+    pub use scflow_hwtypes::Bv;
+    pub use scflow_rtl::{CompiledProgram, CompiledSim, Module, RtlError, RtlSim};
+    pub use scflow_sim_api::{EngineStats, SimError, Simulation};
+}

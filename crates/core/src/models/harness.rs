@@ -2,61 +2,92 @@
 //! gate level), using the flow's standard port convention:
 //! `in_sample[16]` (+`_valid`/`_ready` or `_strobe`) and `out_sample[16]`
 //! (+`_valid`/`_ready` or `_strobe`).
+//!
+//! The harness drives any engine through the unified
+//! [`Simulation`] trait — the interpreted RTL simulator, the compiled
+//! levelized engine, and both gate-level simulators all qualify, so
+//! the same testbench validates every artefact of the flow.
 
-use scflow_gate::GateSim;
 use scflow_hwtypes::Bv;
-use scflow_rtl::RtlSim;
+use scflow_sim_api::{PortHandle, Simulation};
 
-/// A cycle-driven simulation a testbench can drive uniformly — implemented
-/// by the interpreted RTL simulator and the event-driven gate simulator.
-pub trait CycleSim {
-    /// Drives an input port.
-    fn set(&mut self, port: &str, value: Bv);
-    /// Reads an output port (unknown gate-level bits read as zero).
-    fn get(&mut self, port: &str) -> Bv;
-    /// Settles combinational logic.
-    fn settle_comb(&mut self);
-    /// Advances one clock cycle.
-    fn clock(&mut self);
-    /// `true` if an input port with this name exists.
-    fn has_input(&self, port: &str) -> bool;
-}
-
-impl CycleSim for RtlSim<'_> {
+/// Compatibility shim for the pre-`Simulation` testbench vocabulary.
+///
+/// Every [`Simulation`] engine gets these methods via a blanket impl, so
+/// existing testbenches keep compiling; new code should use the
+/// [`Simulation`] methods directly (`poke`/`peek`/`settle`/`step`).
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Simulation` trait: `set`/`get`/`settle_comb`/`clock` are `poke`/`peek`/`settle`/`step`"
+)]
+pub trait CycleSim: Simulation {
+    /// Drives an input port (alias of [`Simulation::poke`]).
     fn set(&mut self, port: &str, value: Bv) {
-        self.set_input(port, value);
+        self.poke(port, value);
     }
+    /// Reads an output port (alias of [`Simulation::peek`]; unknown
+    /// gate-level bits read as zero).
     fn get(&mut self, port: &str) -> Bv {
-        self.output(port)
+        self.peek(port)
     }
+    /// Settles combinational logic (alias of [`Simulation::settle`]).
     fn settle_comb(&mut self) {
-        self.settle();
+        Simulation::settle(self);
     }
+    /// Advances one clock cycle (alias of [`Simulation::step`]).
     fn clock(&mut self) {
-        self.tick();
-    }
-    fn has_input(&self, port: &str) -> bool {
-        self.module_has_input(port)
+        self.step();
     }
 }
 
-impl CycleSim for GateSim<'_> {
-    fn set(&mut self, port: &str, value: Bv) {
-        self.set_input(port, value);
+#[allow(deprecated)]
+impl<S: Simulation + ?Sized> CycleSim for S {}
+
+/// Ties off the scan chain if the DUT has one (gate-level netlists do).
+fn tie_off_scan(sim: &mut (impl Simulation + ?Sized)) {
+    if sim.has_input("scan_en") {
+        sim.poke("scan_en", Bv::zero(1));
+        sim.poke("scan_in", Bv::zero(1));
     }
-    fn get(&mut self, port: &str) -> Bv {
-        let lv = self.output_logic(port);
-        let width = lv.width().max(1) as u32;
-        lv.to_bv().unwrap_or_else(|| Bv::zero(width))
+}
+
+/// A harness-side port reference: a resolved [`PortHandle`] when the
+/// engine issues them, the port name otherwise. Resolving once outside
+/// the cycle loop keeps string lookups off the hot path for engines with
+/// an indexed port table, with no behaviour change for the rest.
+#[derive(Clone, Copy)]
+struct PortRef<'n> {
+    name: &'n str,
+    handle: Option<PortHandle>,
+}
+
+impl<'n> PortRef<'n> {
+    fn input(sim: &(impl Simulation + ?Sized), name: &'n str) -> Self {
+        PortRef {
+            name,
+            handle: sim.input_handle(name),
+        }
     }
-    fn settle_comb(&mut self) {
-        self.settle();
+
+    fn output(sim: &(impl Simulation + ?Sized), name: &'n str) -> Self {
+        PortRef {
+            name,
+            handle: sim.output_handle(name),
+        }
     }
-    fn clock(&mut self) {
-        self.tick();
+
+    fn poke(self, sim: &mut (impl Simulation + ?Sized), value: Bv) {
+        match self.handle {
+            Some(h) => sim.poke_handle(h, value),
+            None => sim.poke(self.name, value),
+        }
     }
-    fn has_input(&self, port: &str) -> bool {
-        self.netlist_has_input(port)
+
+    fn peek(self, sim: &(impl Simulation + ?Sized)) -> Bv {
+        match self.handle {
+            Some(h) => sim.peek_handle(h),
+            None => sim.peek(self.name),
+        }
     }
 }
 
@@ -66,31 +97,40 @@ impl CycleSim for GateSim<'_> {
 ///
 /// Returns `(outputs, cycles_used)`.
 pub fn run_handshake(
-    sim: &mut impl CycleSim,
+    sim: &mut (impl Simulation + ?Sized),
     input: &[i16],
     expected: usize,
     max_cycles: u64,
 ) -> (Vec<i16>, u64) {
-    if sim.has_input("scan_en") {
-        sim.set("scan_en", Bv::zero(1));
-        sim.set("scan_in", Bv::zero(1));
-    }
-    sim.set("out_sample_ready", Bv::bit(true));
+    tie_off_scan(sim);
+    sim.poke("out_sample_ready", Bv::bit(true));
+    let in_sample = PortRef::input(sim, "in_sample");
+    let in_valid = PortRef::input(sim, "in_sample_valid");
+    let in_ready = PortRef::output(sim, "in_sample_ready");
+    let out_valid = PortRef::output(sim, "out_sample_valid");
+    let out_sample = PortRef::output(sim, "out_sample");
     let mut outputs = Vec::with_capacity(expected);
     let mut pos = 0usize;
     let mut cycles = 0u64;
+    // Drive the inputs only when they change; poking the held value every
+    // cycle is redundant (every engine treats an unchanged poke as a
+    // no-op, this just skips the port lookup).
+    let mut driven_pos: Option<usize> = None;
+    let mut driven_valid: Option<bool> = None;
     while cycles < max_cycles && outputs.len() < expected {
-        match input.get(pos) {
-            Some(&s) => {
-                sim.set("in_sample", Bv::from_i64(i64::from(s), 16));
-                sim.set("in_sample_valid", Bv::bit(true));
-            }
-            None => sim.set("in_sample_valid", Bv::zero(1)),
+        let valid = pos < input.len();
+        if valid && driven_pos != Some(pos) {
+            in_sample.poke(sim, Bv::from_i64(i64::from(input[pos]), 16));
+            driven_pos = Some(pos);
         }
-        sim.settle_comb();
-        let consumed = pos < input.len() && sim.get("in_sample_ready").any();
-        let produced = sim.get("out_sample_valid").any().then(|| sim.get("out_sample"));
-        sim.clock();
+        if driven_valid != Some(valid) {
+            in_valid.poke(sim, Bv::bit(valid));
+            driven_valid = Some(valid);
+        }
+        sim.settle();
+        let consumed = pos < input.len() && in_ready.peek(sim).any();
+        let produced = out_valid.peek(sim).any().then(|| out_sample.peek(sim));
+        sim.step();
         cycles += 1;
         if consumed {
             pos += 1;
@@ -106,33 +146,31 @@ pub fn run_handshake(
 /// whenever `in_sample_strobe` fires, samples `out_sample` at
 /// `out_sample_strobe`.
 pub fn run_fixed(
-    sim: &mut impl CycleSim,
+    sim: &mut (impl Simulation + ?Sized),
     input: &[i16],
     expected: usize,
     max_cycles: u64,
 ) -> (Vec<i16>, u64) {
-    if sim.has_input("scan_en") {
-        sim.set("scan_en", Bv::zero(1));
-        sim.set("scan_in", Bv::zero(1));
-    }
+    tie_off_scan(sim);
+    let in_sample = PortRef::input(sim, "in_sample");
+    let in_strobe = PortRef::output(sim, "in_sample_strobe");
+    let out_strobe = PortRef::output(sim, "out_sample_strobe");
+    let out_sample = PortRef::output(sim, "out_sample");
     let mut outputs = Vec::with_capacity(expected);
     let mut iter = input.iter();
     if let Some(&first) = iter.next() {
-        sim.set("in_sample", Bv::from_i64(i64::from(first), 16));
+        in_sample.poke(sim, Bv::from_i64(i64::from(first), 16));
     }
     let mut cycles = 0u64;
     while cycles < max_cycles && outputs.len() < expected {
-        sim.settle_comb();
-        let consumed = sim.get("in_sample_strobe").any();
-        let produced = sim
-            .get("out_sample_strobe")
-            .any()
-            .then(|| sim.get("out_sample"));
-        sim.clock();
+        sim.settle();
+        let consumed = in_strobe.peek(sim).any();
+        let produced = out_strobe.peek(sim).any().then(|| out_sample.peek(sim));
+        sim.step();
         cycles += 1;
         if consumed {
             if let Some(&next) = iter.next() {
-                sim.set("in_sample", Bv::from_i64(i64::from(next), 16));
+                in_sample.poke(sim, Bv::from_i64(i64::from(next), 16));
             }
         }
         if let Some(v) = produced {

@@ -22,6 +22,7 @@ use crate::models::SimRun;
 use scflow_hwtypes::Bv;
 use scflow_kernel::Kernel;
 use scflow_rtl::{Expr, Module, ModuleBuilder, RtlError};
+use scflow_sim_api::{EngineStats, SimError, Simulation};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -411,11 +412,20 @@ fn build_unoptimised(cfg: &SrcConfig) -> Result<Module, RtlError> {
     b.build()
 }
 
-/// Runs the clocked, signal-based "RTL SystemC" simulation model — every
-/// register a signal, a combinational process re-evaluated on every
-/// change, a sequential process committing at the edge (Figure 8's
-/// slowest compiled-model bar).
-pub fn run_rtl_model(cfg: &SrcConfig, input: &[i16]) -> SimRun {
+/// The handshake-facing signals of the kernel two-process SRC model.
+struct SrcPorts {
+    in_data: scflow_kernel::Signal<i16>,
+    in_valid: scflow_kernel::Signal<bool>,
+    in_ready: scflow_kernel::Signal<bool>,
+    out_data: scflow_kernel::Signal<i16>,
+    out_valid: scflow_kernel::Signal<bool>,
+}
+
+/// Spawns the two-process (comb + seq) SRC onto `kernel` and returns its
+/// handshake signals. Shared by [`run_rtl_model`] (which adds a paced
+/// producer/consumer) and [`KernelRtlSim`] (which drives the signals from
+/// a [`Simulation`](scflow_sim_api::Simulation) testbench).
+fn spawn_two_process_src(kernel: &Kernel, clk: &scflow_kernel::Clock, cfg: &SrcConfig) -> SrcPorts {
     #[derive(Clone, Copy, PartialEq, Debug, Default)]
     struct Regs {
         state: u8,
@@ -427,9 +437,6 @@ pub fn run_rtl_model(cfg: &SrcConfig, input: &[i16]) -> SimRun {
         wptr: u8,
     }
 
-    let kernel = Kernel::new();
-    let clk = kernel.clock("clk", CLOCK_PERIOD);
-    let expected = crate::verify::GoldenVectors::generate(cfg, input.to_vec()).len();
     let rom = Rc::new(CoefficientRom::design(cfg));
     let buf: Rc<RefCell<[i16; SrcConfig::BUFFER]>> =
         Rc::new(RefCell::new([0; SrcConfig::BUFFER]));
@@ -533,6 +540,31 @@ pub fn run_rtl_model(cfg: &SrcConfig, input: &[i16]) -> SimRun {
         }
     });
 
+    SrcPorts {
+        in_data,
+        in_valid,
+        in_ready,
+        out_data,
+        out_valid,
+    }
+}
+
+/// Runs the clocked, signal-based "RTL SystemC" simulation model — every
+/// register a signal, a combinational process re-evaluated on every
+/// change, a sequential process committing at the edge (Figure 8's
+/// slowest compiled-model bar).
+pub fn run_rtl_model(cfg: &SrcConfig, input: &[i16]) -> SimRun {
+    let kernel = Kernel::new();
+    let clk = kernel.clock("clk", CLOCK_PERIOD);
+    let expected = crate::verify::GoldenVectors::generate(cfg, input.to_vec()).len();
+    let SrcPorts {
+        in_data,
+        in_valid,
+        in_ready,
+        out_data,
+        out_valid,
+    } = spawn_two_process_src(&kernel, &clk, cfg);
+
     // Producer: paced, holds each sample until accepted.
     kernel.spawn("producer", {
         let (k2, clk) = (kernel.clone(), clk.clone());
@@ -587,5 +619,123 @@ pub fn run_rtl_model(cfg: &SrcConfig, input: &[i16]) -> SimRun {
         clock_cycles: Some(clk.cycles()),
         stats: Some(kernel.stats()),
         output_times,
+    }
+}
+
+/// The kernel two-process SRC model behind the unified
+/// [`Simulation`] interface.
+///
+/// Wraps the same comb/seq process pair as [`run_rtl_model`] in a
+/// cycle-driven shell: [`step`](Simulation::step) runs the kernel for one
+/// 40 ns clock period (exactly one rising edge),
+/// [`settle`](Simulation::settle) drains the delta cycles at the current
+/// time, and the handshake ports are poked/peeked as signals. This lets
+/// the same testbench harness ([`run_handshake`]) drive the kernel model,
+/// the interpreted RTL simulator, the compiled engine and the gate level.
+///
+/// The model's testbench convention hard-wires consumer readiness, so
+/// `out_sample_ready` is accepted and ignored.
+///
+/// [`run_handshake`]: crate::models::harness::run_handshake
+pub struct KernelRtlSim {
+    kernel: Kernel,
+    clk: scflow_kernel::Clock,
+    ports: SrcPorts,
+    cycles: u64,
+}
+
+impl KernelRtlSim {
+    /// Spawns the two-process SRC on a fresh kernel and settles the
+    /// initial combinational state.
+    pub fn new(cfg: &SrcConfig) -> Self {
+        let kernel = Kernel::new();
+        let clk = kernel.clock("clk", CLOCK_PERIOD);
+        let ports = spawn_two_process_src(&kernel, &clk, cfg);
+        let mut sim = KernelRtlSim {
+            kernel,
+            clk,
+            ports,
+            cycles: 0,
+        };
+        Simulation::settle(&mut sim);
+        sim
+    }
+
+    /// Simulated time reached so far.
+    pub fn now(&self) -> scflow_kernel::SimTime {
+        self.kernel.now()
+    }
+
+    /// Kernel scheduler statistics (process polls, deltas, events).
+    pub fn kernel_stats(&self) -> scflow_kernel::SimStats {
+        self.kernel.stats()
+    }
+}
+
+impl Simulation for KernelRtlSim {
+    fn step(&mut self) {
+        // One period covers exactly one rising edge: the clock starts
+        // low and rises at every odd half-period.
+        self.kernel.run_for(self.clk.period());
+        self.cycles += 1;
+    }
+
+    fn settle(&mut self) {
+        self.kernel.run_for(scflow_kernel::SimTime::ZERO);
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycles
+    }
+
+    fn try_poke(&mut self, port: &str, value: Bv) -> Result<(), SimError> {
+        let want = match port {
+            "in_sample" => 16,
+            "in_sample_valid" | "out_sample_ready" => 1,
+            "in_sample_ready" | "out_sample" | "out_sample_valid" => {
+                return Err(SimError::NotAnInput(port.to_string()))
+            }
+            _ => return Err(SimError::UnknownPort(port.to_string())),
+        };
+        if value.width() != want {
+            return Err(SimError::WidthMismatch {
+                port: port.to_string(),
+                port_width: want,
+                value_width: value.width(),
+            });
+        }
+        match port {
+            "in_sample" => self.ports.in_data.write(value.as_i64() as i16),
+            "in_sample_valid" => self.ports.in_valid.write(value.any()),
+            // The model's consumer side is always ready.
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn try_peek(&self, port: &str) -> Result<Bv, SimError> {
+        match port {
+            "in_sample_ready" => Ok(Bv::bit(self.ports.in_ready.read())),
+            "out_sample" => Ok(Bv::from_i64(i64::from(self.ports.out_data.read()), 16)),
+            "out_sample_valid" => Ok(Bv::bit(self.ports.out_valid.read())),
+            "in_sample" | "in_sample_valid" | "out_sample_ready" => {
+                Err(SimError::NotAnOutput(port.to_string()))
+            }
+            _ => Err(SimError::UnknownPort(port.to_string())),
+        }
+    }
+
+    fn has_input(&self, port: &str) -> bool {
+        matches!(port, "in_sample" | "in_sample_valid" | "out_sample_ready")
+    }
+
+    fn stats(&self) -> EngineStats {
+        let k = self.kernel.stats();
+        EngineStats {
+            cycles: self.cycles,
+            evals: k.processes_polled,
+            skipped: 0,
+            events: k.events_fired,
+        }
     }
 }

@@ -19,15 +19,20 @@
 //! this construction naturally: the interpreted testbench pays expression-
 //! tree evaluation every cycle, the bridge pays only a handful of signal
 //! updates.
+//!
+//! Both harnesses accept any DUT behind the unified
+//! [`Simulation`] trait, so the same Figure 9 rows can be produced with
+//! the interpreted RTL simulator, the compiled levelized engine, or
+//! either gate-level engine standing in as the "HDL simulator".
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use scflow::models::harness::CycleSim;
 use scflow::verify::GoldenVectors;
 use scflow_hwtypes::{bits_for, Bv};
 use scflow_kernel::{Kernel, SimTime};
 use scflow_rtl::{Expr, Module, ModuleBuilder, RtlError, RtlSim};
+use scflow_sim_api::Simulation;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -130,30 +135,65 @@ pub fn build_hdl_testbench(golden: &GoldenVectors) -> Result<Module, RtlError> {
     b.build()
 }
 
-fn tie_off_scan(dut: &mut impl CycleSim) {
+fn tie_off_scan(dut: &mut (impl Simulation + ?Sized)) {
     if dut.has_input("scan_en") {
-        dut.set("scan_en", Bv::zero(1));
-        dut.set("scan_in", Bv::zero(1));
+        dut.poke("scan_en", Bv::zero(1));
+        dut.poke("scan_in", Bv::zero(1));
     }
 }
 
-/// Native HDL simulation: the interpreted testbench drives the
-/// interpreted DUT, lockstep, one clock domain.
+/// Native HDL simulation: the interpreted testbench drives the DUT,
+/// lockstep, one clock domain.
 ///
 /// # Panics
 ///
 /// Panics if the cycle budget is exhausted before the testbench reports
 /// completion.
 pub fn run_native_hdl(
-    dut: &mut impl CycleSim,
+    dut: &mut (impl Simulation + ?Sized),
     golden: &GoldenVectors,
     max_cycles: u64,
 ) -> CosimRun {
     let tb_module = build_hdl_testbench(golden).expect("testbench builds");
     let mut tb = RtlSim::new(&tb_module);
+    native_hdl_lockstep(&mut tb, dut, golden.len(), max_cycles)
+}
+
+/// Native HDL simulation with the testbench itself on the compiled
+/// levelized engine — the all-compiled counterpart of
+/// [`run_native_hdl`]: same testbench module, same lockstep protocol,
+/// bit-identical run, only the testbench's evaluation engine differs.
+/// (With only the DUT swapped, the interpreted testbench dominates the
+/// cycle and caps any engine speedup — Amdahl — so the figures report
+/// this configuration for the compiled rows.)
+///
+/// # Panics
+///
+/// Panics if the cycle budget is exhausted before the testbench reports
+/// completion.
+pub fn run_native_hdl_compiled(
+    dut: &mut (impl Simulation + ?Sized),
+    golden: &GoldenVectors,
+    max_cycles: u64,
+) -> CosimRun {
+    let tb_module = build_hdl_testbench(golden).expect("testbench builds");
+    let tb_program =
+        scflow_rtl::CompiledProgram::compile(&tb_module).expect("testbench compiles");
+    let mut tb = tb_program.simulator();
+    native_hdl_lockstep(&mut tb, dut, golden.len(), max_cycles)
+}
+
+/// The lockstep driver shared by the native-HDL entry points: any
+/// testbench engine, any DUT engine, both behind [`Simulation`].
+fn native_hdl_lockstep(
+    tb: &mut (impl Simulation + ?Sized),
+    dut: &mut (impl Simulation + ?Sized),
+    expected: usize,
+    max_cycles: u64,
+) -> CosimRun {
     tie_off_scan(dut);
 
-    let mut outputs = Vec::with_capacity(golden.len());
+    let mut outputs = Vec::with_capacity(expected);
     let mut cycles = 0u64;
     loop {
         assert!(
@@ -162,31 +202,31 @@ pub fn run_native_hdl(
         );
         // Testbench drives...
         tb.settle();
-        dut.set("in_sample", tb.output("tb_in_sample"));
-        dut.set("in_sample_valid", tb.output("tb_in_valid"));
-        dut.set("out_sample_ready", tb.output("tb_out_ready"));
+        dut.poke("in_sample", tb.peek("tb_in_sample"));
+        dut.poke("in_sample_valid", tb.peek("tb_in_valid"));
+        dut.poke("out_sample_ready", tb.peek("tb_out_ready"));
         // ...DUT responds...
-        dut.settle_comb();
-        let in_ready = dut.get("in_sample_ready");
-        let out_valid = dut.get("out_sample_valid");
-        let out_sample = dut.get("out_sample");
-        tb.set_input("dut_in_ready", in_ready);
-        tb.set_input("dut_out_valid", out_valid);
-        tb.set_input("dut_out_sample", out_sample);
+        dut.settle();
+        let in_ready = dut.peek("in_sample_ready");
+        let out_valid = dut.peek("out_sample_valid");
+        let out_sample = dut.peek("out_sample");
+        tb.poke("dut_in_ready", in_ready);
+        tb.poke("dut_out_valid", out_valid);
+        tb.poke("dut_out_sample", out_sample);
         tb.settle();
-        if out_valid.any() && outputs.len() < golden.len() {
+        if out_valid.any() && outputs.len() < expected {
             outputs.push(out_sample.as_i64() as i16);
         }
-        let done = tb.output("tb_done").any();
+        let done = tb.peek("tb_done").any();
         // ...both clock.
-        tb.tick();
-        dut.clock();
+        tb.step();
+        dut.step();
         cycles += 1;
         if done {
             break;
         }
     }
-    let errors = tb.output("tb_errors").as_u64();
+    let errors = tb.peek("tb_errors").as_u64();
     CosimRun {
         outputs,
         cycles,
@@ -202,7 +242,7 @@ pub fn run_native_hdl(
 /// Panics if the cycle budget is exhausted before all expected outputs
 /// arrive.
 pub fn run_kernel_cosim(
-    dut: &mut impl CycleSim,
+    dut: &mut (impl Simulation + ?Sized),
     golden: &GoldenVectors,
     max_cycles: u64,
 ) -> CosimRun {
@@ -255,21 +295,22 @@ pub fn run_kernel_cosim(
             "kernel co-simulation exceeded {max_cycles} cycles"
         );
         kernel.run_for(SimTime::from_ns(40));
-        dut.set(
+        dut.poke(
             "in_sample",
             Bv::from_i64(i64::from(s_in_sample.read()), 16),
         );
-        dut.set("in_sample_valid", Bv::bit(s_in_valid.read()));
-        dut.set("out_sample_ready", Bv::bit(true));
-        dut.settle_comb();
-        s_in_ready.set_now(dut.get("in_sample_ready").any());
-        s_out_valid.set_now(dut.get("out_sample_valid").any());
-        let out = dut.get("out_sample");
+        dut.poke("in_sample_valid", Bv::bit(s_in_valid.read()));
+        dut.poke("out_sample_ready", Bv::bit(true));
+        dut.settle();
+        s_in_ready.set_now(dut.peek("in_sample_ready").any());
+        let out_valid = dut.peek("out_sample_valid").any();
+        s_out_valid.set_now(out_valid);
+        let out = dut.peek("out_sample");
         s_out_sample.set_now(out.as_i64() as i16);
-        if dut.get("out_sample_valid").any() {
+        if out_valid {
             outputs.push(out.as_i64() as i16);
         }
-        dut.clock();
+        dut.step();
         cycles += 1;
     }
 

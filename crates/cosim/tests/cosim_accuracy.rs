@@ -6,7 +6,10 @@ use scflow::models::beh::{synthesize_beh_src, BehVariant};
 use scflow::models::rtl::{build_rtl_src, RtlVariant};
 use scflow::verify::{compare_bit_accurate, GoldenVectors};
 use scflow::{stimulus, SrcConfig};
-use scflow_cosim::{build_hdl_testbench, run_kernel_cosim, run_native_hdl};
+use scflow_cosim::{
+    build_hdl_testbench, run_kernel_cosim, run_native_hdl, run_native_hdl_compiled,
+};
+use scflow_rtl::CompiledProgram;
 use scflow_gate::{CellLibrary, GateSim};
 use scflow_rtl::RtlSim;
 use scflow_synth::rtl::{synthesize, SynthOptions};
@@ -81,6 +84,29 @@ fn both_testbenches_on_gate_beh_dut() {
     let mut dut2 = GateSim::new(&netlist, &lib);
     let cosim = run_kernel_cosim(&mut dut2, &g, BUDGET);
     compare_bit_accurate(&g.output, &cosim.outputs).expect("cosim gate-beh");
+}
+
+#[test]
+fn compiled_testbench_runs_are_cycle_identical() {
+    // The all-compiled native-HDL configuration must match the
+    // interpreted one cycle for cycle — same outputs, same cycle count,
+    // same error counter — whichever engine the DUT itself runs on.
+    let cfg = SrcConfig::cd_to_dvd();
+    let g = golden();
+    let m = build_rtl_src(&cfg, RtlVariant::Optimised).expect("rtl");
+    let reference = run_native_hdl(&mut RtlSim::new(&m), &g, BUDGET);
+    compare_bit_accurate(&g.output, &reference.outputs).expect("bit accurate");
+
+    let program = CompiledProgram::compile(&m).expect("compiles");
+    for run in [
+        run_native_hdl_compiled(&mut RtlSim::new(&m), &g, BUDGET),
+        run_native_hdl(&mut program.simulator(), &g, BUDGET),
+        run_native_hdl_compiled(&mut program.simulator(), &g, BUDGET),
+    ] {
+        assert_eq!(run.outputs, reference.outputs);
+        assert_eq!(run.cycles, reference.cycles);
+        assert_eq!(run.testbench_errors, reference.testbench_errors);
+    }
 }
 
 #[test]

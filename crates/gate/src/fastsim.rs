@@ -1,0 +1,435 @@
+//! Zero-delay levelized gate simulation ("fast mode").
+//!
+//! [`FastGateSim`] trades [`GateSim`](crate::GateSim)'s per-event transport
+//! delays for a single levelized sweep per settle: combinational cells and
+//! memory read paths are topologically ordered once at construction, then
+//! each settle pass evaluates — in that order — only the nodes whose input
+//! nets changed since the previous pass (activity gating). On an acyclic
+//! netlist the settled fixed point is identical to the event-driven
+//! simulator's, because inertial delays only reorder transient glitches,
+//! never the quiescent values; the per-cycle protocol (`set_input`,
+//! `tick`, `output`) and the **checking memory model** — including the
+//! violation stream — are the same.
+//!
+//! Not supported: per-event timing (`now_ps`) and stuck-at fault
+//! injection; use [`GateSim`](crate::GateSim) for those. Scan flops still
+//! simulate functionally.
+
+use crate::error::GateError;
+use crate::gsim::{GateSimStats, MemAccessViolation};
+use crate::netlist::{GNetId, GateNetlist};
+use scflow_hwtypes::{Bv, Logic, LogicVec};
+
+/// A levelized node: a combinational cell or one memory's read path.
+#[derive(Clone, Copy, Debug)]
+enum Node {
+    Inst(u32),
+    MemRead(u32),
+}
+
+/// A zero-delay levelized simulator over a [`GateNetlist`].
+///
+/// Drop-in for [`GateSim`](crate::GateSim) in scan-free functional runs:
+/// same ports, same four-valued values, same checking-memory violations.
+pub struct FastGateSim<'n> {
+    nl: &'n GateNetlist,
+    values: Vec<Logic>,
+    mems: Vec<Vec<Bv>>,
+    /// Combinational nodes in topological evaluation order.
+    order: Vec<Node>,
+    changed: Vec<bool>,
+    touched: Vec<u32>,
+    mem_changed: Vec<bool>,
+    force_eval: bool,
+    stats: GateSimStats,
+    skipped: u64,
+    violations: Vec<MemAccessViolation>,
+}
+
+impl<'n> FastGateSim<'n> {
+    /// Levelizes the netlist and creates a simulator: flop outputs at
+    /// their power-on values, constants driven, everything else unknown
+    /// until driven.
+    ///
+    /// # Errors
+    ///
+    /// [`GateError::CombLoop`] if the combinational cells form a cycle
+    /// (such netlists need the event-driven simulator's delay semantics).
+    pub fn new(nl: &'n GateNetlist) -> Result<Self, GateError> {
+        let order = levelize(nl)?;
+        let mut sim = FastGateSim {
+            nl,
+            values: vec![Logic::X; nl.net_count()],
+            mems: nl.memories().iter().map(|m| m.init.clone()).collect(),
+            order,
+            changed: vec![false; nl.net_count()],
+            touched: Vec::new(),
+            mem_changed: vec![false; nl.memories().len()],
+            force_eval: true,
+            stats: GateSimStats::default(),
+            skipped: 0,
+            violations: Vec::new(),
+        };
+        sim.values[nl.const0().0] = Logic::Zero;
+        sim.values[nl.const1().0] = Logic::One;
+        for inst in nl.instances() {
+            if let Some(init) = inst.init {
+                sim.values[inst.output.0] = Logic::from_bool(init);
+            }
+        }
+        sim.settle();
+        Ok(sim)
+    }
+
+    /// The netlist this simulator runs.
+    pub fn netlist(&self) -> &'n GateNetlist {
+        self.nl
+    }
+
+    /// Activity counters (`events` counts net value changes, as in the
+    /// event-driven simulator).
+    pub fn stats(&self) -> GateSimStats {
+        self.stats
+    }
+
+    /// Node evaluations avoided by activity gating.
+    pub fn nodes_skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Recorded memory-access violations.
+    pub fn violations(&self) -> &[MemAccessViolation] {
+        &self.violations
+    }
+
+    /// Drives an input port, reporting bad names or widths as errors.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown ports or width mismatches.
+    pub fn try_set_input(
+        &mut self,
+        name: &str,
+        value: Bv,
+    ) -> Result<(), scflow_sim_api::SimError> {
+        use scflow_sim_api::SimError;
+        let bits = self
+            .nl
+            .input_port(name)
+            .ok_or_else(|| SimError::UnknownPort(name.to_string()))?;
+        if bits.len() as u32 != value.width() {
+            return Err(SimError::WidthMismatch {
+                port: name.to_string(),
+                port_width: bits.len() as u32,
+                value_width: value.width(),
+            });
+        }
+        for (i, net) in bits.to_vec().iter().enumerate() {
+            self.set_net(*net, Logic::from_bool(value.get(i as u32)));
+        }
+        Ok(())
+    }
+
+    /// Drives an input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or the width differs.
+    pub fn set_input(&mut self, name: &str, value: Bv) {
+        if let Err(e) = self.try_set_input(name, value) {
+            panic!("{e}");
+        }
+    }
+
+    /// Reads an output port; `None` while any bit is unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn output(&self, name: &str) -> Option<Bv> {
+        self.output_logic(name).to_bv()
+    }
+
+    /// Reads an output port as four-valued logic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn output_logic(&self, name: &str) -> LogicVec {
+        let bits = self
+            .nl
+            .output_port(name)
+            .unwrap_or_else(|| panic!("no output port `{name}`"));
+        bits.iter().map(|n| self.values[n.0]).collect()
+    }
+
+    /// `true` if the netlist declares an input port of this name.
+    pub fn netlist_has_input(&self, name: &str) -> bool {
+        self.nl.input_port(name).is_some()
+    }
+
+    /// Reads a single net (white-box).
+    pub fn peek_net(&self, net: GNetId) -> Logic {
+        self.values[net.0]
+    }
+
+    /// Reads a memory word (white-box).
+    pub fn peek_mem(&self, mem: usize, addr: usize) -> Bv {
+        self.mems[mem][addr]
+    }
+
+    fn set_net(&mut self, net: GNetId, value: Logic) {
+        if self.values[net.0] != value {
+            self.values[net.0] = value;
+            self.stats.events += 1;
+            if !self.changed[net.0] {
+                self.changed[net.0] = true;
+                self.touched.push(net.0 as u32);
+            }
+        }
+    }
+
+    /// Propagates combinational logic to a fixed point: one gated sweep
+    /// over the levelized node order.
+    pub fn settle(&mut self) {
+        let nl = self.nl;
+        let gate = !self.force_eval;
+        for i in 0..self.order.len() {
+            match self.order[i] {
+                Node::Inst(idx) => {
+                    let inst = &nl.instances()[idx as usize];
+                    if gate && !inst.inputs.iter().any(|n| self.changed[n.0]) {
+                        self.skipped += 1;
+                        continue;
+                    }
+                    let mut buf = [Logic::X; 3];
+                    let n = inst.inputs.len();
+                    for (slot, inp) in buf.iter_mut().zip(&inst.inputs) {
+                        *slot = self.values[inp.0];
+                    }
+                    let out = inst.kind.eval(&buf[..n]);
+                    self.stats.gate_evals += 1;
+                    self.set_net(inst.output, out);
+                }
+                Node::MemRead(m) => {
+                    let mi = m as usize;
+                    let mem = &nl.memories()[mi];
+                    if gate
+                        && !self.mem_changed[mi]
+                        && !mem.raddr.iter().any(|n| self.changed[n.0])
+                    {
+                        self.skipped += 1;
+                        continue;
+                    }
+                    self.stats.gate_evals += 1;
+                    let addr_lv: LogicVec =
+                        mem.raddr.iter().map(|n| self.values[n.0]).collect();
+                    let word: Option<Bv> = addr_lv.to_bv().map(|addr| {
+                        self.mems[mi][(addr.as_u64() % mem.words() as u64) as usize]
+                    });
+                    let dout = mem.dout.clone();
+                    match word {
+                        Some(w) => {
+                            for (i, net) in dout.iter().enumerate() {
+                                self.set_net(*net, Logic::from_bool(w.get(i as u32)));
+                            }
+                        }
+                        None => {
+                            for net in dout {
+                                self.set_net(net, Logic::X);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Every consumer runs after its driver within the sweep, so all
+        // raised changes have been observed; reset for the next pass.
+        for i in 0..self.touched.len() {
+            self.changed[self.touched[i] as usize] = false;
+        }
+        self.touched.clear();
+        for f in &mut self.mem_changed {
+            *f = false;
+        }
+        self.force_eval = false;
+    }
+
+    /// One clock cycle: settle, validate read addresses, sample every
+    /// flop's input and the memory write ports, commit, settle — the
+    /// event-driven simulator's tick without the delay bookkeeping.
+    pub fn tick(&mut self) {
+        self.settle();
+
+        // Checking memory model: validate each read port's *settled*
+        // address at the edge, where the read data is consumed.
+        let cycle = self.stats.cycles;
+        for mem in self.nl.memories().iter() {
+            if mem.raddr.is_empty() {
+                continue;
+            }
+            let addr_lv: LogicVec = mem.raddr.iter().map(|n| self.values[n.0]).collect();
+            if let Some(addr) = addr_lv.to_bv() {
+                let a = addr.as_u64();
+                if a >= mem.words() as u64 {
+                    self.violations.push(MemAccessViolation {
+                        cycle,
+                        memory: mem.name.clone(),
+                        address: a,
+                        write: false,
+                    });
+                }
+            }
+        }
+
+        // Rising edge: sample flop data pins simultaneously.
+        let mut q_updates: Vec<(GNetId, Logic)> = Vec::new();
+        for inst in self.nl.instances() {
+            if !inst.kind.is_sequential() {
+                continue;
+            }
+            let ins: Vec<Logic> = inst.inputs.iter().map(|i| self.values[i.0]).collect();
+            q_updates.push((inst.output, inst.kind.eval(&ins)));
+        }
+
+        // Sample memory write ports.
+        let mut mem_writes: Vec<(usize, u64, Bv)> = Vec::new();
+        for (m, mem) in self.nl.memories().iter().enumerate() {
+            let Some(wen) = mem.wen else { continue };
+            match self.values[wen.0] {
+                Logic::One => {}
+                Logic::Zero => continue,
+                _ => {
+                    self.violations.push(MemAccessViolation {
+                        cycle,
+                        memory: mem.name.clone(),
+                        address: u64::MAX,
+                        write: true,
+                    });
+                    continue;
+                }
+            }
+            let addr_lv: LogicVec = mem.waddr.iter().map(|n| self.values[n.0]).collect();
+            let data_lv: LogicVec = mem.wdata.iter().map(|n| self.values[n.0]).collect();
+            match (addr_lv.to_bv(), data_lv.to_bv()) {
+                (Some(addr), Some(data)) => {
+                    let a = addr.as_u64();
+                    if a < mem.words() as u64 {
+                        mem_writes.push((m, a, data));
+                    } else {
+                        self.violations.push(MemAccessViolation {
+                            cycle,
+                            memory: mem.name.clone(),
+                            address: a,
+                            write: true,
+                        });
+                        mem_writes.push((m, a % mem.words() as u64, data));
+                    }
+                }
+                _ => self.violations.push(MemAccessViolation {
+                    cycle,
+                    memory: mem.name.clone(),
+                    address: u64::MAX,
+                    write: true,
+                }),
+            }
+        }
+
+        // Commit flop outputs and memory writes.
+        for (q, v) in q_updates {
+            self.set_net(q, v);
+        }
+        for (m, a, data) in mem_writes {
+            if self.mems[m][a as usize] != data {
+                self.mems[m][a as usize] = data;
+                self.mem_changed[m] = true;
+            }
+        }
+
+        self.stats.cycles += 1;
+        self.settle();
+    }
+
+    /// Runs `n` clock cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+}
+
+/// Topologically orders the combinational cells and memory read paths.
+fn levelize(nl: &GateNetlist) -> Result<Vec<Node>, GateError> {
+    let comb: Vec<usize> = nl
+        .instances()
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| !i.kind.is_sequential())
+        .map(|(i, _)| i)
+        .collect();
+    let n_nodes = comb.len() + nl.memories().len();
+    let nodes: Vec<Node> = comb
+        .iter()
+        .map(|&i| Node::Inst(i as u32))
+        .chain((0..nl.memories().len()).map(|m| Node::MemRead(m as u32)))
+        .collect();
+
+    // Which levelized node drives each net (flop Q / const / input nets
+    // have no combinational driver and act as sources).
+    let mut net_driver: Vec<Option<usize>> = vec![None; nl.net_count()];
+    for (node, &i) in comb.iter().enumerate() {
+        net_driver[nl.instances()[i].output.0] = Some(node);
+    }
+    for (m, mem) in nl.memories().iter().enumerate() {
+        for &d in &mem.dout {
+            net_driver[d.0] = Some(comb.len() + m);
+        }
+    }
+
+    let node_inputs = |node: usize| -> Box<dyn Iterator<Item = GNetId> + '_> {
+        match nodes[node] {
+            Node::Inst(i) => Box::new(nl.instances()[i as usize].inputs.iter().copied()),
+            Node::MemRead(m) => Box::new(nl.memories()[m as usize].raddr.iter().copied()),
+        }
+    };
+
+    let mut indeg = vec![0usize; n_nodes];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+    for node in 0..n_nodes {
+        for net in node_inputs(node) {
+            if let Some(d) = net_driver[net.0] {
+                adj[d].push(node);
+                indeg[node] += 1;
+            }
+        }
+    }
+
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..n_nodes).filter(|&n| indeg[n] == 0).collect();
+    let mut order = Vec::with_capacity(n_nodes);
+    while let Some(n) = queue.pop_front() {
+        order.push(nodes[n]);
+        for &m in &adj[n] {
+            indeg[m] -= 1;
+            if indeg[m] == 0 {
+                queue.push_back(m);
+            }
+        }
+    }
+    if order.len() != n_nodes {
+        return Err(GateError::CombLoop {
+            netlist: nl.name().to_string(),
+        });
+    }
+    Ok(order)
+}
+
+impl std::fmt::Debug for FastGateSim<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FastGateSim")
+            .field("netlist", &self.nl.name())
+            .field("cycles", &self.stats.cycles)
+            .field("events", &self.stats.events)
+            .finish()
+    }
+}

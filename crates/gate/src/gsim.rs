@@ -172,6 +172,11 @@ impl<'n> GateSim<'n> {
         self.now
     }
 
+    /// The netlist this simulator runs.
+    pub fn netlist(&self) -> &'n GateNetlist {
+        self.nl
+    }
+
     /// Activity counters.
     pub fn stats(&self) -> GateSimStats {
         self.stats
@@ -248,7 +253,7 @@ impl<'n> GateSim<'n> {
     }
 
     /// Reads a single net (white-box).
-    pub fn peek(&self, net: GNetId) -> Logic {
+    pub fn peek_net(&self, net: GNetId) -> Logic {
         self.values[net.0]
     }
 

@@ -17,6 +17,9 @@
 //! * [`GateSim`] — an event-driven four-valued simulator with transport
 //!   delays; its per-event cost is what makes gate-level simulation orders
 //!   of magnitude slower than higher abstraction levels,
+//! * [`FastGateSim`] — a zero-delay levelized "fast mode" with activity
+//!   gating for scan-free functional runs: same settled values and same
+//!   checking-memory violations, no per-event timing,
 //! * the **checking memory model**: out-of-range accesses are recorded,
 //!   reproducing how the paper's golden-model bug was finally caught at
 //!   gate level,
@@ -32,16 +35,23 @@
 
 mod area;
 mod celllib;
+mod error;
 pub mod fault;
+mod fastsim;
 mod gsim;
 mod netlist;
 mod scan;
+mod simapi;
 mod timing;
 mod verilog;
 
 pub use area::AreaReport;
 pub use celllib::{CellKind, CellLibrary, CellSpec};
+pub use error::GateError;
+pub use fastsim::FastGateSim;
 pub use gsim::{GateSim, GateSimStats, MemAccessViolation};
 pub use netlist::{GNetId, GateMemory, GateNetlist, Instance, NetlistBuilder};
+// The unified engine interface both simulators implement.
+pub use scflow_sim_api::{EngineStats, SimError, Simulation};
 pub use scan::insert_scan_chain;
 pub use timing::{longest_path, TimingReport};

@@ -1,0 +1,119 @@
+//! [`Simulation`] implementations for the gate-level engines.
+//!
+//! Both engines follow the same per-cycle protocol as the RTL simulators.
+//! Output reads follow the flow's testbench convention: unknown bits read
+//! as zero (use [`GateSim::output_logic`](crate::GateSim::output_logic) /
+//! [`FastGateSim::output_logic`](crate::FastGateSim::output_logic) when
+//! the four-valued view matters).
+
+use crate::{FastGateSim, GateSim};
+use scflow_hwtypes::Bv;
+use scflow_sim_api::{EngineStats, SimError, Simulation};
+
+impl GateSim<'_> {
+    /// Drives an input port, reporting bad names or widths as errors.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown ports or width mismatches.
+    pub fn try_set_input(&mut self, name: &str, value: Bv) -> Result<(), SimError> {
+        let width = self
+            .netlist()
+            .input_port(name)
+            .ok_or_else(|| SimError::UnknownPort(name.to_string()))?
+            .len() as u32;
+        if width != value.width() {
+            return Err(SimError::WidthMismatch {
+                port: name.to_string(),
+                port_width: width,
+                value_width: value.width(),
+            });
+        }
+        self.set_input(name, value);
+        Ok(())
+    }
+}
+
+fn peek_gate(
+    bits: Option<&[crate::GNetId]>,
+    read: impl Fn(crate::GNetId) -> scflow_hwtypes::Logic,
+    name: &str,
+) -> Result<Bv, SimError> {
+    let bits = bits.ok_or_else(|| SimError::UnknownPort(name.to_string()))?;
+    let lv: scflow_hwtypes::LogicVec = bits.iter().map(|&n| read(n)).collect();
+    Ok(lv
+        .to_bv()
+        .unwrap_or_else(|| Bv::zero(bits.len() as u32)))
+}
+
+impl Simulation for GateSim<'_> {
+    fn step(&mut self) {
+        self.tick();
+    }
+
+    fn settle(&mut self) {
+        GateSim::settle(self);
+    }
+
+    fn cycle(&self) -> u64 {
+        self.stats().cycles
+    }
+
+    fn try_poke(&mut self, port: &str, value: Bv) -> Result<(), SimError> {
+        self.try_set_input(port, value)
+    }
+
+    fn try_peek(&self, port: &str) -> Result<Bv, SimError> {
+        peek_gate(self.netlist().output_port(port), |n| self.peek_net(n), port)
+    }
+
+    fn has_input(&self, port: &str) -> bool {
+        self.netlist_has_input(port)
+    }
+
+    fn stats(&self) -> EngineStats {
+        let s = GateSim::stats(self);
+        EngineStats {
+            cycles: s.cycles,
+            evals: s.gate_evals,
+            skipped: 0,
+            events: s.events,
+        }
+    }
+}
+
+impl Simulation for FastGateSim<'_> {
+    fn step(&mut self) {
+        self.tick();
+    }
+
+    fn settle(&mut self) {
+        FastGateSim::settle(self);
+    }
+
+    fn cycle(&self) -> u64 {
+        FastGateSim::stats(self).cycles
+    }
+
+    fn try_poke(&mut self, port: &str, value: Bv) -> Result<(), SimError> {
+        self.try_set_input(port, value)
+    }
+
+    fn try_peek(&self, port: &str) -> Result<Bv, SimError> {
+        peek_gate(self.netlist().output_port(port), |n| self.peek_net(n), port)
+    }
+
+    fn has_input(&self, port: &str) -> bool {
+        self.netlist_has_input(port)
+    }
+
+    fn stats(&self) -> EngineStats {
+        let s = FastGateSim::stats(self);
+        EngineStats {
+            cycles: s.cycles,
+            evals: s.gate_evals,
+            skipped: self.nodes_skipped(),
+            events: s.events,
+        }
+    }
+}

@@ -1,0 +1,699 @@
+//! Executor for compiled RTL programs.
+//!
+//! [`CompiledSim`] runs the bytecode produced by
+//! [`CompiledProgram::compile`](crate::CompiledProgram::compile) over a
+//! dense `u64` slot array. Activity gating is event-driven: every value
+//! change schedules exactly the dependent cones through the program's
+//! precomputed fanout lists, so a settle pass touches only pending cones
+//! — and a pass with nothing pending is a single branch. It is a drop-in
+//! replacement for [`RtlSim`](crate::RtlSim): same per-cycle protocol,
+//! same port accessors, bit-identical values, violations and waveforms.
+//! Address checking
+//! ([`check_addresses`](CompiledSim::check_addresses)) disables gating so
+//! the out-of-range-access stream matches the interpreter's re-evaluation
+//! behaviour exactly.
+
+use crate::compile::{CompiledProgram, Inst};
+use crate::module::{MemoryId, NetId};
+use crate::sim::MemViolation;
+use scflow_hwtypes::Bv;
+use std::ops::Range;
+
+/// Branchless low-`w`-bits mask. The compiler has already validated
+/// every width as 1..=64, so unlike [`scflow_hwtypes::mask`] this needs
+/// neither the assert nor the `w == 64` special case.
+#[inline(always)]
+fn mask(w: u32) -> u64 {
+    u64::MAX >> (64 - w)
+}
+
+/// Sign-extends the low `w` bits (`w` in 1..=64, validated at compile
+/// time) without the public helper's range assert.
+#[inline(always)]
+fn sign_extend(raw: u64, w: u32) -> i64 {
+    let shift = 64 - w;
+    ((raw << shift) as i64) >> shift
+}
+
+/// A compiled-engine simulator instance over a [`CompiledProgram`].
+///
+/// Usage pattern per clock cycle matches [`RtlSim`](crate::RtlSim):
+/// [`set_input`](CompiledSim::set_input), [`tick`](CompiledSim::tick),
+/// [`output`](CompiledSim::output); [`settle`](CompiledSim::settle) for
+/// combinational observation without advancing the clock.
+pub struct CompiledSim<'p> {
+    prog: &'p CompiledProgram,
+    slots: Vec<u64>,
+    mems: Vec<Vec<u64>>,
+    /// Bitmask worklist of cones scheduled (via fanout) for the next
+    /// settle pass; bit index = cone index.
+    comb_pending: Vec<u64>,
+    comb_any: bool,
+    /// Some write port's fanin changed since the last clock edge (or the
+    /// first edge has not happened yet); write sampling runs only then.
+    write_pending: bool,
+    force_eval: bool,
+    cycle: u64,
+    violations: Vec<MemViolation>,
+    watched: Vec<u32>,
+    history: Vec<(u64, Vec<Bv>)>,
+    write_buf: Vec<(u32, u64, u64)>,
+    evals: u64,
+    skipped: u64,
+    /// When `false` (the default, matching plain HDL simulation),
+    /// out-of-range accesses wrap silently. Enabling this also disables
+    /// activity gating, so the violation stream is identical to the
+    /// interpreter's every-settle re-evaluation.
+    pub check_addresses: bool,
+}
+
+impl<'p> CompiledSim<'p> {
+    /// Creates an executor with registers at their `init` values, inputs
+    /// at zero and memories at their initial contents.
+    pub fn new(prog: &'p CompiledProgram) -> Self {
+        let mut sim = CompiledSim {
+            prog,
+            slots: prog.init.clone(),
+            mems: prog.mems.iter().map(|m| m.init.clone()).collect(),
+            comb_pending: vec![0; prog.cones.len().div_ceil(64)],
+            comb_any: false,
+            write_pending: true,
+            force_eval: true,
+            cycle: 0,
+            violations: Vec::new(),
+            watched: Vec::new(),
+            history: Vec::new(),
+            write_buf: Vec::new(),
+            evals: 0,
+            skipped: 0,
+            check_addresses: false,
+        };
+        sim.settle();
+        sim
+    }
+
+    /// The program this executor runs.
+    pub fn program(&self) -> &'p CompiledProgram {
+        self.prog
+    }
+
+    /// The number of completed clock cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Bytecode instructions executed so far.
+    pub fn instructions_executed(&self) -> u64 {
+        self.evals
+    }
+
+    /// Combinational cones skipped by activity gating so far.
+    pub fn cones_skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    fn port(&self, name: &str) -> Option<&crate::compile::CompiledPort> {
+        // Modules have a handful of ports; a linear scan (length check
+        // first, then bytes) beats hashing the name on every poke/peek.
+        self.prog.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Sets an input port's value for subsequent evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown ports, non-inputs, or width mismatches.
+    pub fn try_set_input(
+        &mut self,
+        name: &str,
+        value: Bv,
+    ) -> Result<(), scflow_sim_api::SimError> {
+        use scflow_sim_api::SimError;
+        let port = self
+            .port(name)
+            .ok_or_else(|| SimError::UnknownPort(name.to_string()))?;
+        if !port.input {
+            return Err(SimError::NotAnInput(name.to_string()));
+        }
+        if port.width != value.width() {
+            return Err(SimError::WidthMismatch {
+                port: name.to_string(),
+                port_width: port.width,
+                value_width: value.width(),
+            });
+        }
+        let slot = port.slot;
+        if self.slots[slot as usize] != value.as_u64() {
+            self.slots[slot as usize] = value.as_u64();
+            self.mark(slot);
+        }
+        Ok(())
+    }
+
+    /// Sets an input port's value for subsequent evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input port of that name exists or the width differs.
+    pub fn set_input(&mut self, name: &str, value: Bv) {
+        if let Err(e) = self.try_set_input(name, value) {
+            panic!("{e}");
+        }
+    }
+
+    /// Reads an output port's value.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown ports or non-outputs.
+    pub fn try_output(&self, name: &str) -> Result<Bv, scflow_sim_api::SimError> {
+        use scflow_sim_api::SimError;
+        let port = self
+            .port(name)
+            .ok_or_else(|| SimError::UnknownPort(name.to_string()))?;
+        if port.input {
+            return Err(SimError::NotAnOutput(name.to_string()));
+        }
+        Ok(Bv::new(self.slots[port.slot as usize], port.width))
+    }
+
+    /// Reads an output port's value (after [`settle`](CompiledSim::settle)
+    /// or [`tick`](CompiledSim::tick)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output port of that name exists.
+    pub fn output(&self, name: &str) -> Bv {
+        match self.try_output(name) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// `true` if the design declares an input port of this name.
+    pub fn module_has_input(&self, name: &str) -> bool {
+        self.port(name).is_some_and(|p| p.input)
+    }
+
+    /// Resolves an input port name to its port-table index for the
+    /// handle-based hot path ([`set_input_at`](CompiledSim::set_input_at)).
+    pub fn input_index(&self, name: &str) -> Option<u32> {
+        self.prog
+            .ports
+            .iter()
+            .position(|p| p.input && p.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Resolves an output port name to its port-table index for
+    /// [`output_at`](CompiledSim::output_at).
+    pub fn output_index(&self, name: &str) -> Option<u32> {
+        self.prog
+            .ports
+            .iter()
+            .position(|p| !p.input && p.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Sets an input port by resolved index — [`set_input`](CompiledSim::set_input)
+    /// without the name scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch or an index not from
+    /// [`input_index`](CompiledSim::input_index).
+    pub fn set_input_at(&mut self, index: u32, value: Bv) {
+        let port = &self.prog.ports[index as usize];
+        assert!(
+            port.input && port.width == value.width(),
+            "bad handle write to `{}`: input={} width {} vs {}",
+            port.name,
+            port.input,
+            port.width,
+            value.width()
+        );
+        let slot = port.slot;
+        if self.slots[slot as usize] != value.as_u64() {
+            self.slots[slot as usize] = value.as_u64();
+            self.mark(slot);
+        }
+    }
+
+    /// Reads an output port by resolved index — [`output`](CompiledSim::output)
+    /// without the name scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn output_at(&self, index: u32) -> Bv {
+        let port = &self.prog.ports[index as usize];
+        Bv::new(self.slots[port.slot as usize], port.width)
+    }
+
+    /// Reads any net by id (for white-box tests and differential checks).
+    pub fn peek_net(&self, net: NetId) -> Bv {
+        let i = net.0;
+        Bv::new(self.slots[i], self.prog.net_widths[i])
+    }
+
+    /// Reads a memory word (for white-box tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn peek_mem(&self, mem: MemoryId, addr: usize) -> Bv {
+        Bv::new(self.mems[mem.0][addr], self.prog.mems[mem.0].width)
+    }
+
+    /// Schedules everything that depends on `slot`: dependent cones (as
+    /// pending bits) and the write-sampling flag. Re-marking is idempotent
+    /// (bit sets), so no per-net dedup pass is needed.
+    fn mark(&mut self, slot: u32) {
+        let s = slot as usize;
+        let prog = self.prog;
+        let lo = prog.net_sched_off[s] as usize;
+        let hi = prog.net_sched_off[s + 1] as usize;
+        for &(w, m) in &prog.net_sched[lo..hi] {
+            self.comb_pending[w as usize] |= m;
+        }
+        self.comb_any |= hi > lo;
+        self.write_pending |= prog.net_schedules_write[s];
+    }
+
+    /// [`mark`](CompiledSim::mark) for a memory's contents.
+    fn mark_mem(&mut self, mem: u32) {
+        let m = mem as usize;
+        let prog = self.prog;
+        let lo = prog.mem_sched_off[m] as usize;
+        let hi = prog.mem_sched_off[m + 1] as usize;
+        for &(w, mk) in &prog.mem_sched[lo..hi] {
+            self.comb_pending[w as usize] |= mk;
+        }
+        self.comb_any |= hi > lo;
+        self.write_pending |= prog.mem_schedules_write[m];
+    }
+
+    /// Propagates combinational logic to a fixed point (one pass over the
+    /// pending cones in the compiled topological order).
+    pub fn settle(&mut self) {
+        let prog = self.prog;
+        if !self.check_addresses && !self.force_eval {
+            // Event-driven pass: only cones scheduled by a dependency
+            // change run. Dependents sit after their drivers in the
+            // topological cone order (cone indices ascend), so a change
+            // raised mid-pass only ever sets a bit at or above the
+            // current position and is consumed by this same pass.
+            if !self.comb_any {
+                self.skipped += u64::from(prog.n_active_cones);
+                return;
+            }
+            let mut ran = 0u64;
+            for wi in 0..self.comb_pending.len() {
+                loop {
+                    let word = self.comb_pending[wi];
+                    if word == 0 {
+                        break;
+                    }
+                    let bit = word.trailing_zeros();
+                    self.comb_pending[wi] = word & (word - 1);
+                    let ci = wi * 64 + bit as usize;
+                    let cone = &prog.cones[ci];
+                    let t = cone.target as usize;
+                    let old = self.slots[t];
+                    self.exec(&prog.insts, cone.insts.clone());
+                    ran += 1;
+                    if self.slots[t] != old {
+                        self.mark(cone.target);
+                    }
+                }
+            }
+            self.skipped += u64::from(prog.n_active_cones).saturating_sub(ran);
+            self.comb_any = false;
+        } else {
+            // Full pass: address checking (and the first settle) must
+            // re-evaluate every cone so the out-of-range-access stream
+            // matches the interpreter's.
+            for cone in &prog.cones {
+                if cone.insts.is_empty() {
+                    // Fully constant-folded: the target slot was baked
+                    // into the initial image and can never change.
+                    continue;
+                }
+                let t = cone.target as usize;
+                let old = self.slots[t];
+                self.exec(&prog.insts, cone.insts.clone());
+                if self.slots[t] != old {
+                    self.mark(cone.target);
+                }
+            }
+            if self.comb_any {
+                for w in &mut self.comb_pending {
+                    *w = 0;
+                }
+                self.comb_any = false;
+            }
+        }
+        self.force_eval = false;
+    }
+
+    /// Advances one clock cycle: settle, sample register/memory inputs,
+    /// commit, settle again — the interpreter's tick, verbatim.
+    ///
+    /// Write-port sampling is gated: if no port's fanin changed since the
+    /// last edge, every enabled port would rewrite the word it wrote last
+    /// edge — a no-op on memory contents — so the whole block is skipped.
+    /// (Ports are gated all-or-nothing, preserving multi-port commit
+    /// order.) Address checking disables this gating along with the rest.
+    pub fn tick(&mut self) {
+        let prog = self.prog;
+        self.settle();
+
+        // Sample every register's next value against the settled slots,
+        // in one contiguous instruction run. The sampled values live in
+        // private temp slots, so later registers still observe pre-edge
+        // state.
+        self.exec(&prog.seq_insts, prog.reg_sample_insts.clone());
+
+        // Sample memory writes; address/data only evaluate when enabled.
+        let mut buf = std::mem::take(&mut self.write_buf);
+        if self.check_addresses || self.write_pending {
+            buf.clear();
+            for w in &prog.writes {
+                self.exec(&prog.seq_insts, w.en_insts.clone());
+                if self.slots[w.en_slot as usize] != 0 {
+                    self.exec(&prog.seq_insts, w.addr_insts.clone());
+                    self.exec(&prog.seq_insts, w.data_insts.clone());
+                    buf.push((
+                        w.mem,
+                        self.slots[w.addr_slot as usize],
+                        self.slots[w.data_slot as usize],
+                    ));
+                }
+            }
+            self.write_pending = false;
+        } else {
+            buf.clear();
+        }
+
+        // Commit registers.
+        for r in &prog.regs {
+            let v = self.slots[r.src as usize];
+            if self.slots[r.q as usize] != v {
+                self.slots[r.q as usize] = v;
+                self.mark(r.q);
+            }
+        }
+        // Commit memory writes.
+        for &(m, addr, data) in &buf {
+            let mi = m as usize;
+            let words = self.mems[mi].len() as u64;
+            let idx = if addr < words {
+                addr as usize
+            } else {
+                if self.check_addresses {
+                    self.violations.push(MemViolation {
+                        cycle: self.cycle,
+                        memory: prog.mems[mi].name.clone(),
+                        address: addr,
+                        write: true,
+                    });
+                }
+                (addr % words) as usize
+            };
+            if self.mems[mi][idx] != data {
+                self.mems[mi][idx] = data;
+                self.mark_mem(m);
+            }
+        }
+        self.write_buf = buf;
+
+        self.cycle += 1;
+        self.settle();
+        if !self.watched.is_empty() {
+            let snapshot = self
+                .watched
+                .iter()
+                .map(|&s| Bv::new(self.slots[s as usize], prog.net_widths[s as usize]))
+                .collect();
+            self.history.push((self.cycle, snapshot));
+        }
+    }
+
+    /// Runs `n` clock cycles with the current inputs.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Out-of-range accesses recorded so far (only populated while
+    /// [`check_addresses`](CompiledSim::check_addresses) is enabled).
+    pub fn violations(&self) -> &[MemViolation] {
+        &self.violations
+    }
+
+    /// Adds a net to the waveform watch list; its value is sampled after
+    /// every [`tick`](CompiledSim::tick) and can be dumped with
+    /// [`waveform_vcd`](CompiledSim::waveform_vcd).
+    pub fn watch_net(&mut self, net: NetId) {
+        self.watched.push(net.0 as u32);
+    }
+
+    /// Convenience: watch a port by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn watch_port(&mut self, name: &str) {
+        let port = self
+            .port(name)
+            .unwrap_or_else(|| panic!("no port named `{name}`"));
+        self.watched.push(port.slot);
+    }
+
+    /// Renders the watched nets' cycle-by-cycle history as a VCD document
+    /// (`clock_period_ps` sets the timescale mapping of one cycle) —
+    /// byte-identical to the interpreter's for the same watch list.
+    pub fn waveform_vcd(&self, clock_period_ps: u64) -> String {
+        let vars: Vec<(u32, &str)> = self
+            .watched
+            .iter()
+            .map(|&s| {
+                (
+                    self.prog.net_widths[s as usize],
+                    self.prog.net_names[s as usize].as_str(),
+                )
+            })
+            .collect();
+        crate::trace::render_vcd(&vars, &self.history, clock_period_ps)
+    }
+
+    fn exec(&mut self, insts: &[Inst], range: Range<u32>) {
+        let mut pc = range.start as usize;
+        let end = range.end as usize;
+        let mut executed = 0u64;
+        // Borrow the hot fields once so the instruction loop works on
+        // plain slices instead of re-projecting through `self`.
+        let slots = &mut self.slots;
+        let mems = &mut self.mems;
+        let violations = &mut self.violations;
+        let check_addresses = self.check_addresses;
+        let cycle = self.cycle;
+        let prog = self.prog;
+        while pc < end {
+            let inst = insts[pc];
+            pc += 1;
+            executed += 1;
+            match inst {
+                Inst::Copy { dst, a } => slots[dst as usize] = slots[a as usize],
+                Inst::Not { dst, a, w } => {
+                    slots[dst as usize] = !slots[a as usize] & mask(w)
+                }
+                Inst::Neg { dst, a, w } => {
+                    slots[dst as usize] = slots[a as usize].wrapping_neg() & mask(w)
+                }
+                Inst::RedAnd { dst, a, w } => {
+                    slots[dst as usize] = u64::from(slots[a as usize] == mask(w))
+                }
+                Inst::RedOr { dst, a } => {
+                    slots[dst as usize] = u64::from(slots[a as usize] != 0)
+                }
+                Inst::RedXor { dst, a } => {
+                    slots[dst as usize] = u64::from(slots[a as usize].count_ones() % 2 == 1)
+                }
+                Inst::Add { dst, a, b, w } => {
+                    slots[dst as usize] =
+                        slots[a as usize].wrapping_add(slots[b as usize]) & mask(w)
+                }
+                Inst::Sub { dst, a, b, w } => {
+                    slots[dst as usize] =
+                        slots[a as usize].wrapping_sub(slots[b as usize]) & mask(w)
+                }
+                Inst::Mul { dst, a, b, w } => {
+                    slots[dst as usize] =
+                        slots[a as usize].wrapping_mul(slots[b as usize]) & mask(w)
+                }
+                Inst::MulS { dst, a, b, w } => {
+                    let x = sign_extend(slots[a as usize], w);
+                    let y = sign_extend(slots[b as usize], w);
+                    slots[dst as usize] = (x.wrapping_mul(y) as u64) & mask(w);
+                }
+                Inst::And { dst, a, b } => {
+                    slots[dst as usize] = slots[a as usize] & slots[b as usize]
+                }
+                Inst::Or { dst, a, b } => {
+                    slots[dst as usize] = slots[a as usize] | slots[b as usize]
+                }
+                Inst::Xor { dst, a, b } => {
+                    slots[dst as usize] = slots[a as usize] ^ slots[b as usize]
+                }
+                Inst::Shl { dst, a, b, w } => {
+                    let amt = slots[b as usize].min(64) as u32;
+                    slots[dst as usize] = if amt >= 64 {
+                        0
+                    } else {
+                        (slots[a as usize] << amt) & mask(w)
+                    };
+                }
+                Inst::Shr { dst, a, b } => {
+                    let amt = slots[b as usize].min(64) as u32;
+                    slots[dst as usize] = if amt >= 64 {
+                        0
+                    } else {
+                        slots[a as usize] >> amt
+                    };
+                }
+                Inst::Sar { dst, a, b, w } => {
+                    let amt = slots[b as usize].min(63) as u32;
+                    slots[dst as usize] =
+                        ((sign_extend(slots[a as usize], w) >> amt) as u64) & mask(w);
+                }
+                Inst::Eq { dst, a, b } => {
+                    slots[dst as usize] =
+                        u64::from(slots[a as usize] == slots[b as usize])
+                }
+                Inst::Ne { dst, a, b } => {
+                    slots[dst as usize] =
+                        u64::from(slots[a as usize] != slots[b as usize])
+                }
+                Inst::Ult { dst, a, b } => {
+                    slots[dst as usize] =
+                        u64::from(slots[a as usize] < slots[b as usize])
+                }
+                Inst::Ule { dst, a, b } => {
+                    slots[dst as usize] =
+                        u64::from(slots[a as usize] <= slots[b as usize])
+                }
+                Inst::Slt { dst, a, b, w } => {
+                    slots[dst as usize] = u64::from(
+                        sign_extend(slots[a as usize], w)
+                            < sign_extend(slots[b as usize], w),
+                    )
+                }
+                Inst::Sle { dst, a, b, w } => {
+                    slots[dst as usize] = u64::from(
+                        sign_extend(slots[a as usize], w)
+                            <= sign_extend(slots[b as usize], w),
+                    )
+                }
+                Inst::Mux { dst, c, t, e } => {
+                    slots[dst as usize] = if slots[c as usize] != 0 {
+                        slots[t as usize]
+                    } else {
+                        slots[e as usize]
+                    }
+                }
+                Inst::Slice { dst, a, lo, w } => {
+                    slots[dst as usize] = (slots[a as usize] >> lo) & mask(w)
+                }
+                Inst::Concat { dst, a, b, bw } => {
+                    slots[dst as usize] =
+                        (slots[a as usize] << bw) | slots[b as usize]
+                }
+                Inst::Zext { dst, a, w } => {
+                    slots[dst as usize] = slots[a as usize] & mask(w)
+                }
+                Inst::Sext { dst, a, from, to } => {
+                    slots[dst as usize] =
+                        (sign_extend(slots[a as usize], from) as u64) & mask(to)
+                }
+                Inst::ReadMem { dst, a, mem, w } => {
+                    let addr = slots[a as usize];
+                    let mi = mem as usize;
+                    let words = mems[mi].len() as u64;
+                    let v = if addr < words {
+                        mems[mi][addr as usize]
+                    } else {
+                        if check_addresses {
+                            let memory = prog.mems[mi].name.clone();
+                            violations.push(MemViolation {
+                                cycle,
+                                memory,
+                                address: addr,
+                                write: false,
+                            });
+                        }
+                        mems[mi][(addr % words) as usize] & mask(w)
+                    };
+                    slots[dst as usize] = v;
+                }
+                Inst::EqMux { dst, a, b, t, e } => {
+                    slots[dst as usize] = if slots[a as usize] == slots[b as usize] {
+                        slots[t as usize]
+                    } else {
+                        slots[e as usize]
+                    }
+                }
+                Inst::NeMux { dst, a, b, t, e } => {
+                    slots[dst as usize] = if slots[a as usize] != slots[b as usize] {
+                        slots[t as usize]
+                    } else {
+                        slots[e as usize]
+                    }
+                }
+                Inst::UltMux { dst, a, b, t, e } => {
+                    slots[dst as usize] = if slots[a as usize] < slots[b as usize] {
+                        slots[t as usize]
+                    } else {
+                        slots[e as usize]
+                    }
+                }
+                Inst::AndMux { dst, a, b, t, e } => {
+                    slots[dst as usize] = if slots[a as usize] & slots[b as usize] != 0 {
+                        slots[t as usize]
+                    } else {
+                        slots[e as usize]
+                    }
+                }
+                Inst::BitMux { dst, a, lo, t, e } => {
+                    slots[dst as usize] = if (slots[a as usize] >> lo) & 1 != 0 {
+                        slots[t as usize]
+                    } else {
+                        slots[e as usize]
+                    }
+                }
+                Inst::MulSS { dst, a, b, from, w } => {
+                    let x = sign_extend(slots[a as usize], from);
+                    let y = sign_extend(slots[b as usize], from);
+                    slots[dst as usize] = (x.wrapping_mul(y) as u64) & mask(w);
+                }
+                Inst::Jmp { to } => pc = to as usize,
+                Inst::JmpZero { c, to } => {
+                    if slots[c as usize] == 0 {
+                        pc = to as usize;
+                    }
+                }
+            }
+        }
+        self.evals += executed;
+    }
+}
+
+impl std::fmt::Debug for CompiledSim<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledSim")
+            .field("program", &self.prog.name)
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}

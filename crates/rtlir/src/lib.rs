@@ -12,6 +12,10 @@
 //! * an **interpreted cycle-based simulator** ([`RtlSim`]) — deliberately
 //!   an interpreter, because the compiled-model vs interpreted-HDL
 //!   performance gap is the mechanism behind the paper's Figures 8 and 9,
+//! * a **compiled levelized engine** ([`CompiledProgram`] /
+//!   [`CompiledSim`]) — the "compiled C-model" side of that same gap:
+//!   one-time lowering to flat bytecode over dense value slots with
+//!   constant folding and activity gating, bit-identical to [`RtlSim`],
 //! * a **Verilog pretty-printer** ([`Module::to_verilog`]) for the "RTL
 //!   Verilog from SystemC synthesis" artefact.
 //!
@@ -48,16 +52,24 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod compile;
 mod error;
+mod exec;
 mod expr;
 mod module;
 mod sim;
+mod simapi;
+mod trace;
 mod verilog;
 
 pub use builder::ModuleBuilder;
+pub use compile::CompiledProgram;
 pub use error::RtlError;
+pub use exec::CompiledSim;
 pub use expr::{BinOp, Expr, UnaryOp};
 pub use module::{
     Memory, MemoryId, Module, Net, NetId, Port, PortDir, Register, RtlStats, WritePort,
 };
+// The unified engine interface both simulators implement.
+pub use scflow_sim_api::{EngineStats, SimError, Simulation};
 pub use sim::{MemViolation, RtlSim};

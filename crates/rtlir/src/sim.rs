@@ -93,6 +93,54 @@ impl<'m> RtlSim<'m> {
         self.nets[port.net.0] = value;
     }
 
+    /// Sets an input port's value, reporting bad names or widths as
+    /// errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown ports, non-inputs, or width mismatches.
+    pub fn try_set_input(
+        &mut self,
+        name: &str,
+        value: Bv,
+    ) -> Result<(), scflow_sim_api::SimError> {
+        use scflow_sim_api::SimError;
+        let port = self
+            .module
+            .port(name)
+            .ok_or_else(|| SimError::UnknownPort(name.to_string()))?;
+        if port.dir != PortDir::Input {
+            return Err(SimError::NotAnInput(name.to_string()));
+        }
+        if port.width != value.width() {
+            return Err(SimError::WidthMismatch {
+                port: name.to_string(),
+                port_width: port.width,
+                value_width: value.width(),
+            });
+        }
+        self.nets[port.net.0] = value;
+        Ok(())
+    }
+
+    /// Reads an output port's value, reporting bad names as errors
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown ports or non-outputs.
+    pub fn try_output(&self, name: &str) -> Result<Bv, scflow_sim_api::SimError> {
+        use scflow_sim_api::SimError;
+        let port = self
+            .module
+            .port(name)
+            .ok_or_else(|| SimError::UnknownPort(name.to_string()))?;
+        if port.dir != PortDir::Output {
+            return Err(SimError::NotAnOutput(name.to_string()));
+        }
+        Ok(self.nets[port.net.0])
+    }
+
     /// Reads an output port's value (after [`settle`](RtlSim::settle) or
     /// [`tick`](RtlSim::tick)).
     ///
@@ -116,7 +164,7 @@ impl<'m> RtlSim<'m> {
     }
 
     /// Reads any net by id (for white-box tests).
-    pub fn peek(&self, net: NetId) -> Bv {
+    pub fn peek_net(&self, net: NetId) -> Bv {
         self.nets[net.0]
     }
 
@@ -210,7 +258,7 @@ impl<'m> RtlSim<'m> {
     /// Adds a net to the waveform watch list; its value is sampled after
     /// every [`tick`](RtlSim::tick) and can be dumped with
     /// [`waveform_vcd`](RtlSim::waveform_vcd).
-    pub fn watch(&mut self, net: NetId) {
+    pub fn watch_net(&mut self, net: NetId) {
         self.watched.push(net);
     }
 
@@ -224,41 +272,18 @@ impl<'m> RtlSim<'m> {
             .module
             .port(name)
             .unwrap_or_else(|| panic!("no port named `{name}`"));
-        self.watch(port.net);
+        self.watch_net(port.net);
     }
 
     /// Renders the watched nets' cycle-by-cycle history as a VCD document
     /// (`clock_period_ps` sets the timescale mapping of one cycle).
     pub fn waveform_vcd(&self, clock_period_ps: u64) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        out.push_str("$timescale 1ps $end\n$scope module rtl $end\n");
-        for (i, &net) in self.watched.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "$var wire {} v{} {} $end",
-                self.module.net_width(net),
-                i,
-                self.module.net_name(net)
-            );
-        }
-        out.push_str("$upscope $end\n$enddefinitions $end\n");
-        let mut last: Vec<Option<Bv>> = vec![None; self.watched.len()];
-        for (cycle, values) in &self.history {
-            let mut stamped = false;
-            for (i, v) in values.iter().enumerate() {
-                if last[i] == Some(*v) {
-                    continue;
-                }
-                if !stamped {
-                    let _ = writeln!(out, "#{}", cycle * clock_period_ps);
-                    stamped = true;
-                }
-                let _ = writeln!(out, "b{:b} v{}", v, i);
-                last[i] = Some(*v);
-            }
-        }
-        out
+        let vars: Vec<(u32, &str)> = self
+            .watched
+            .iter()
+            .map(|&n| (self.module.net_width(n), self.module.net_name(n)))
+            .collect();
+        crate::trace::render_vcd(&vars, &self.history, clock_period_ps)
     }
 
     fn eval(&mut self, expr: &Expr) -> Bv {

@@ -1,0 +1,117 @@
+//! [`Simulation`] implementations for the two RTL engines.
+//!
+//! Both engines share the per-cycle protocol the trait codifies, so
+//! testbench harnesses, co-simulation bridges and benchmarks can swap the
+//! interpreter for the compiled engine without touching driver code.
+
+use crate::{CompiledSim, RtlSim};
+use scflow_hwtypes::Bv;
+use scflow_sim_api::{EngineStats, PortHandle, SimError, Simulation};
+
+impl Simulation for RtlSim<'_> {
+    fn step(&mut self) {
+        self.tick();
+    }
+
+    fn settle(&mut self) {
+        RtlSim::settle(self);
+    }
+
+    fn cycle(&self) -> u64 {
+        RtlSim::cycle(self)
+    }
+
+    fn try_poke(&mut self, port: &str, value: Bv) -> Result<(), SimError> {
+        self.try_set_input(port, value)
+    }
+
+    fn try_peek(&self, port: &str) -> Result<Bv, SimError> {
+        self.try_output(port)
+    }
+
+    fn has_input(&self, port: &str) -> bool {
+        self.module_has_input(port)
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            cycles: RtlSim::cycle(self),
+            ..EngineStats::default()
+        }
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the port does not exist (same as
+    /// [`RtlSim::watch_port`]).
+    fn watch(&mut self, port: &str) {
+        self.watch_port(port);
+    }
+
+    fn trace(&self, clock_period_ps: u64) -> Option<String> {
+        Some(self.waveform_vcd(clock_period_ps))
+    }
+}
+
+impl Simulation for CompiledSim<'_> {
+    fn step(&mut self) {
+        self.tick();
+    }
+
+    fn settle(&mut self) {
+        CompiledSim::settle(self);
+    }
+
+    fn cycle(&self) -> u64 {
+        CompiledSim::cycle(self)
+    }
+
+    fn try_poke(&mut self, port: &str, value: Bv) -> Result<(), SimError> {
+        self.try_set_input(port, value)
+    }
+
+    fn try_peek(&self, port: &str) -> Result<Bv, SimError> {
+        self.try_output(port)
+    }
+
+    fn has_input(&self, port: &str) -> bool {
+        self.module_has_input(port)
+    }
+
+    fn input_handle(&self, port: &str) -> Option<PortHandle> {
+        self.input_index(port).map(PortHandle::new)
+    }
+
+    fn output_handle(&self, port: &str) -> Option<PortHandle> {
+        self.output_index(port).map(PortHandle::new)
+    }
+
+    fn poke_handle(&mut self, handle: PortHandle, value: Bv) {
+        self.set_input_at(handle.index(), value);
+    }
+
+    fn peek_handle(&self, handle: PortHandle) -> Bv {
+        self.output_at(handle.index())
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            cycles: CompiledSim::cycle(self),
+            evals: self.instructions_executed(),
+            skipped: self.cones_skipped(),
+            events: 0,
+        }
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the port does not exist (same as
+    /// [`CompiledSim::watch_port`]).
+    fn watch(&mut self, port: &str) {
+        self.watch_port(port);
+    }
+
+    fn trace(&self, clock_period_ps: u64) -> Option<String> {
+        Some(self.waveform_vcd(clock_period_ps))
+    }
+}

@@ -1,0 +1,43 @@
+//! Shared VCD rendering for the RTL engines.
+//!
+//! Both the interpreted simulator and the compiled engine snapshot their
+//! watched nets once per clock cycle; this renderer turns such a history
+//! into a VCD document. Keeping it in one place guarantees the two
+//! engines' waveforms are byte-identical when their histories are.
+
+use scflow_hwtypes::Bv;
+use std::fmt::Write as _;
+
+/// Renders a cycle-by-cycle history as a VCD document.
+///
+/// `vars` lists the watched nets as `(width, name)`; `history` holds one
+/// `(cycle, values)` snapshot per tick with values in `vars` order;
+/// `clock_period_ps` maps one cycle onto the 1 ps timescale.
+pub(crate) fn render_vcd(
+    vars: &[(u32, &str)],
+    history: &[(u64, Vec<Bv>)],
+    clock_period_ps: u64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("$timescale 1ps $end\n$scope module rtl $end\n");
+    for (i, (width, name)) in vars.iter().enumerate() {
+        let _ = writeln!(out, "$var wire {width} v{i} {name} $end");
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+    let mut last: Vec<Option<Bv>> = vec![None; vars.len()];
+    for (cycle, values) in history {
+        let mut stamped = false;
+        for (i, v) in values.iter().enumerate() {
+            if last[i] == Some(*v) {
+                continue;
+            }
+            if !stamped {
+                let _ = writeln!(out, "#{}", cycle * clock_period_ps);
+                stamped = true;
+            }
+            let _ = writeln!(out, "b{:b} v{}", v, i);
+            last[i] = Some(*v);
+        }
+    }
+    out
+}

@@ -1,0 +1,362 @@
+//! The unified simulation API of the flow.
+//!
+//! Every cycle-driven engine in the workspace — the interpreted RTL
+//! simulator, the compiled levelized RTL engine, the event-driven gate
+//! simulator, the zero-delay levelized gate engine and the kernel-backed
+//! two-process model — implements one trait, [`Simulation`], so testbench
+//! harnesses, co-simulation bridges and benchmarks can drive any DUT
+//! through one interface instead of one ad-hoc API per engine.
+//!
+//! The trait mirrors the contract the paper's flow relies on at every
+//! refinement level: drive inputs ([`poke`](Simulation::poke)), settle
+//! combinational logic ([`settle`](Simulation::settle)), observe outputs
+//! ([`peek`](Simulation::peek)), advance the single implicit clock
+//! ([`step`](Simulation::step)).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use scflow_hwtypes::Bv;
+use std::error::Error;
+use std::fmt;
+
+/// A port-level access error raised by the fallible [`Simulation`]
+/// accessors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// No port of this name exists on the design.
+    UnknownPort(String),
+    /// The port exists but is not an input.
+    NotAnInput(String),
+    /// The port exists but is not an output.
+    NotAnOutput(String),
+    /// The driven value's width differs from the port's width.
+    WidthMismatch {
+        /// Port name.
+        port: String,
+        /// Declared port width in bits.
+        port_width: u32,
+        /// Width of the offending value in bits.
+        value_width: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownPort(p) => write!(f, "no port named `{p}`"),
+            SimError::NotAnInput(p) => write!(f, "port `{p}` is not an input"),
+            SimError::NotAnOutput(p) => write!(f, "port `{p}` is not an output"),
+            SimError::WidthMismatch {
+                port,
+                port_width,
+                value_width,
+            } => write!(
+                f,
+                "width mismatch on `{port}`: port is {port_width} bits, value is {value_width}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// A pre-resolved port for hot testbench loops.
+///
+/// Name-based [`poke`](Simulation::poke)/[`peek`](Simulation::peek) pay a
+/// string lookup on every call; a harness that accesses the same handful
+/// of ports millions of times can resolve them once via
+/// [`input_handle`](Simulation::input_handle) /
+/// [`output_handle`](Simulation::output_handle) and then use
+/// [`poke_handle`](Simulation::poke_handle) /
+/// [`peek_handle`](Simulation::peek_handle). A handle is only meaningful
+/// on the simulation instance that issued it; direction is validated at
+/// resolution time. Engines without an indexed port table simply return
+/// `None` from the resolvers and callers fall back to names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PortHandle(u32);
+
+impl PortHandle {
+    /// Wraps an engine-specific port index (for engines implementing the
+    /// handle accessors).
+    #[must_use]
+    pub fn new(index: u32) -> Self {
+        PortHandle(index)
+    }
+
+    /// The engine-specific port index this handle wraps.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Activity counters reported by [`Simulation::stats`].
+///
+/// Not every engine populates every field: the interpreter counts
+/// expression-tree node visits as `evals`, the compiled engine counts
+/// executed bytecode instructions as `evals` and gated-off cones as
+/// `skipped`, the gate simulators count net `events` and gate `evals`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Clock cycles simulated.
+    pub cycles: u64,
+    /// Evaluation work performed (engine-specific unit).
+    pub evals: u64,
+    /// Evaluations avoided by activity gating (engine-specific unit).
+    pub skipped: u64,
+    /// Net value-change events (event-driven engines).
+    pub events: u64,
+}
+
+/// A cycle-driven simulation of a single-clock design.
+///
+/// Usage pattern per clock cycle:
+///
+/// 1. [`poke`](Simulation::poke) each input,
+/// 2. [`settle`](Simulation::settle) to propagate combinational logic,
+/// 3. [`peek`](Simulation::peek) mid-cycle observations,
+/// 4. [`step`](Simulation::step) to advance one clock edge.
+///
+/// [`run_cycles`](Simulation::run_cycles) advances the clock with inputs
+/// held. The fallible accessors ([`try_poke`](Simulation::try_poke),
+/// [`try_peek`](Simulation::try_peek)) report bad port names or widths as
+/// [`SimError`] instead of panicking; the infallible wrappers keep the
+/// terse testbench style.
+pub trait Simulation {
+    /// Advances one clock cycle (settle, sample state, commit, settle).
+    fn step(&mut self);
+
+    /// Propagates combinational logic without advancing the clock.
+    fn settle(&mut self);
+
+    /// The number of completed clock cycles.
+    fn cycle(&self) -> u64;
+
+    /// Drives an input port.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] on unknown ports, non-inputs, or width mismatches.
+    fn try_poke(&mut self, port: &str, value: Bv) -> Result<(), SimError>;
+
+    /// Reads an output port (engines with unknown-value logic read
+    /// unknown bits as zero, matching the flow's testbench convention).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] on unknown ports or non-outputs.
+    fn try_peek(&self, port: &str) -> Result<Bv, SimError>;
+
+    /// `true` if the design declares an input port of this name.
+    fn has_input(&self, port: &str) -> bool;
+
+    /// Activity counters for the run so far.
+    fn stats(&self) -> EngineStats {
+        EngineStats::default()
+    }
+
+    /// Adds a port to the engine's waveform watch list, if it supports
+    /// tracing (no-op otherwise).
+    fn watch(&mut self, _port: &str) {}
+
+    /// Renders the watched ports' history as a VCD document, if the
+    /// engine supports tracing (`None` otherwise). `clock_period_ps`
+    /// maps one clock cycle onto the VCD timescale.
+    fn trace(&self, _clock_period_ps: u64) -> Option<String> {
+        None
+    }
+
+    /// Resolves an input port name to a [`PortHandle`] for
+    /// [`poke_handle`](Simulation::poke_handle). Engines without an
+    /// indexed port table keep the default and return `None`; callers
+    /// must then fall back to name-based access.
+    fn input_handle(&self, _port: &str) -> Option<PortHandle> {
+        None
+    }
+
+    /// Resolves an output port name to a [`PortHandle`] for
+    /// [`peek_handle`](Simulation::peek_handle) (`None` as above).
+    fn output_handle(&self, _port: &str) -> Option<PortHandle> {
+        None
+    }
+
+    /// Drives an input port through a handle from
+    /// [`input_handle`](Simulation::input_handle). Engines overriding the
+    /// resolvers must override this too; with the default resolvers no
+    /// handle can exist, so the default body is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch, like [`poke`](Simulation::poke).
+    fn poke_handle(&mut self, _handle: PortHandle, _value: Bv) {
+        unreachable!("poke_handle on an engine that issues no handles");
+    }
+
+    /// Reads an output port through a handle from
+    /// [`output_handle`](Simulation::output_handle) (see
+    /// [`poke_handle`](Simulation::poke_handle) on overriding).
+    fn peek_handle(&self, _handle: PortHandle) -> Bv {
+        unreachable!("peek_handle on an engine that issues no handles");
+    }
+
+    /// Runs `n` clock cycles with the current inputs.
+    fn run_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Drives an input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown ports, non-inputs, or width mismatches; use
+    /// [`try_poke`](Simulation::try_poke) to handle these as errors.
+    fn poke(&mut self, port: &str, value: Bv) {
+        if let Err(e) = self.try_poke(port, value) {
+            panic!("{e}");
+        }
+    }
+
+    /// Reads an output port.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown ports or non-outputs; use
+    /// [`try_peek`](Simulation::try_peek) to handle these as errors.
+    fn peek(&self, port: &str) -> Bv {
+        match self.try_peek(port) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+impl<S: Simulation + ?Sized> Simulation for &mut S {
+    fn step(&mut self) {
+        (**self).step();
+    }
+    fn settle(&mut self) {
+        (**self).settle();
+    }
+    fn cycle(&self) -> u64 {
+        (**self).cycle()
+    }
+    fn try_poke(&mut self, port: &str, value: Bv) -> Result<(), SimError> {
+        (**self).try_poke(port, value)
+    }
+    fn try_peek(&self, port: &str) -> Result<Bv, SimError> {
+        (**self).try_peek(port)
+    }
+    fn has_input(&self, port: &str) -> bool {
+        (**self).has_input(port)
+    }
+    fn input_handle(&self, port: &str) -> Option<PortHandle> {
+        (**self).input_handle(port)
+    }
+    fn output_handle(&self, port: &str) -> Option<PortHandle> {
+        (**self).output_handle(port)
+    }
+    fn poke_handle(&mut self, handle: PortHandle, value: Bv) {
+        (**self).poke_handle(handle, value);
+    }
+    fn peek_handle(&self, handle: PortHandle) -> Bv {
+        (**self).peek_handle(handle)
+    }
+    fn stats(&self) -> EngineStats {
+        (**self).stats()
+    }
+    fn watch(&mut self, port: &str) {
+        (**self).watch(port);
+    }
+    fn trace(&self, clock_period_ps: u64) -> Option<String> {
+        (**self).trace(clock_period_ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy {
+        cycles: u64,
+        value: Bv,
+    }
+
+    impl Simulation for Toy {
+        fn step(&mut self) {
+            self.cycles += 1;
+            self.value = self.value.add(Bv::new(1, 8));
+        }
+        fn settle(&mut self) {}
+        fn cycle(&self) -> u64 {
+            self.cycles
+        }
+        fn try_poke(&mut self, port: &str, value: Bv) -> Result<(), SimError> {
+            match port {
+                "d" if value.width() == 8 => {
+                    self.value = value;
+                    Ok(())
+                }
+                "d" => Err(SimError::WidthMismatch {
+                    port: port.into(),
+                    port_width: 8,
+                    value_width: value.width(),
+                }),
+                _ => Err(SimError::UnknownPort(port.into())),
+            }
+        }
+        fn try_peek(&self, port: &str) -> Result<Bv, SimError> {
+            match port {
+                "q" => Ok(self.value),
+                _ => Err(SimError::UnknownPort(port.into())),
+            }
+        }
+        fn has_input(&self, port: &str) -> bool {
+            port == "d"
+        }
+    }
+
+    #[test]
+    fn defaults_drive_the_toy() {
+        let mut t = Toy {
+            cycles: 0,
+            value: Bv::zero(8),
+        };
+        t.poke("d", Bv::new(5, 8));
+        t.run_cycles(3);
+        assert_eq!(t.peek("q").as_u64(), 8);
+        assert_eq!(t.cycle(), 3);
+        assert!(t.has_input("d"));
+        assert_eq!(t.stats(), EngineStats::default());
+        assert_eq!(t.trace(40_000), None);
+        // An engine without an indexed port table issues no handles.
+        assert_eq!(t.input_handle("d"), None);
+        assert_eq!(t.output_handle("q"), None);
+        assert_eq!(PortHandle::new(3).index(), 3);
+    }
+
+    #[test]
+    fn errors_render() {
+        let mut t = Toy {
+            cycles: 0,
+            value: Bv::zero(8),
+        };
+        let e = t.try_poke("nope", Bv::bit(false)).unwrap_err();
+        assert_eq!(e.to_string(), "no port named `nope`");
+        let e = t.try_poke("d", Bv::bit(false)).unwrap_err();
+        assert!(e.to_string().contains("width mismatch"));
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut t = Toy {
+            cycles: 0,
+            value: Bv::zero(8),
+        };
+        let r: &mut dyn Simulation = &mut t;
+        r.step();
+        assert_eq!(r.cycle(), 1);
+    }
+}

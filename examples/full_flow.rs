@@ -16,9 +16,7 @@ use scflow::models::beh::run_beh_model;
 use scflow::models::channel::run_channel_model;
 use scflow::models::refined::run_refined_model;
 use scflow::models::rtl::run_rtl_model;
-use scflow::verify::{compare_bit_accurate, GoldenVectors};
-use scflow::{flow, stimulus, SrcConfig};
-use scflow_gate::CellLibrary;
+use scflow::prelude::*;
 
 fn main() {
     let cfg = SrcConfig::cd_to_dvd();
@@ -61,12 +59,12 @@ fn main() {
     }
 
     // Synthesisable levels, validated by interpreted RTL simulation.
-    flow::validate_all_levels(&cfg, &input).expect("synthesisable levels bit-accurate");
+    validate_all_levels(&cfg, &input).expect("synthesisable levels bit-accurate");
     println!("  [bit-accurate] all synthesisable variants (BEH x2, RTL x3, VHDL ref)\n");
 
     // Synthesis and the Figure 10 table.
     let lib = CellLibrary::generic_025u();
-    let fig10 = flow::run_area_flow(&cfg, &lib).expect("synthesis");
+    let fig10 = run_area_flow(&cfg, &lib).expect("synthesis");
     println!("== Figure 10: area relative to the VHDL reference ==\n{fig10}");
 
     println!("== timing at the 40 ns clock ==");

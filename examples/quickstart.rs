@@ -6,8 +6,7 @@
 //! cargo run --release -p scflow --example quickstart
 //! ```
 
-use scflow::algo::AlgoSrc;
-use scflow::{stimulus, SrcConfig};
+use scflow::prelude::*;
 
 fn main() {
     // 0.5 s of a 1 kHz tone at CD rate.

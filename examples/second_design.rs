@@ -8,10 +8,7 @@
 //! cargo run --release -p scflow --example second_design
 //! ```
 
-use scflow::models::harness::{run_handshake, CycleSim};
-use scflow_gate::{CellLibrary, GateSim};
-use scflow_hwtypes::Bv;
-use scflow_rtl::RtlSim;
+use scflow::prelude::*;
 use scflow_synth::beh::{synthesize_beh, BehOptions, ProgramBuilder};
 use scflow_synth::rtl::{synthesize, SynthOptions};
 
@@ -115,8 +112,8 @@ fn main() {
         if result.timing.meets(40_000) { "meets" } else { "VIOLATES" }
     );
     let mut gate_sim = GateSim::new(&result.netlist, &lib);
-    gate_sim.set("scan_en", Bv::zero(1));
-    gate_sim.set("scan_in", Bv::zero(1));
+    gate_sim.poke("scan_en", Bv::zero(1));
+    gate_sim.poke("scan_in", Bv::zero(1));
     let (gate_out, _) = run_handshake(&mut gate_sim, &input, want.len(), 200_000);
     check("gate netlist", &gate_out, &want);
 

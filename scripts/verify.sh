@@ -24,4 +24,10 @@ echo "ok: only scflow-* path crates"
 echo "== tables smoke run =="
 cargo run --release --offline -p scflow-bench --bin tables -- --fig8
 
+echo "== engine check: compiled levelized vs interpreted RTL =="
+# Races both unified-API engines on the two-process RTL workload
+# (bit-identical outputs asserted); exits non-zero if the compiled
+# engine has become slower than the interpreter.
+cargo run --release --offline -p scflow-bench --bin tables -- --check-engines
+
 echo "verify: OK"
