@@ -7,7 +7,7 @@
 
 use scflow::SrcConfig;
 
-const KNOWN_FLAGS: [&str; 14] = [
+const KNOWN_FLAGS: [&str; 16] = [
     "--down",
     "--all",
     "--verify",
@@ -16,11 +16,13 @@ const KNOWN_FLAGS: [&str; 14] = [
     "--fig9",
     "--fig10",
     "--timing",
+    "--fault",
     "--ablation-sched",
     "--ablation-regs",
     "--ablation-share",
     "--ablation-pack",
     "--check-engines",
+    "--check-gate",
     "--help",
 ];
 
@@ -35,8 +37,8 @@ fn main() {
     if args.is_empty() || has("--help") {
         eprintln!(
             "usage: tables [--down] [--all] [--verify] [--fig7] [--fig8] [--fig9] \
-             [--fig10] [--timing] [--ablation-sched] [--ablation-regs] \
-             [--ablation-share] [--ablation-pack] [--check-engines]"
+             [--fig10] [--timing] [--fault] [--ablation-sched] [--ablation-regs] \
+             [--ablation-share] [--ablation-pack] [--check-engines] [--check-gate]"
         );
         std::process::exit(2);
     }
@@ -99,14 +101,26 @@ fn main() {
     if has("--fig9") {
         println!("=== Figure 9: co-simulation vs native HDL simulation ===");
         println!("(simulated clock cycles per wall second)\n");
-        println!("{:<9} {:<12} {:>14} {:>10}", "DUT", "testbench", "cycles/sec", "cycles");
+        println!("{:<11} {:<12} {:>14} {:>10}", "DUT", "testbench", "cycles/sec", "cycles");
         for r in scflow_bench::measure_fig9(&cfg, 40) {
             println!(
-                "{:<9} {:<12} {:>14.0} {:>10}",
+                "{:<11} {:<12} {:>14.0} {:>10}",
                 r.dut, r.testbench, r.cycles_per_sec, r.cycles
             );
         }
         println!();
+    }
+
+    if has("--fault") {
+        println!("=== Scan-test fault coverage (PPSFP, SCFLOW_FAULT_THREADS workers) ===\n");
+        let lib = scflow_gate::CellLibrary::generic_025u();
+        match scflow::flow::run_fault_flow(&cfg, &lib, 32, 0xBEEF) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     if has("--fig10") {
@@ -172,6 +186,38 @@ fn main() {
                 "FAILED: compiled engine is slower than the interpreter \
                  ({:.0} vs {:.0} cycles/sec)",
                 check.compiled_cps, check.interpreted_cps
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if has("--check-gate") {
+        println!("=== Gate-engine check: bit-parallel vs event-driven ===\n");
+        let check = scflow_bench::check_gate_engines(&cfg, 30);
+        println!("{:<14} {:>16}", "engine", "cycles/sec");
+        println!("{:<14} {:>16.0}", "event-driven", check.event_cps);
+        println!("{:<14} {:>16.0}", "fast", check.fast_cps);
+        println!("{:<14} {:>16.0}", "bit-parallel", check.bitpar_cps);
+        println!("DUT speedup (bitpar vs event): {:.2}x", check.dut_speedup());
+        println!(
+            "fault sim: {} faults x {} patterns, {:.1}% coverage, \
+             serial {:?} vs PPSFP {:?} ({:.1}x)\n",
+            check.faults,
+            check.patterns,
+            check.coverage_pct,
+            check.fault_serial_wall,
+            check.fault_ppsfp_wall,
+            check.fault_speedup()
+        );
+        if !check.coverage_matches {
+            eprintln!("FAILED: PPSFP detected-fault set differs from the serial reference");
+            std::process::exit(1);
+        }
+        if check.bitpar_cps < check.event_cps {
+            eprintln!(
+                "FAILED: bit-parallel engine is slower than the event-driven one \
+                 ({:.0} vs {:.0} cycles/sec)",
+                check.bitpar_cps, check.event_cps
             );
             std::process::exit(1);
         }

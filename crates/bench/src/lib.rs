@@ -22,8 +22,9 @@ use scflow::models::refined::run_refined_model;
 use scflow::models::rtl::{build_rtl_src, run_rtl_model, RtlVariant};
 use scflow::verify::GoldenVectors;
 use scflow::{stimulus, SrcConfig};
-use scflow_cosim::{run_kernel_cosim, run_native_hdl, run_native_hdl_compiled};
-use scflow_gate::{CellLibrary, GateSim};
+use scflow_cosim::{run_kernel_cosim, run_native_hdl, run_native_hdl_compiled, CosimRun};
+use scflow_gate::fault;
+use scflow_gate::{CellLibrary, FastGateSim, GateProgram, GateSim};
 use scflow_rtl::{CompiledProgram, RtlSim};
 use scflow_synth::beh::synthesize_beh;
 use scflow_synth::rtl::{synthesize, SynthOptions};
@@ -289,26 +290,44 @@ pub fn measure_fig9(cfg: &SrcConfig, n_inputs: usize) -> Vec<Fig9Row> {
         "SystemC-TB",
         Box::new(|| run_kernel_cosim(&mut RtlSim::new(&rtl_module), &golden, budget).cycles),
     );
-    // Gate-level artefacts.
+    // Gate-level artefacts. Simulators are constructed once and reset per
+    // iteration, so the timed region holds simulation only (construction
+    // inside the closure used to fold netlist setup into the throughput).
+    let mut gate_beh_event = GateSim::new(&gate_beh, &lib);
     measure(
         "Gate-BEH",
         "VHDL-TB",
-        Box::new(|| run_native_hdl(&mut GateSim::new(&gate_beh, &lib), &golden, budget).cycles),
+        Box::new(|| {
+            gate_beh_event.reset();
+            run_native_hdl(&mut gate_beh_event, &golden, budget).cycles
+        }),
     );
+    let mut gate_beh_event = GateSim::new(&gate_beh, &lib);
     measure(
         "Gate-BEH",
         "SystemC-TB",
-        Box::new(|| run_kernel_cosim(&mut GateSim::new(&gate_beh, &lib), &golden, budget).cycles),
+        Box::new(|| {
+            gate_beh_event.reset();
+            run_kernel_cosim(&mut gate_beh_event, &golden, budget).cycles
+        }),
     );
+    let mut gate_rtl_event = GateSim::new(&gate_rtl, &lib);
     measure(
         "Gate-RTL",
         "VHDL-TB",
-        Box::new(|| run_native_hdl(&mut GateSim::new(&gate_rtl, &lib), &golden, budget).cycles),
+        Box::new(|| {
+            gate_rtl_event.reset();
+            run_native_hdl(&mut gate_rtl_event, &golden, budget).cycles
+        }),
     );
+    let mut gate_rtl_event = GateSim::new(&gate_rtl, &lib);
     measure(
         "Gate-RTL",
         "SystemC-TB",
-        Box::new(|| run_kernel_cosim(&mut GateSim::new(&gate_rtl, &lib), &golden, budget).cycles),
+        Box::new(|| {
+            gate_rtl_event.reset();
+            run_kernel_cosim(&mut gate_rtl_event, &golden, budget).cycles
+        }),
     );
     // The RTL artefact on the compiled levelized engine, appended after
     // the paper's six bars so Figure 9's original ordering is untouched.
@@ -326,7 +345,160 @@ pub fn measure_fig9(cfg: &SrcConfig, n_inputs: usize) -> Vec<Fig9Row> {
         "SystemC-TB",
         Box::new(|| run_kernel_cosim(&mut rtl_program.simulator(), &golden, budget).cycles),
     );
+    // The gate-level RTL artefact on the two accelerated gate engines,
+    // likewise appended after the paper's bars: the zero-delay levelized
+    // fast mode and the compiled bit-parallel engine in single-pattern
+    // mode. Same netlist, same testbenches, so the rows read directly
+    // against the Gate-RTL bars above.
+    let mut gate_rtl_fast = FastGateSim::new(&gate_rtl).expect("gate netlist levelizes");
+    measure(
+        "Gate-fast",
+        "VHDL-TB",
+        Box::new(|| {
+            gate_rtl_fast.reset();
+            run_native_hdl(&mut gate_rtl_fast, &golden, budget).cycles
+        }),
+    );
+    let mut gate_rtl_fast = FastGateSim::new(&gate_rtl).expect("gate netlist levelizes");
+    measure(
+        "Gate-fast",
+        "SystemC-TB",
+        Box::new(|| {
+            gate_rtl_fast.reset();
+            run_kernel_cosim(&mut gate_rtl_fast, &golden, budget).cycles
+        }),
+    );
+    let gate_rtl_prog = GateProgram::compile(&gate_rtl).expect("gate netlist compiles");
+    let mut gate_rtl_bitpar = gate_rtl_prog.simulator();
+    measure(
+        "Gate-bitpar",
+        "VHDL-TB",
+        Box::new(|| {
+            gate_rtl_bitpar.reset();
+            run_native_hdl(&mut gate_rtl_bitpar, &golden, budget).cycles
+        }),
+    );
+    let mut gate_rtl_bitpar = gate_rtl_prog.simulator();
+    measure(
+        "Gate-bitpar",
+        "SystemC-TB",
+        Box::new(|| {
+            gate_rtl_bitpar.reset();
+            run_kernel_cosim(&mut gate_rtl_bitpar, &golden, budget).cycles
+        }),
+    );
     rows
+}
+
+/// Result of the gate-engine sanity race plus the PPSFP fault-simulation
+/// cross-check (`tables --check-gate`).
+#[derive(Clone, Debug)]
+pub struct GateEngineCheck {
+    /// Event-driven engine throughput, simulated cycles per wall second.
+    pub event_cps: f64,
+    /// Levelized fast-mode throughput, simulated cycles per wall second.
+    pub fast_cps: f64,
+    /// Compiled bit-parallel engine throughput (single-pattern mode).
+    pub bitpar_cps: f64,
+    /// Wall time of serial per-fault coverage on the fault subset.
+    pub fault_serial_wall: std::time::Duration,
+    /// Wall time of PPSFP coverage on the same subset.
+    pub fault_ppsfp_wall: std::time::Duration,
+    /// Coverage on the subset (identical for both, asserted).
+    pub coverage_pct: f64,
+    /// Whether the PPSFP per-fault detection mask matched the serial one.
+    pub coverage_matches: bool,
+    /// Faults in the subset.
+    pub faults: usize,
+    /// Scan patterns applied.
+    pub patterns: usize,
+}
+
+impl GateEngineCheck {
+    /// Bit-parallel over event-driven cosimulation throughput.
+    pub fn dut_speedup(&self) -> f64 {
+        self.bitpar_cps / self.event_cps.max(1e-12)
+    }
+
+    /// Serial over PPSFP fault-simulation wall time.
+    pub fn fault_speedup(&self) -> f64 {
+        self.fault_serial_wall.as_secs_f64() / self.fault_ppsfp_wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Races the three gate-level engines on the synthesized RTL SRC (best of
+/// 3 each, bit-identical outputs asserted), then cross-checks PPSFP fault
+/// simulation against the serial per-fault reference on a fault subset.
+/// Used by `tables --check-gate` and `scripts/verify.sh` to catch a
+/// bit-parallel engine that is slower than the event-driven one or that
+/// detects a different fault set.
+pub fn check_gate_engines(cfg: &SrcConfig, n_inputs: usize) -> GateEngineCheck {
+    let lib = CellLibrary::generic_025u();
+    let input = stimulus::sine(n_inputs, 1000.0, f64::from(cfg.in_rate), 9000.0);
+    let golden = GoldenVectors::generate(cfg, input);
+    let budget = 10_000_000;
+    let rtl_module = build_rtl_src(cfg, RtlVariant::Optimised).expect("rtl");
+    let gate_rtl = synthesize(&rtl_module, &lib, &SynthOptions::default())
+        .expect("synth rtl")
+        .netlist;
+    const REPS: usize = 3;
+
+    let best = |run: &mut dyn FnMut() -> CosimRun| -> f64 {
+        let mut top = f64::NEG_INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let r = run();
+            let rate = r.cycles as f64 / t0.elapsed().as_secs_f64().max(1e-12);
+            assert_eq!(r.outputs, golden.output, "gate engine diverged from golden");
+            assert_eq!(r.testbench_errors, 0, "gate engine raised testbench errors");
+            top = top.max(rate);
+        }
+        top
+    };
+
+    let mut event = GateSim::new(&gate_rtl, &lib);
+    let event_cps = best(&mut || {
+        event.reset();
+        run_native_hdl(&mut event, &golden, budget)
+    });
+    let mut fast = FastGateSim::new(&gate_rtl).expect("gate netlist levelizes");
+    let fast_cps = best(&mut || {
+        fast.reset();
+        run_native_hdl(&mut fast, &golden, budget)
+    });
+    let prog = GateProgram::compile(&gate_rtl).expect("gate netlist compiles");
+    let mut bitpar = prog.simulator();
+    let bitpar_cps = best(&mut || {
+        bitpar.reset();
+        run_native_hdl(&mut bitpar, &golden, budget)
+    });
+
+    // Fault-simulation cross-check: a strided fault subset keeps the
+    // serial per-fault reference affordable while still exercising the
+    // whole netlist depth.
+    let all = fault::all_fault_sites(&gate_rtl);
+    let stride = (all.len() / 24).max(1);
+    let subset: Vec<_> = all.into_iter().step_by(stride).collect();
+    let patterns = fault::random_patterns(&gate_rtl, 8, 0x5EED_CAFE);
+
+    let t0 = Instant::now();
+    let serial = fault::fault_coverage_serial(&gate_rtl, &lib, &subset, &patterns);
+    let fault_serial_wall = t0.elapsed();
+    let t0 = Instant::now();
+    let ppsfp = fault::fault_coverage(&gate_rtl, &lib, &subset, &patterns);
+    let fault_ppsfp_wall = t0.elapsed();
+
+    GateEngineCheck {
+        event_cps,
+        fast_cps,
+        bitpar_cps,
+        fault_serial_wall,
+        fault_ppsfp_wall,
+        coverage_pct: ppsfp.coverage_pct(),
+        coverage_matches: ppsfp.detected_mask == serial.detected_mask,
+        faults: subset.len(),
+        patterns: patterns.len(),
+    }
 }
 
 /// Regenerates the Figure 10 area table.

@@ -17,7 +17,7 @@ use crate::models::harness::{run_fixed, run_handshake};
 use crate::models::rtl::{build_rtl_src, RtlVariant};
 use crate::models::vhdl_ref::build_vhdl_ref;
 use crate::verify::{compare_bit_accurate, GoldenVectors};
-use scflow_gate::CellLibrary;
+use scflow_gate::{fault, CellLibrary, FastGateSim, GateNetlist, GateProgram, GateSim};
 use scflow_rtl::{CompiledProgram, Module, RtlSim};
 use scflow_synth::rtl::{synthesize, SynthOptions, SynthResult};
 use std::fmt;
@@ -59,6 +59,46 @@ impl fmt::Display for SimEngine {
         f.write_str(match self {
             SimEngine::Interpreted => "interpreted",
             SimEngine::Compiled => "compiled",
+        })
+    }
+}
+
+/// Which gate-level simulation engine the flow drives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum GateEngine {
+    /// The event-driven four-valued simulator with transport delays
+    /// ([`GateSim`]) — the reference semantics and the paper's slowest
+    /// Figure 9 bars.
+    #[default]
+    EventDriven,
+    /// The zero-delay levelized fast mode with activity gating
+    /// ([`FastGateSim`]).
+    Fast,
+    /// The compiled bit-parallel engine in single-pattern mode
+    /// ([`BitGateSim`](scflow_gate::BitGateSim)).
+    BitParallel,
+}
+
+impl GateEngine {
+    /// Reads the engine choice from the `SCFLOW_GATE_ENGINE` environment
+    /// variable (`event`, `fast` or `bitpar`, case-insensitive). Unset or
+    /// unrecognised values fall back to the default
+    /// ([`GateEngine::EventDriven`]).
+    pub fn from_env() -> Self {
+        match std::env::var("SCFLOW_GATE_ENGINE") {
+            Ok(v) if v.eq_ignore_ascii_case("fast") => GateEngine::Fast,
+            Ok(v) if v.eq_ignore_ascii_case("bitpar") => GateEngine::BitParallel,
+            _ => GateEngine::EventDriven,
+        }
+    }
+}
+
+impl fmt::Display for GateEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GateEngine::EventDriven => "event",
+            GateEngine::Fast => "fast",
+            GateEngine::BitParallel => "bitpar",
         })
     }
 }
@@ -276,4 +316,113 @@ pub fn validate_all_levels_with(
 /// Returns the first failing design.
 pub fn validate_all_levels(cfg: &SrcConfig, input: &[i16]) -> Result<(), ScflowError> {
     validate_all_levels_with(SimEngine::from_env(), cfg, input)
+}
+
+/// Holds the scan interface inactive so a scan-stitched netlist behaves
+/// functionally under the plain handshake testbench.
+fn tie_off_scan(sim: &mut (impl scflow_sim_api::Simulation + ?Sized)) {
+    use scflow_hwtypes::Bv;
+    for port in ["scan_en", "scan_in"] {
+        if sim.has_input(port) {
+            sim.poke(port, Bv::zero(1));
+        }
+    }
+}
+
+/// Validates a synthesized gate netlist against the golden vectors on the
+/// chosen gate-level engine (scan held inactive).
+///
+/// # Errors
+///
+/// Returns [`ScflowError::Accuracy`] on the first output mismatch, and
+/// propagates [`GateError::CombLoop`](scflow_gate::GateError) from the
+/// levelized engines.
+pub fn validate_gate_level_with(
+    engine: GateEngine,
+    design: &str,
+    netlist: &GateNetlist,
+    lib: &CellLibrary,
+    golden: &GoldenVectors,
+) -> Result<(), ScflowError> {
+    match engine {
+        GateEngine::EventDriven => {
+            let mut sim = GateSim::new(netlist, lib);
+            tie_off_scan(&mut sim);
+            run_and_compare(&mut sim, design, golden, false)
+        }
+        GateEngine::Fast => {
+            let mut sim = FastGateSim::new(netlist)?;
+            tie_off_scan(&mut sim);
+            run_and_compare(&mut sim, design, golden, false)
+        }
+        GateEngine::BitParallel => {
+            let program = GateProgram::compile(netlist)?;
+            let mut sim = program.simulator();
+            tie_off_scan(&mut sim);
+            run_and_compare(&mut sim, design, golden, false)
+        }
+    }
+}
+
+/// The result of the scan-test fault-coverage flow.
+#[derive(Clone, Debug)]
+pub struct FaultReport {
+    /// Design name.
+    pub design: String,
+    /// Faults simulated (two per cell output).
+    pub faults: usize,
+    /// Faults detected by the pattern set.
+    pub detected: usize,
+    /// Detected / total, percent.
+    pub coverage_pct: f64,
+    /// PPSFP worker threads used.
+    pub threads: usize,
+    /// Scan patterns applied.
+    pub patterns: usize,
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>8} {:>9} {:>10} {:>9} {:>8}",
+            "design", "faults", "detected", "coverage", "patterns", "threads"
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>8} {:>9} {:>9.1}% {:>9} {:>8}",
+            self.design, self.faults, self.detected, self.coverage_pct, self.patterns, self.threads
+        )
+    }
+}
+
+/// Runs the scan-test fault-coverage flow on the optimised RTL SRC:
+/// synthesise (scan stitched in by default), enumerate the single-stuck-at
+/// fault list, generate `n_patterns` pseudo-random scan patterns, and
+/// measure coverage with PPSFP on [`fault::fault_threads`] workers
+/// (`SCFLOW_FAULT_THREADS`).
+///
+/// # Errors
+///
+/// Propagates construction and synthesis errors.
+pub fn run_fault_flow(
+    cfg: &SrcConfig,
+    lib: &CellLibrary,
+    n_patterns: usize,
+    seed: u64,
+) -> Result<FaultReport, ScflowError> {
+    let module = build_rtl_src(cfg, RtlVariant::Optimised)?;
+    let netlist = synthesize(&module, lib, &SynthOptions::default())?.netlist;
+    let faults = fault::all_fault_sites(&netlist);
+    let patterns = fault::random_patterns(&netlist, n_patterns, seed);
+    let threads = fault::fault_threads();
+    let result = fault::fault_coverage(&netlist, lib, &faults, &patterns);
+    Ok(FaultReport {
+        design: "RTL opt".to_owned(),
+        faults: result.total,
+        detected: result.detected,
+        coverage_pct: result.coverage_pct(),
+        threads,
+        patterns: patterns.len(),
+    })
 }

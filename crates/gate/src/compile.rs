@@ -1,0 +1,394 @@
+//! One-time compilation of a [`GateNetlist`] into a flat levelized program.
+//!
+//! [`GateProgram::compile`] reuses the topological order computed by the
+//! fast engine's levelizer and flattens it into a dense instruction stream:
+//! one instruction per combinational cell (operand net ids resolved up
+//! front, no per-eval pin walks) plus one per memory read path. The
+//! program is immutable and shared: any number of [`BitGateSim`]
+//! instances — including one per fault-simulation worker thread — execute
+//! it concurrently.
+
+use crate::bitpar::BitGateSim;
+use crate::celllib::CellKind;
+use crate::error::GateError;
+use crate::fastsim::{levelize, Node};
+use crate::netlist::GateNetlist;
+
+/// The shift-mode sub-program, executed instead of the full stream while
+/// the `scan_en` input is known-1 in every lane.
+///
+/// With the scan enable at 1, an SDFF samples only its scan input, so the
+/// functional cones feeding flop data pins cannot reach any state.  The
+/// sub-program keeps exactly what still matters per shift cycle — the
+/// scan path, the memory-port cones (writes and the checking model stay
+/// live during shift) and `scan_out` — which is what makes scan-test
+/// fault simulation cheap: a shift tick costs a fraction of a full sweep.
+/// Nets outside those cones may go stale while shifting; the first sweep
+/// with `scan_en` no longer known-1 (e.g. the capture cycle) recomputes
+/// every net from scratch, so they are exact again before anything reads
+/// them.
+pub(crate) struct ScanMode {
+    /// The `scan_en` input net.
+    pub(crate) en: u32,
+    /// Topologically ordered subset of the full instruction stream.
+    pub(crate) instrs: Vec<Instr>,
+}
+
+/// One flat instruction of the compiled program.
+///
+/// Gate operands are net indices; cells with fewer than three pins repeat
+/// the first operand in the unused slots (the evaluator ignores them).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Instr {
+    /// Evaluate a combinational cell into `out`.
+    Gate {
+        /// Cell function.
+        kind: CellKind,
+        /// First input net.
+        a: u32,
+        /// Second input net (or `a`).
+        b: u32,
+        /// Third input net (or `a`).
+        c: u32,
+        /// Output net.
+        out: u32,
+    },
+    /// Re-evaluate one memory's combinational read path.
+    MemRead(u32),
+}
+
+/// A gate netlist compiled to a topologically levelized flat program.
+///
+/// Compile once, then instantiate simulators cheaply:
+///
+/// ```
+/// use scflow_gate::{CellKind, GateProgram, NetlistBuilder};
+/// use scflow_hwtypes::Bv;
+///
+/// let mut b = NetlistBuilder::new("half_adder");
+/// let a = b.input_port("a", 1)[0];
+/// let c = b.input_port("b", 1)[0];
+/// let sum = b.cell(CellKind::Xor2, &[a, c]);
+/// b.output_port("sum", &[sum]);
+/// let nl = b.build();
+/// let prog = GateProgram::compile(&nl).unwrap();
+/// let mut sim = prog.simulator();
+/// sim.set_input("a", Bv::bit(true));
+/// sim.set_input("b", Bv::bit(false));
+/// sim.settle();
+/// assert_eq!(sim.output("sum"), Some(Bv::bit(true)));
+/// ```
+pub struct GateProgram<'n> {
+    pub(crate) nl: &'n GateNetlist,
+    pub(crate) instrs: Vec<Instr>,
+    /// Sequential instances (indices into `nl.instances()`), sampled at
+    /// each clock edge.
+    pub(crate) flops: Vec<u32>,
+    /// Reduced instruction stream for scan-shift cycles, when the netlist
+    /// has a scan chain.
+    pub(crate) scan: Option<ScanMode>,
+}
+
+impl<'n> GateProgram<'n> {
+    /// Levelizes and flattens the netlist.
+    ///
+    /// # Errors
+    ///
+    /// [`GateError::CombLoop`] if the combinational cells form a cycle
+    /// (such netlists need the event-driven simulator's delay semantics).
+    pub fn compile(nl: &'n GateNetlist) -> Result<Self, GateError> {
+        let order = levelize(nl)?;
+        let mut instrs = Vec::with_capacity(order.len());
+        for node in order {
+            match node {
+                Node::Inst(i) => {
+                    let inst = &nl.instances()[i as usize];
+                    let a = inst.inputs[0].0 as u32;
+                    let b = inst.inputs.get(1).map_or(a, |n| n.0 as u32);
+                    let c = inst.inputs.get(2).map_or(a, |n| n.0 as u32);
+                    instrs.push(Instr::Gate {
+                        kind: inst.kind,
+                        a,
+                        b,
+                        c,
+                        out: inst.output.0 as u32,
+                    });
+                }
+                Node::MemRead(m) => instrs.push(Instr::MemRead(m)),
+            }
+        }
+        let flops = nl
+            .instances()
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.kind.is_sequential())
+            .map(|(i, _)| i as u32)
+            .collect();
+        let scan = scan_mode(nl, &instrs);
+        Ok(GateProgram {
+            nl,
+            instrs,
+            flops,
+            scan,
+        })
+    }
+
+    /// The netlist this program was compiled from.
+    pub fn netlist(&self) -> &'n GateNetlist {
+        self.nl
+    }
+
+    /// Number of flat instructions (cells + memory read paths).
+    pub fn instr_count(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// A single-pattern simulator (lane 0 only): the drop-in configuration
+    /// for cosimulation testbenches.
+    pub fn simulator(&self) -> BitGateSim<'_> {
+        BitGateSim::new(self, 1)
+    }
+
+    /// A simulator evaluating `lanes` independent stimulus patterns per
+    /// instruction (1..=64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or greater than 64.
+    pub fn simulator_lanes(&self, lanes: u32) -> BitGateSim<'_> {
+        BitGateSim::new(self, lanes)
+    }
+}
+
+/// Computes the scan-shift sub-program: the instructions still able to
+/// affect architectural state (flop contents, memory contents, the
+/// checking memory model) or the `scan_out` stream while `scan_en` is
+/// known-1 in every lane.
+///
+/// Roots of the backward cone: each SDFF's scan-in pin (`scan_en` = 1
+/// makes the data pin unreachable — [`CellKind::Sdff`]'s evaluation masks
+/// it entirely), every pin of flops not on the chain, the memory port
+/// nets, and `scan_out`. A MUX2 selected by `scan_en` likewise
+/// contributes only its select-1 arm.
+fn scan_mode(nl: &GateNetlist, instrs: &[Instr]) -> Option<ScanMode> {
+    let en = *nl.input_port("scan_en")?.first()?;
+
+    // Which instruction drives each net (flop outputs, constants and
+    // primary inputs have none).
+    let mut producer: Vec<Option<u32>> = vec![None; nl.net_count()];
+    for (i, instr) in instrs.iter().enumerate() {
+        match *instr {
+            Instr::Gate { out, .. } => producer[out as usize] = Some(i as u32),
+            Instr::MemRead(m) => {
+                for n in &nl.memories()[m as usize].dout {
+                    producer[n.0] = Some(i as u32);
+                }
+            }
+        }
+    }
+
+    let mut stack: Vec<usize> = Vec::new();
+    for inst in nl.instances() {
+        if !inst.kind.is_sequential() {
+            continue;
+        }
+        if inst.kind == CellKind::Sdff && inst.inputs.get(2) == Some(&en) {
+            stack.push(inst.inputs[1].0); // si; se is known-1, d is masked
+        } else {
+            stack.extend(inst.inputs.iter().map(|n| n.0));
+        }
+    }
+    for mem in nl.memories() {
+        stack.extend(mem.raddr.iter().map(|n| n.0));
+        stack.extend(mem.waddr.iter().map(|n| n.0));
+        stack.extend(mem.wdata.iter().map(|n| n.0));
+        if let Some(wen) = mem.wen {
+            stack.push(wen.0);
+        }
+    }
+    if let Some(bits) = nl.output_port("scan_out") {
+        stack.extend(bits.iter().map(|n| n.0));
+    }
+
+    let mut needed = vec![false; instrs.len()];
+    let mut seen = vec![false; nl.net_count()];
+    while let Some(n) = stack.pop() {
+        if seen[n] {
+            continue;
+        }
+        seen[n] = true;
+        let Some(i) = producer[n] else { continue };
+        let i = i as usize;
+        if needed[i] {
+            continue;
+        }
+        needed[i] = true;
+        match instrs[i] {
+            Instr::Gate {
+                kind: CellKind::Mux2,
+                b,
+                c,
+                ..
+            } if c as usize == en.0 => stack.push(b as usize),
+            Instr::Gate { a, b, c, .. } => {
+                stack.push(a as usize);
+                stack.push(b as usize);
+                stack.push(c as usize);
+            }
+            Instr::MemRead(m) => {
+                stack.extend(nl.memories()[m as usize].raddr.iter().map(|x| x.0));
+            }
+        }
+    }
+
+    let sub = instrs
+        .iter()
+        .zip(&needed)
+        .filter(|(_, &keep)| keep)
+        .map(|(i, _)| *i)
+        .collect();
+    Some(ScanMode {
+        en: en.0 as u32,
+        instrs: sub,
+    })
+}
+
+impl std::fmt::Debug for GateProgram<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GateProgram")
+            .field("netlist", &self.nl.name())
+            .field("instrs", &self.instrs.len())
+            .field("flops", &self.flops.len())
+            .field(
+                "scan_instrs",
+                &self.scan.as_ref().map(|s| s.instrs.len()),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::celllib::CellLibrary;
+    use crate::gsim::GateSim;
+    use crate::netlist::{GNetId, NetlistBuilder};
+    use crate::scan::insert_scan_chain;
+    use scflow_hwtypes::Bv;
+
+    /// An XOR-accumulator with a 3-word checking memory: a functional cone
+    /// the shift mode can prune, plus memory writes that stay live during
+    /// shift.
+    fn scan_design() -> GateNetlist {
+        let mut b = NetlistBuilder::new("dut");
+        let din = b.input_port("din", 4);
+        let wen = b.input_port("wen", 1)[0];
+        let waddr = b.input_port("waddr", 2);
+        let raddr = b.input_port("raddr", 2);
+        let q: Vec<GNetId> = (0..4).map(|i| b.net(format!("q[{i}]"))).collect();
+        for i in 0..4 {
+            let d = b.cell(CellKind::Xor2, &[q[i], din[i]]);
+            b.dff_onto(d, q[i], false);
+        }
+        let y01 = b.cell(CellKind::And2, &[q[0], q[1]]);
+        let y23 = b.cell(CellKind::And2, &[q[2], q[3]]);
+        let y = b.cell(CellKind::And2, &[y01, y23]);
+        b.output_port("y", &[y]);
+        let dout = b.memory(
+            "buf",
+            4,
+            vec![Bv::zero(4); 3],
+            raddr,
+            waddr,
+            q.clone(),
+            Some(wen),
+        );
+        b.output_port("dout", &dout);
+        b.build()
+    }
+
+    #[test]
+    fn scan_sub_program_prunes_the_functional_cone() {
+        let nl = insert_scan_chain(&scan_design());
+        let prog = GateProgram::compile(&nl).unwrap();
+        let scan = prog.scan.as_ref().expect("scan design has a shift mode");
+        assert!(
+            scan.instrs.len() < prog.instrs.len(),
+            "shift mode kept all {} instructions",
+            prog.instrs.len()
+        );
+    }
+
+    #[test]
+    fn no_scan_chain_means_no_shift_mode() {
+        let nl = scan_design();
+        let prog = GateProgram::compile(&nl).unwrap();
+        assert!(prog.scan.is_none());
+    }
+
+    #[test]
+    fn shift_mode_matches_the_event_driven_protocol() {
+        // Full scan-test rounds (shift in, capture, repeat) against the
+        // event-driven reference: scan_out every shift cycle, all outputs
+        // at capture, and the checking-memory violation streams —
+        // including writes fired by stale-looking shift states — must
+        // stay byte-identical.
+        let nl = insert_scan_chain(&scan_design());
+        let lib = CellLibrary::generic_025u();
+        let prog = GateProgram::compile(&nl).unwrap();
+        let mut ev = GateSim::new(&nl, &lib);
+        let mut bp = prog.simulator();
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let flops = nl.flop_count();
+        for round in 0..3 {
+            ev.set_input("scan_en", Bv::bit(true));
+            bp.set_input("scan_en", Bv::bit(true));
+            for _ in 0..flops {
+                let bit = Bv::bit(next() & 1 == 1);
+                ev.set_input("scan_in", bit);
+                bp.set_input("scan_in", bit);
+                ev.tick();
+                bp.tick();
+                assert_eq!(
+                    ev.output_logic("scan_out"),
+                    bp.output_logic("scan_out"),
+                    "round {round}: scan_out diverged while shifting"
+                );
+            }
+            ev.set_input("scan_en", Bv::zero(1));
+            bp.set_input("scan_en", Bv::zero(1));
+            for (port, w) in [("din", 4u32), ("wen", 1), ("waddr", 2), ("raddr", 2)] {
+                let v = Bv::new(next() & ((1 << w) - 1), w);
+                ev.set_input(port, v);
+                bp.set_input(port, v);
+            }
+            ev.tick();
+            bp.tick();
+            for port in ["y", "dout", "scan_out"] {
+                assert_eq!(
+                    ev.output_logic(port),
+                    bp.output_logic(port),
+                    "round {round}: `{port}` diverged at capture"
+                );
+            }
+        }
+        // A guaranteed out-of-range write, then compare the whole streams.
+        for sim_inputs in [
+            ("wen", Bv::bit(true)),
+            ("waddr", Bv::new(3, 2)),
+        ] {
+            ev.set_input(sim_inputs.0, sim_inputs.1);
+            bp.set_input(sim_inputs.0, sim_inputs.1);
+        }
+        ev.tick();
+        bp.tick();
+        assert!(!ev.violations().is_empty(), "bad write must be recorded");
+        assert_eq!(ev.violations(), bp.violations(), "violation streams");
+    }
+}

@@ -21,8 +21,11 @@ use crate::netlist::{GNetId, GateNetlist};
 use scflow_hwtypes::{Bv, Logic, LogicVec};
 
 /// A levelized node: a combinational cell or one memory's read path.
+///
+/// Shared with the bit-parallel compiler ([`crate::compile`]), which turns
+/// the same order into a flat instruction stream.
 #[derive(Clone, Copy, Debug)]
-enum Node {
+pub(crate) enum Node {
     Inst(u32),
     MemRead(u32),
 }
@@ -84,6 +87,32 @@ impl<'n> FastGateSim<'n> {
     /// The netlist this simulator runs.
     pub fn netlist(&self) -> &'n GateNetlist {
         self.nl
+    }
+
+    /// Returns the simulator to its power-on state — flop outputs at their
+    /// init values, memories reloaded, everything else unknown, counters
+    /// and violations cleared — without re-levelizing the netlist.
+    pub fn reset(&mut self) {
+        let nl = self.nl;
+        self.values.fill(Logic::X);
+        for (m, mem) in nl.memories().iter().enumerate() {
+            self.mems[m].clone_from(&mem.init);
+        }
+        self.changed.fill(false);
+        self.touched.clear();
+        self.mem_changed.fill(false);
+        self.force_eval = true;
+        self.stats = GateSimStats::default();
+        self.skipped = 0;
+        self.violations.clear();
+        self.values[nl.const0().0] = Logic::Zero;
+        self.values[nl.const1().0] = Logic::One;
+        for inst in nl.instances() {
+            if let Some(init) = inst.init {
+                self.values[inst.output.0] = Logic::from_bool(init);
+            }
+        }
+        self.settle();
     }
 
     /// Activity counters (`events` counts net value changes, as in the
@@ -359,7 +388,7 @@ impl<'n> FastGateSim<'n> {
 }
 
 /// Topologically orders the combinational cells and memory read paths.
-fn levelize(nl: &GateNetlist) -> Result<Vec<Node>, GateError> {
+pub(crate) fn levelize(nl: &GateNetlist) -> Result<Vec<Node>, GateError> {
     let comb: Vec<usize> = nl
         .instances()
         .iter()

@@ -5,8 +5,23 @@
 //! cell output, and a scan-test harness shifts patterns through the chain,
 //! captures one functional cycle, and compares signatures against the
 //! fault-free circuit to measure **fault coverage**.
+//!
+//! [`fault_coverage`] runs **parallel-pattern single-fault propagation**
+//! (PPSFP) on the compiled bit-parallel engine: up to 64 scan patterns
+//! evaluate per pass in the lanes of a [`BitGateSim`], detected faults are
+//! dropped after their first differing batch, and the fault list is
+//! sharded across `std::thread::scope` workers ([`fault_threads`] /
+//! `SCFLOW_FAULT_THREADS`). Every pattern is applied to a freshly reset
+//! circuit, so patterns are independent and the detected-fault set does
+//! not depend on batching or thread count; [`fault_coverage_serial`] is
+//! the one-fault × one-pattern reference on the event-driven simulator
+//! and produces the identical detected set (the differential tests pin
+//! this). Netlists the levelizer rejects (combinational loops) fall back
+//! to the serial reference automatically.
 
 use crate::celllib::CellLibrary;
+use crate::compile::GateProgram;
+use crate::bitpar::BitGateSim;
 use crate::gsim::GateSim;
 use crate::netlist::GateNetlist;
 use scflow_hwtypes::{Bv, Logic};
@@ -126,6 +141,76 @@ pub fn apply_pattern(sim: &mut GateSim<'_>, nl: &GateNetlist, pattern: &ScanPatt
     TestSignature { outputs, chain }
 }
 
+/// Applies up to 64 scan patterns at once, one per lane of a
+/// [`BitGateSim`], and returns the batch signature: the `(value,
+/// unknown)` planes of every primary-output bit after capture followed by
+/// the `scan_out` planes of each shift-out step. Lanes beyond
+/// `patterns.len()` hold garbage and must be masked by the caller.
+///
+/// The per-lane protocol is exactly [`apply_pattern`]'s; the caller is
+/// expected to [`BitGateSim::reset`] (and re-inject any fault) first.
+///
+/// # Panics
+///
+/// Panics if the netlist has no scan chain, `patterns` is empty or longer
+/// than the simulator's lane count, or the chain lengths differ.
+pub fn apply_pattern_batch(
+    sim: &mut BitGateSim<'_>,
+    patterns: &[ScanPattern],
+) -> Vec<(u64, u64)> {
+    let nl = sim.netlist();
+    assert!(
+        nl.input_port("scan_en").is_some(),
+        "netlist has no scan chain; run insert_scan_chain first"
+    );
+    assert!(
+        !patterns.is_empty() && patterns.len() <= sim.lanes() as usize,
+        "batch of {} patterns does not fit {} lanes",
+        patterns.len(),
+        sim.lanes()
+    );
+    let flops = patterns[0].chain_bits.len();
+    // Shift in.
+    sim.set_input("scan_en", Bv::bit(true));
+    for s in 0..flops {
+        let mut word = 0u64;
+        for (lane, p) in patterns.iter().enumerate() {
+            assert_eq!(p.chain_bits.len(), flops, "chain length mismatch");
+            if p.chain_bits[flops - 1 - s] {
+                word |= 1 << lane;
+            }
+        }
+        sim.set_input_word("scan_in", word);
+        sim.tick();
+    }
+    // Capture.
+    sim.set_input("scan_en", Bv::zero(1));
+    for (lane, p) in patterns.iter().enumerate() {
+        for (name, value) in &p.inputs {
+            sim.set_input_lane(name, lane as u32, *value);
+        }
+    }
+    sim.tick();
+    let mut sig = Vec::new();
+    for (name, bits) in nl.outputs() {
+        if name == "scan_out" {
+            continue;
+        }
+        for &n in bits {
+            sig.push(sim.net_planes(n));
+        }
+    }
+    // Shift out.
+    sim.set_input("scan_en", Bv::bit(true));
+    sim.set_input("scan_in", Bv::zero(1));
+    let scan_out = nl.output_port("scan_out").expect("scan chain has scan_out")[0];
+    for _ in 0..flops {
+        sig.push(sim.net_planes(scan_out));
+        sim.tick();
+    }
+    sig
+}
+
 /// The result of a fault-coverage run.
 #[derive(Clone, Debug)]
 pub struct CoverageResult {
@@ -134,6 +219,8 @@ pub struct CoverageResult {
     /// Faults whose signature differed from the fault-free circuit on at
     /// least one pattern.
     pub detected: usize,
+    /// Per-fault detection flags, parallel to the input fault list.
+    pub detected_mask: Vec<bool>,
 }
 
 impl CoverageResult {
@@ -145,40 +232,157 @@ impl CoverageResult {
             100.0 * self.detected as f64 / self.total as f64
         }
     }
+
+    fn from_mask(detected_mask: Vec<bool>) -> Self {
+        CoverageResult {
+            total: detected_mask.len(),
+            detected: detected_mask.iter().filter(|&&d| d).count(),
+            detected_mask,
+        }
+    }
 }
 
-/// Measures scan-test fault coverage: every fault in `faults` is injected
-/// in turn and tested against every pattern until detected.
+/// Worker-thread count for PPSFP fault simulation: `SCFLOW_FAULT_THREADS`
+/// if set to a positive integer, else the machine's available parallelism
+/// (`1` runs everything inline, in deterministic serial order — though the
+/// detected-fault set is the same at any thread count, because patterns
+/// are independent).
+pub fn fault_threads() -> usize {
+    match std::env::var("SCFLOW_FAULT_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Measures scan-test fault coverage with PPSFP on the compiled
+/// bit-parallel engine, using [`fault_threads`] workers. Falls back to
+/// [`fault_coverage_serial`] if the netlist cannot be levelized.
+///
+/// Each pattern is applied to a freshly reset circuit (patterns are
+/// independent), and a fault is dropped after the first pattern batch
+/// that distinguishes it from the fault-free circuit.
 pub fn fault_coverage(
     nl: &GateNetlist,
     lib: &CellLibrary,
     faults: &[FaultSite],
     patterns: &[ScanPattern],
 ) -> CoverageResult {
-    // Golden signatures once per pattern.
-    let golden: Vec<TestSignature> = {
-        let mut sim = GateSim::new(nl, lib);
-        patterns
-            .iter()
-            .map(|p| apply_pattern(&mut sim, nl, p))
-            .collect()
-    };
+    fault_coverage_with_threads(nl, lib, faults, patterns, fault_threads())
+}
 
-    let mut detected = 0;
-    for fault in faults {
-        let mut sim = GateSim::new(nl, lib);
-        sim.inject_stuck_at(fault.instance, fault.stuck_at);
+/// [`fault_coverage`] with an explicit worker-thread count.
+pub fn fault_coverage_with_threads(
+    nl: &GateNetlist,
+    lib: &CellLibrary,
+    faults: &[FaultSite],
+    patterns: &[ScanPattern],
+    threads: usize,
+) -> CoverageResult {
+    match GateProgram::compile(nl) {
+        Ok(prog) => ppsfp(&prog, faults, patterns, threads),
+        // Combinational loops need the event-driven delay semantics.
+        Err(_) => fault_coverage_serial(nl, lib, faults, patterns),
+    }
+}
+
+/// The serial reference: every fault is injected in turn on the
+/// event-driven [`GateSim`] and tested one pattern at a time until
+/// detected, each pattern on a freshly reset circuit. Produces the same
+/// detected-fault set as [`fault_coverage`], slowly.
+pub fn fault_coverage_serial(
+    nl: &GateNetlist,
+    lib: &CellLibrary,
+    faults: &[FaultSite],
+    patterns: &[ScanPattern],
+) -> CoverageResult {
+    let mut sim = GateSim::new(nl, lib);
+    let golden: Vec<TestSignature> = patterns
+        .iter()
+        .map(|p| {
+            sim.reset();
+            apply_pattern(&mut sim, nl, p)
+        })
+        .collect();
+
+    let mut detected_mask = vec![false; faults.len()];
+    for (fault, flag) in faults.iter().zip(detected_mask.iter_mut()) {
         for (p, gold) in patterns.iter().zip(&golden) {
+            sim.reset();
+            sim.inject_stuck_at(fault.instance, fault.stuck_at);
             if apply_pattern(&mut sim, nl, p) != *gold {
-                detected += 1;
+                *flag = true;
                 break;
             }
         }
     }
-    CoverageResult {
-        total: faults.len(),
-        detected,
+    CoverageResult::from_mask(detected_mask)
+}
+
+/// PPSFP over a compiled program: fault-free batch signatures once, then
+/// the fault list sharded across scoped worker threads, 64 patterns per
+/// pass, faults dropped at their first differing batch.
+fn ppsfp(
+    prog: &GateProgram<'_>,
+    faults: &[FaultSite],
+    patterns: &[ScanPattern],
+    threads: usize,
+) -> CoverageResult {
+    if faults.is_empty() || patterns.is_empty() {
+        return CoverageResult::from_mask(vec![false; faults.len()]);
     }
+    let batches: Vec<&[ScanPattern]> = patterns.chunks(64).collect();
+    let golden: Vec<Vec<(u64, u64)>> = {
+        let mut sim = prog.simulator_lanes(64);
+        batches
+            .iter()
+            .map(|b| {
+                sim.reset();
+                apply_pattern_batch(&mut sim, b)
+            })
+            .collect()
+    };
+
+    let run = |shard: &[FaultSite], out: &mut [bool]| {
+        let mut sim = prog.simulator_lanes(64);
+        for (fault, flag) in shard.iter().zip(out.iter_mut()) {
+            'batches: for (b, gold) in batches.iter().zip(&golden) {
+                sim.reset();
+                sim.inject_stuck_at(fault.instance, fault.stuck_at);
+                let sig = apply_pattern_batch(&mut sim, b);
+                let mask = if b.len() == 64 {
+                    !0u64
+                } else {
+                    (1u64 << b.len()) - 1
+                };
+                for (s, g) in sig.iter().zip(gold) {
+                    if ((s.0 ^ g.0) | (s.1 ^ g.1)) & mask != 0 {
+                        *flag = true;
+                        break 'batches;
+                    }
+                }
+            }
+        }
+    };
+
+    let threads = threads.clamp(1, faults.len());
+    let mut detected_mask = vec![false; faults.len()];
+    if threads == 1 {
+        run(faults, &mut detected_mask);
+    } else {
+        let chunk = faults.len().div_ceil(threads);
+        let run = &run;
+        std::thread::scope(|s| {
+            for (shard, out) in faults.chunks(chunk).zip(detected_mask.chunks_mut(chunk)) {
+                s.spawn(move || run(shard, out));
+            }
+        });
+    }
+    CoverageResult::from_mask(detected_mask)
 }
 
 #[cfg(test)]
@@ -257,5 +461,36 @@ mod tests {
         let faults = all_fault_sites(&nl);
         let result = fault_coverage(&nl, &lib, &faults, &[]);
         assert_eq!(result.detected, 0);
+    }
+
+    #[test]
+    fn ppsfp_matches_serial_reference() {
+        let nl = small_design();
+        let lib = CellLibrary::generic_025u();
+        let faults = all_fault_sites(&nl);
+        for seed in [3u64, 41, 1234] {
+            let patterns = random_patterns(&nl, 16, seed);
+            let serial = fault_coverage_serial(&nl, &lib, &faults, &patterns);
+            for threads in [1, 4] {
+                let par =
+                    fault_coverage_with_threads(&nl, &lib, &faults, &patterns, threads);
+                assert_eq!(
+                    par.detected_mask, serial.detected_mask,
+                    "seed {seed}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_boundaries_do_not_change_detection() {
+        // More than 64 patterns forces a second (partial) batch.
+        let nl = small_design();
+        let lib = CellLibrary::generic_025u();
+        let faults = all_fault_sites(&nl);
+        let patterns = random_patterns(&nl, 70, 11);
+        let serial = fault_coverage_serial(&nl, &lib, &faults, &patterns);
+        let par = fault_coverage_with_threads(&nl, &lib, &faults, &patterns, 2);
+        assert_eq!(par.detected_mask, serial.detected_mask);
     }
 }

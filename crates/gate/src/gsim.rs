@@ -146,25 +146,50 @@ impl<'n> GateSim<'n> {
             faults: std::collections::HashMap::new(),
             max_events_per_tick: 50_000_000,
         };
-        sim.values[nl.const0.0] = Logic::Zero;
-        sim.values[nl.const1.0] = Logic::One;
+        sim.power_on();
+        sim
+    }
+
+    /// Returns the simulator to its power-on state — flop outputs at their
+    /// init values, memories reloaded, everything else unknown, counters,
+    /// violations and injected faults cleared — without rebuilding the
+    /// fanout tables.
+    pub fn reset(&mut self) {
+        self.values.fill(Logic::X);
+        self.queue.clear();
+        self.pending.fill(None);
+        self.seq = 0;
+        self.now = 0;
+        for (m, mem) in self.nl.memories.iter().enumerate() {
+            self.mems[m].clone_from(&mem.init);
+        }
+        self.stats = GateSimStats::default();
+        self.violations.clear();
+        self.faults.clear();
+        self.power_on();
+    }
+
+    /// Drives constants and power-on flop values into a fresh value array.
+    fn power_on(&mut self) {
+        let nl = self.nl;
+        self.values[nl.const0.0] = Logic::Zero;
+        self.values[nl.const1.0] = Logic::One;
         // Power-on flop values, propagated like events so downstream logic
         // observes them.
         for inst in &nl.instances {
             if let Some(init) = inst.init {
-                sim.schedule(0, inst.output, Logic::from_bool(init));
+                self.schedule(0, inst.output, Logic::from_bool(init));
             }
         }
         // Trigger constant fanout.
         for c in [nl.const0, nl.const1] {
-            let range = sim.fanout_range(c);
+            let range = self.fanout_range(c);
             for i in range {
-                let f = sim.fanout_targets[i];
-                sim.eval_target(f, 0);
+                let f = self.fanout_targets[i];
+                self.eval_target(f, 0);
             }
         }
-        sim.settle();
-        sim
+        self.settle();
     }
 
     /// The current simulated gate-level time in ps (monotonic).

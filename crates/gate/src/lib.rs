@@ -20,6 +20,11 @@
 //! * [`FastGateSim`] — a zero-delay levelized "fast mode" with activity
 //!   gating for scan-free functional runs: same settled values and same
 //!   checking-memory violations, no per-event timing,
+//! * [`GateProgram`] / [`BitGateSim`] — the netlist compiled once into a
+//!   flat levelized instruction stream over two-plane `(value, unknown)`
+//!   `u64` words: 64 independent stimulus patterns per instruction with
+//!   full four-valued X-propagation, or single-pattern mode as the fastest
+//!   drop-in cosimulation DUT,
 //! * the **checking memory model**: out-of-range accesses are recorded,
 //!   reproducing how the paper's golden-model bug was finally caught at
 //!   gate level,
@@ -28,13 +33,17 @@
 //! * [`longest_path`] — static timing (topological longest path) used to
 //!   confirm the 40 ns clock constraint,
 //! * [`fault`] — stuck-at fault injection and scan-based test coverage
-//!   (what the scan chain's area pays for).
+//!   (what the scan chain's area pays for), measured with parallel-pattern
+//!   single-fault propagation (PPSFP) and fault dropping on the
+//!   bit-parallel engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod area;
+mod bitpar;
 mod celllib;
+mod compile;
 mod error;
 pub mod fault;
 mod fastsim;
@@ -46,7 +55,9 @@ mod timing;
 mod verilog;
 
 pub use area::AreaReport;
+pub use bitpar::BitGateSim;
 pub use celllib::{CellKind, CellLibrary, CellSpec};
+pub use compile::GateProgram;
 pub use error::GateError;
 pub use fastsim::FastGateSim;
 pub use gsim::{GateSim, GateSimStats, MemAccessViolation};

@@ -1,12 +1,16 @@
 //! [`Simulation`] implementations for the gate-level engines.
 //!
-//! Both engines follow the same per-cycle protocol as the RTL simulators.
-//! Output reads follow the flow's testbench convention: unknown bits read
-//! as zero (use [`GateSim::output_logic`](crate::GateSim::output_logic) /
-//! [`FastGateSim::output_logic`](crate::FastGateSim::output_logic) when
-//! the four-valued view matters).
+//! All three engines follow the same per-cycle protocol as the RTL
+//! simulators. Output reads follow the flow's testbench convention:
+//! unknown bits read as zero (use
+//! [`GateSim::output_logic`](crate::GateSim::output_logic) /
+//! [`FastGateSim::output_logic`](crate::FastGateSim::output_logic) /
+//! [`BitGateSim::output_logic`](crate::BitGateSim::output_logic) when the
+//! four-valued view matters). The bit-parallel engine participates as a
+//! single-pattern (lane 0) simulator; pokes broadcast to every lane and
+//! peeks read lane 0.
 
-use crate::{FastGateSim, GateSim};
+use crate::{BitGateSim, FastGateSim, GateSim};
 use scflow_hwtypes::Bv;
 use scflow_sim_api::{EngineStats, SimError, Simulation};
 
@@ -73,6 +77,42 @@ impl Simulation for GateSim<'_> {
 
     fn stats(&self) -> EngineStats {
         let s = GateSim::stats(self);
+        EngineStats {
+            cycles: s.cycles,
+            evals: s.gate_evals,
+            skipped: 0,
+            events: s.events,
+        }
+    }
+}
+
+impl Simulation for BitGateSim<'_> {
+    fn step(&mut self) {
+        self.tick();
+    }
+
+    fn settle(&mut self) {
+        BitGateSim::settle(self);
+    }
+
+    fn cycle(&self) -> u64 {
+        BitGateSim::stats(self).cycles
+    }
+
+    fn try_poke(&mut self, port: &str, value: Bv) -> Result<(), SimError> {
+        self.try_set_input(port, value)
+    }
+
+    fn try_peek(&self, port: &str) -> Result<Bv, SimError> {
+        peek_gate(self.netlist().output_port(port), |n| self.peek_net(n), port)
+    }
+
+    fn has_input(&self, port: &str) -> bool {
+        self.netlist_has_input(port)
+    }
+
+    fn stats(&self) -> EngineStats {
+        let s = BitGateSim::stats(self);
         EngineStats {
             cycles: s.cycles,
             evals: s.gate_evals,

@@ -1,0 +1,243 @@
+//! Differential tests: the compiled bit-parallel engine ([`BitGateSim`])
+//! against the event-driven simulator ([`GateSim`]) — single-pattern
+//! lockstep including the checking memory model's violation stream,
+//! per-lane equivalence on 64 independent stimulus patterns, four-valued
+//! X-propagation on random netlists with undriven inputs, and PPSFP
+//! fault coverage against the serial reference on a memory-bearing scan
+//! design.
+
+use scflow_gate::fault::{
+    all_fault_sites, fault_coverage_serial, fault_coverage_with_threads, random_patterns,
+};
+use scflow_gate::{
+    insert_scan_chain, CellKind, CellLibrary, FastGateSim, GNetId, GateNetlist, GateProgram,
+    GateSim, NetlistBuilder,
+};
+use scflow_hwtypes::Bv;
+use scflow_testkit::Rng;
+
+/// Builds a full adder from basic gates; returns (sum, carry_out).
+fn full_adder(b: &mut NetlistBuilder, a: GNetId, x: GNetId, cin: GNetId) -> (GNetId, GNetId) {
+    let axx = b.cell(CellKind::Xor2, &[a, x]);
+    let sum = b.cell(CellKind::Xor2, &[axx, cin]);
+    let t1 = b.cell(CellKind::And2, &[axx, cin]);
+    let t2 = b.cell(CellKind::And2, &[a, x]);
+    let cout = b.cell(CellKind::Or2, &[t1, t2]);
+    (sum, cout)
+}
+
+/// The acc_mem DUT of the fast-engine differential: an 8-bit accumulator
+/// plus a 5-word checking memory with 3-bit addresses (6/7 out of range).
+fn build_dut() -> GateNetlist {
+    let mut b = NetlistBuilder::new("acc_mem");
+    let din = b.input_port("din", 8);
+    let wen = b.input_port("wen", 1)[0];
+    let waddr = b.input_port("waddr", 3);
+    let raddr = b.input_port("raddr", 3);
+
+    let q_wires: Vec<GNetId> = (0..8).map(|i| b.net(format!("qw[{i}]"))).collect();
+    let mut carry = b.const0();
+    let mut sums = Vec::new();
+    for i in 0..8 {
+        let (s, c) = full_adder(&mut b, q_wires[i], din[i], carry);
+        sums.push(s);
+        carry = c;
+    }
+    for i in 0..8 {
+        b.dff_onto(sums[i], q_wires[i], false);
+    }
+    b.output_port("acc", &q_wires);
+
+    let wdata: Vec<GNetId> = q_wires[..4].to_vec();
+    let dout = b.memory("buf", 4, vec![Bv::zero(4); 5], raddr, waddr, wdata, Some(wen));
+    b.output_port("dout", &dout);
+    b.build()
+}
+
+#[test]
+fn single_pattern_matches_event_driven_on_seeded_noise() {
+    let nl = build_dut();
+    let lib = CellLibrary::generic_025u();
+    let prog = GateProgram::compile(&nl).expect("acyclic netlist compiles");
+    let mut ev = GateSim::new(&nl, &lib);
+    let mut bp = prog.simulator();
+    let mut rng = Rng::new(0x6A7E_2004);
+    for cycle in 0..400 {
+        let din = rng.next_u64() & 0xFF;
+        let wen = rng.next_u64() & 1;
+        let waddr = rng.next_u64() & 7; // 5-word memory: 6/7 out of range
+        let raddr = rng.next_u64() & 7;
+        for (port, val, w) in [
+            ("din", din, 8u32),
+            ("wen", wen, 1),
+            ("waddr", waddr, 3),
+            ("raddr", raddr, 3),
+        ] {
+            ev.set_input(port, Bv::new(val, w));
+            bp.set_input(port, Bv::new(val, w));
+        }
+        ev.settle();
+        bp.settle();
+        for port in ["acc", "dout"] {
+            assert_eq!(
+                ev.output_logic(port),
+                bp.output_logic(port),
+                "`{port}` diverged after settle, cycle {cycle}"
+            );
+        }
+        ev.tick();
+        bp.tick();
+        for port in ["acc", "dout"] {
+            assert_eq!(
+                ev.output_logic(port),
+                bp.output_logic(port),
+                "`{port}` diverged after edge, cycle {cycle}"
+            );
+        }
+    }
+    // Byte-identical checking-memory behaviour: same violations, in the
+    // same order, with the same cycle stamps.
+    assert!(!ev.violations().is_empty(), "noise hits bad addresses");
+    assert_eq!(
+        ev.violations(),
+        bp.violations(),
+        "identical violation streams"
+    );
+}
+
+#[test]
+fn lanes_match_per_pattern_fast_engine_runs() {
+    // 64 independent input streams in the lanes of one BitGateSim must
+    // equal 64 separate FastGateSim runs, cycle by cycle.
+    let nl = build_dut();
+    let prog = GateProgram::compile(&nl).expect("acyclic netlist compiles");
+    let mut bp = prog.simulator_lanes(64);
+    let mut refs: Vec<FastGateSim<'_>> = (0..64)
+        .map(|_| FastGateSim::new(&nl).expect("acyclic netlist levelizes"))
+        .collect();
+    let mut rng = Rng::new(0xB17_1A9E5);
+    for cycle in 0..60 {
+        for (lane, r) in refs.iter_mut().enumerate() {
+            let din = rng.next_u64() & 0xFF;
+            let wen = rng.next_u64() & 1;
+            let waddr = rng.next_u64() & 7;
+            let raddr = rng.next_u64() & 7;
+            for (port, val, w) in [
+                ("din", din, 8u32),
+                ("wen", wen, 1),
+                ("waddr", waddr, 3),
+                ("raddr", raddr, 3),
+            ] {
+                r.set_input(port, Bv::new(val, w));
+                bp.set_input_lane(port, lane as u32, Bv::new(val, w));
+            }
+        }
+        bp.tick();
+        for (lane, r) in refs.iter_mut().enumerate() {
+            r.tick();
+            for port in ["acc", "dout"] {
+                assert_eq!(
+                    r.output_logic(port),
+                    bp.output_logic_lane(port, lane as u32),
+                    "`{port}` diverged in lane {lane}, cycle {cycle}"
+                );
+            }
+        }
+    }
+}
+
+/// A random acyclic netlist: `n_inputs` single-bit inputs, `n_gates`
+/// cells over random existing nets, a few flops, every net observable
+/// through one wide output port.
+fn random_netlist(rng: &mut Rng, n_inputs: usize, n_gates: usize) -> GateNetlist {
+    const KINDS: [CellKind; 9] = [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+    ];
+    let mut b = NetlistBuilder::new("rand");
+    let mut nets: Vec<GNetId> = (0..n_inputs)
+        .map(|i| b.input_port(&format!("i{i}"), 1)[0])
+        .collect();
+    nets.push(b.const0());
+    nets.push(b.const1());
+    for g in 0..n_gates {
+        let kind = KINDS[rng.index(KINDS.len())];
+        let ins: Vec<GNetId> = (0..kind.input_count())
+            .map(|_| nets[rng.index(nets.len())])
+            .collect();
+        let out = b.cell(kind, &ins);
+        nets.push(out);
+        if g % 7 == 3 {
+            nets.push(b.dff(out, rng.bool()));
+        }
+    }
+    let observable: Vec<GNetId> = nets[n_inputs + 2..].to_vec();
+    b.output_port("o", &observable);
+    b.build()
+}
+
+#[test]
+fn x_propagation_matches_on_random_netlists_with_undriven_inputs() {
+    let mut rng = Rng::new(0x0DD5_EED5);
+    for trial in 0..20 {
+        let nl = random_netlist(&mut rng, 6, 40);
+        let lib = CellLibrary::generic_025u();
+        let prog = GateProgram::compile(&nl).expect("builder netlists are acyclic");
+        let mut ev = GateSim::new(&nl, &lib);
+        let mut bp = prog.simulator();
+        for cycle in 0..30 {
+            // Roughly a third of the pokes are skipped, so those inputs
+            // keep (or revert to) unknown values and X has to flow
+            // identically through both engines.
+            for i in 0..6 {
+                if rng.index(3) == 0 {
+                    continue;
+                }
+                let v = Bv::new(rng.next_u64() & 1, 1);
+                ev.set_input(&format!("i{i}"), v);
+                bp.set_input(&format!("i{i}"), v);
+            }
+            ev.settle();
+            bp.settle();
+            assert_eq!(
+                ev.output_logic("o"),
+                bp.output_logic("o"),
+                "four-valued outputs diverged, trial {trial}, cycle {cycle}"
+            );
+            ev.tick();
+            bp.tick();
+            assert_eq!(
+                ev.output_logic("o"),
+                bp.output_logic("o"),
+                "four-valued outputs diverged after edge, trial {trial}, cycle {cycle}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ppsfp_matches_serial_on_memory_bearing_scan_design() {
+    // The acc_mem DUT with a scan chain: fault simulation over a design
+    // whose signatures can carry X (memory reads) and whose checking
+    // memory fires — the detected sets must still agree exactly.
+    let nl = insert_scan_chain(&build_dut());
+    let lib = CellLibrary::generic_025u();
+    let faults = all_fault_sites(&nl);
+    let patterns = random_patterns(&nl, 12, 0xACC0_57A7);
+    let serial = fault_coverage_serial(&nl, &lib, &faults, &patterns);
+    for threads in [1, 3] {
+        let par = fault_coverage_with_threads(&nl, &lib, &faults, &patterns, threads);
+        assert_eq!(
+            par.detected_mask, serial.detected_mask,
+            "{threads}-thread PPSFP diverged from the serial reference"
+        );
+    }
+    assert!(serial.detected > 0, "patterns detect something");
+}

@@ -80,6 +80,14 @@ impl Harness {
         self
     }
 
+    /// Overrides the warmup iteration count (env still wins). Long-running
+    /// workloads with stable per-iteration times (e.g. the serial
+    /// fault-simulation reference) want fewer warmups than the default.
+    pub fn with_warmup(mut self, warmup: u32) -> Self {
+        self.warmup = env_u32("SCFLOW_BENCH_WARMUP", warmup);
+        self
+    }
+
     /// Times `f`, keeping its result out of the optimiser's reach.
     pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &BenchResult {
         self.bench_cycles_inner(name, move || {

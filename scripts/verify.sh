@@ -30,4 +30,11 @@ echo "== engine check: compiled levelized vs interpreted RTL =="
 # engine has become slower than the interpreter.
 cargo run --release --offline -p scflow-bench --bin tables -- --check-engines
 
+echo "== gate engine check: bit-parallel vs event-driven =="
+# Races the three gate-level engines on the synthesized RTL SRC and
+# cross-checks PPSFP fault coverage against the serial per-fault
+# reference; exits non-zero if the bit-parallel engine is slower than
+# the event-driven one or detects a different fault set.
+cargo run --release --offline -p scflow-bench --bin tables -- --check-gate
+
 echo "verify: OK"
