@@ -7,7 +7,7 @@
 
 use scflow::SrcConfig;
 
-const KNOWN_FLAGS: [&str; 16] = [
+const KNOWN_FLAGS: [&str; 18] = [
     "--down",
     "--all",
     "--verify",
@@ -23,6 +23,8 @@ const KNOWN_FLAGS: [&str; 16] = [
     "--ablation-pack",
     "--check-engines",
     "--check-gate",
+    "--profile",
+    "--coverage",
     "--help",
 ];
 
@@ -33,12 +35,20 @@ fn main() {
         eprintln!("known flags: {}", KNOWN_FLAGS.join(" "));
         std::process::exit(2);
     }
-    let has = |f: &str| args.iter().any(|a| a == f) || args.iter().any(|a| a == "--all");
-    if args.is_empty() || has("--help") {
+    // The `SCFLOW_METRICS` / `SCFLOW_PROFILE` environment knobs act as
+    // implicit `--coverage` / `--profile` flags.
+    let has = |f: &str| {
+        args.iter().any(|a| a == f)
+            || args.iter().any(|a| a == "--all")
+            || (f == "--coverage" && scflow_obs::metrics_enabled())
+            || (f == "--profile" && scflow_obs::profile_enabled())
+    };
+    if args.is_empty() && !has("--coverage") && !has("--profile") || has("--help") {
         eprintln!(
             "usage: tables [--down] [--all] [--verify] [--fig7] [--fig8] [--fig9] \
              [--fig10] [--timing] [--fault] [--ablation-sched] [--ablation-regs] \
-             [--ablation-share] [--ablation-pack] [--check-engines] [--check-gate]"
+             [--ablation-share] [--ablation-pack] [--check-engines] [--check-gate] \
+             [--profile] [--coverage]"
         );
         std::process::exit(2);
     }
@@ -221,5 +231,55 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+
+    // Observability subcommands: both feed the same METRICS.json, so
+    // `--all` (or SCFLOW_METRICS plus SCFLOW_PROFILE) writes one
+    // combined artefact. The metrics object stays deterministic; only
+    // the optional profile section carries wall-clock numbers.
+    let mut metrics_out = scflow_obs::MetricsRegistry::new();
+    let mut profile_out: Option<scflow_obs::Profiler> = None;
+    let mut emit_metrics = false;
+
+    if has("--coverage") {
+        println!("=== Toggle coverage across all simulation engines ===\n");
+        let rep = scflow_bench::measure_coverage(&cfg);
+        println!("{:<24} {:>9}", "level", "coverage");
+        println!("{:<24} {:>8.1}%", "RTL (per net bit)", rep.rtl_percent);
+        println!("{:<24} {:>8.1}%", "gate (per cell output)", rep.gate_percent);
+        println!(
+            "within-level maps byte-identical across engines: {}\n",
+            if rep.maps_match { "yes" } else { "NO" }
+        );
+        if !rep.maps_match {
+            eprintln!("FAILED: toggle-coverage maps differ between engines at the same level");
+            std::process::exit(1);
+        }
+        metrics_out.merge_from(&rep.metrics);
+        emit_metrics = true;
+    }
+
+    if has("--profile") {
+        println!("=== Flow profile: wall time per phase ===\n");
+        let lib = scflow_gate::CellLibrary::generic_025u();
+        let input = scflow::stimulus::sine(150, 1000.0, f64::from(cfg.in_rate), 9000.0);
+        match scflow::flow::profile_flow(&cfg, &lib, &input, 32, 0xBEEF) {
+            Ok(p) => {
+                print!("{}", p.report());
+                println!("total: {:.1} ms\n", p.total_ns() as f64 / 1e6);
+                metrics_out.merge_from(&p.metrics);
+                profile_out = Some(p.profiler);
+            }
+            Err(e) => {
+                eprintln!("FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        emit_metrics = true;
+    }
+
+    if emit_metrics {
+        let path = scflow_bench::write_metrics_json(&metrics_out, profile_out.as_ref());
+        println!("wrote {}", path.display());
     }
 }

@@ -642,6 +642,108 @@ pub fn timing_table(cfg: &SrcConfig) -> Vec<(String, u64, bool)> {
         .collect()
 }
 
+/// Toggle coverage of the fig8 stimulus across every simulation engine.
+///
+/// Produced by [`measure_coverage`]; the per-level maps are the byte
+/// artifacts the engine-identity guarantee is checked against.
+#[derive(Clone, Debug)]
+pub struct CoverageReport {
+    /// Per-net toggle map of the optimised RTL SRC, one line per net
+    /// (identical on the interpreted and compiled engines, asserted).
+    pub rtl_map: String,
+    /// Per-cell-output toggle map of the synthesized netlist (identical
+    /// on the event-driven, fast and bit-parallel engines, asserted).
+    pub gate_map: String,
+    /// RTL toggle coverage, percent of net bits that both rose and fell.
+    pub rtl_percent: f64,
+    /// Gate-level toggle coverage, percent of cell outputs.
+    pub gate_percent: f64,
+    /// Whether every within-level map pair was byte-identical.
+    pub maps_match: bool,
+    /// Engine activity counters plus coverage aggregates, all
+    /// deterministic (no wall-clock quantities).
+    pub metrics: scflow_obs::MetricsRegistry,
+}
+
+/// Runs the fig8 stimulus through all five engines — interpreted and
+/// compiled RTL on the optimised SRC, event-driven, fast and
+/// bit-parallel on its synthesized netlist — with toggle coverage
+/// enabled, asserts bit accuracy against the golden model, and
+/// cross-checks that the coverage maps within each level are
+/// byte-identical (the engines sample settled values at the same cycle
+/// boundaries, so any difference is an engine bug).
+pub fn measure_coverage(cfg: &SrcConfig) -> CoverageReport {
+    use scflow_sim_api::Simulation;
+    let lib = CellLibrary::generic_025u();
+    let input = stimulus::sine(150, 1000.0, f64::from(cfg.in_rate), 9000.0);
+    let golden = GoldenVectors::generate(cfg, input);
+    let budget = 10_000_000;
+    let module = build_rtl_src(cfg, RtlVariant::Optimised).expect("rtl");
+    let netlist = synthesize(&module, &lib, &SynthOptions::default())
+        .expect("synth rtl")
+        .netlist;
+
+    let mut reg = scflow_obs::MetricsRegistry::new();
+    // Coverage aggregates register once per level (from the first
+    // engine); per-engine activity counters register under their own
+    // prefixes.
+    let run_covered = |sim: &mut dyn Simulation,
+                           prefix: &str,
+                           cov_prefix: Option<&str>,
+                           reg: &mut scflow_obs::MetricsRegistry|
+     -> (String, f64) {
+        assert!(sim.set_coverage(true), "{prefix}: no coverage support");
+        let r = run_native_hdl(sim, &golden, budget);
+        assert_eq!(r.outputs, golden.output, "{prefix}: diverged from golden");
+        assert_eq!(r.testbench_errors, 0, "{prefix}: testbench errors");
+        sim.stats().register_into(reg, prefix);
+        let cov = sim.coverage().expect("coverage enabled");
+        if let Some(p) = cov_prefix {
+            cov.register_into(reg, p);
+        }
+        (cov.report(), cov.percent())
+    };
+
+    let mut interp = RtlSim::new(&module);
+    let (rtl_map, rtl_percent) =
+        run_covered(&mut interp, "rtl.interp", Some("coverage.toggle.rtl"), &mut reg);
+    let prog = CompiledProgram::compile(&module).expect("rtl compiles");
+    let mut compiled = prog.simulator();
+    let (compiled_map, _) = run_covered(&mut compiled, "rtl.compiled", None, &mut reg);
+
+    let mut event = GateSim::new(&netlist, &lib);
+    let (gate_map, gate_percent) =
+        run_covered(&mut event, "gate.event", Some("coverage.toggle.gate"), &mut reg);
+    let mut fast = FastGateSim::new(&netlist).expect("gate netlist levelizes");
+    let (fast_map, _) = run_covered(&mut fast, "gate.fast", None, &mut reg);
+    let gprog = GateProgram::compile(&netlist).expect("gate netlist compiles");
+    let mut bitpar = gprog.simulator();
+    let (bitpar_map, _) = run_covered(&mut bitpar, "gate.bitpar", None, &mut reg);
+
+    let maps_match = compiled_map == rtl_map && fast_map == gate_map && bitpar_map == gate_map;
+    CoverageReport {
+        rtl_map,
+        gate_map,
+        rtl_percent,
+        gate_percent,
+        maps_match,
+        metrics: reg,
+    }
+}
+
+/// Renders a registry (plus an optional profile) with
+/// [`scflow_obs::render_metrics_json`] and writes it as `METRICS.json`
+/// via [`bench_output_path`]. Returns the path written.
+pub fn write_metrics_json(
+    reg: &scflow_obs::MetricsRegistry,
+    profile: Option<&scflow_obs::Profiler>,
+) -> std::path::PathBuf {
+    let path = bench_output_path("METRICS.json");
+    std::fs::write(&path, scflow_obs::render_metrics_json(reg, profile))
+        .expect("write METRICS.json");
+    path
+}
+
 /// Where the benchmark JSON artefacts (`BENCH_fig8.json`, …) land:
 /// `$SCFLOW_BENCH_DIR` when set, otherwise the workspace root.
 pub fn bench_output_path(file: &str) -> std::path::PathBuf {

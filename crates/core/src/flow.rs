@@ -18,6 +18,7 @@ use crate::models::rtl::{build_rtl_src, RtlVariant};
 use crate::models::vhdl_ref::build_vhdl_ref;
 use crate::verify::{compare_bit_accurate, GoldenVectors};
 use scflow_gate::{fault, CellLibrary, FastGateSim, GateNetlist, GateProgram, GateSim};
+use scflow_obs::{MetricsRegistry, Profiler};
 use scflow_rtl::{CompiledProgram, Module, RtlSim};
 use scflow_synth::rtl::{synthesize, SynthOptions, SynthResult};
 use std::fmt;
@@ -291,20 +292,44 @@ pub fn validate_all_levels_with(
     cfg: &SrcConfig,
     input: &[i16],
 ) -> Result<(), ScflowError> {
-    let golden = GoldenVectors::generate(cfg, input.to_vec());
+    validate_all_levels_profiled(engine, cfg, input, &mut Profiler::new())
+}
 
-    let beh_unopt = synthesize_beh_src(cfg, BehVariant::Unoptimised)?.module;
-    validate_module_with(engine, "BEH unopt", &beh_unopt, &golden, false)?;
-    let beh_opt = synthesize_beh_src(cfg, BehVariant::Optimised)?.module;
-    validate_module_with(engine, "BEH opt", &beh_opt, &golden, true)?;
-    let rtl_unopt = build_rtl_src(cfg, RtlVariant::Unoptimised)?;
-    validate_module_with(engine, "RTL unopt", &rtl_unopt, &golden, false)?;
-    let rtl_opt = build_rtl_src(cfg, RtlVariant::Optimised)?;
-    validate_module_with(engine, "RTL opt", &rtl_opt, &golden, false)?;
-    let buggy = build_rtl_src(cfg, RtlVariant::OptimisedBuggy)?;
-    validate_module_with(engine, "RTL buggy", &buggy, &golden, false)?;
-    let vhdl = build_vhdl_ref(cfg)?;
-    validate_module_with(engine, "VHDL-Ref", &vhdl, &golden, false)?;
+/// [`validate_all_levels_with`], with each design validation recorded as
+/// a child span of the caller's currently open span.
+fn validate_all_levels_profiled(
+    engine: SimEngine,
+    cfg: &SrcConfig,
+    input: &[i16],
+    prof: &mut Profiler,
+) -> Result<(), ScflowError> {
+    let golden =
+        prof.scope("golden_vectors", |_| GoldenVectors::generate(cfg, input.to_vec()));
+
+    prof.scope("BEH unopt", |_| {
+        let m = synthesize_beh_src(cfg, BehVariant::Unoptimised)?.module;
+        validate_module_with(engine, "BEH unopt", &m, &golden, false)
+    })?;
+    prof.scope("BEH opt", |_| {
+        let m = synthesize_beh_src(cfg, BehVariant::Optimised)?.module;
+        validate_module_with(engine, "BEH opt", &m, &golden, true)
+    })?;
+    prof.scope("RTL unopt", |_| {
+        let m = build_rtl_src(cfg, RtlVariant::Unoptimised)?;
+        validate_module_with(engine, "RTL unopt", &m, &golden, false)
+    })?;
+    prof.scope("RTL opt", |_| {
+        let m = build_rtl_src(cfg, RtlVariant::Optimised)?;
+        validate_module_with(engine, "RTL opt", &m, &golden, false)
+    })?;
+    prof.scope("RTL buggy", |_| {
+        let m = build_rtl_src(cfg, RtlVariant::OptimisedBuggy)?;
+        validate_module_with(engine, "RTL buggy", &m, &golden, false)
+    })?;
+    prof.scope("VHDL-Ref", |_| {
+        let m = build_vhdl_ref(cfg)?;
+        validate_module_with(engine, "VHDL-Ref", &m, &golden, false)
+    })?;
     Ok(())
 }
 
@@ -411,18 +436,109 @@ pub fn run_fault_flow(
     n_patterns: usize,
     seed: u64,
 ) -> Result<FaultReport, ScflowError> {
+    run_fault_flow_instrumented(cfg, lib, n_patterns, seed).map(|(report, _)| report)
+}
+
+/// [`run_fault_flow`] plus the fault simulator's run instrumentation
+/// (per-shard timing and the fault-drop-rate curve).
+///
+/// # Errors
+///
+/// Propagates construction and synthesis errors.
+pub fn run_fault_flow_instrumented(
+    cfg: &SrcConfig,
+    lib: &CellLibrary,
+    n_patterns: usize,
+    seed: u64,
+) -> Result<(FaultReport, fault::FaultSimStats), ScflowError> {
     let module = build_rtl_src(cfg, RtlVariant::Optimised)?;
     let netlist = synthesize(&module, lib, &SynthOptions::default())?.netlist;
     let faults = fault::all_fault_sites(&netlist);
     let patterns = fault::random_patterns(&netlist, n_patterns, seed);
     let threads = fault::fault_threads();
-    let result = fault::fault_coverage(&netlist, lib, &faults, &patterns);
-    Ok(FaultReport {
+    let (result, stats) =
+        fault::fault_coverage_instrumented_with_threads(&netlist, lib, &faults, &patterns, threads);
+    let report = FaultReport {
         design: "RTL opt".to_owned(),
         faults: result.total,
         detected: result.detected,
         coverage_pct: result.coverage_pct(),
         threads,
         patterns: patterns.len(),
+    };
+    Ok((report, stats))
+}
+
+/// A profiled end-to-end flow run: wall-clock phase spans plus the
+/// deterministic metrics the phases produced.
+///
+/// The three flow phases are root spans of `profiler`, so
+/// [`Profiler::total_ns`] equals their sum by construction; each design
+/// validated by the first phase appears as a child span.
+#[derive(Clone, Debug)]
+pub struct FlowProfile {
+    /// The Figure 10 area table from the `run_area_flow` phase.
+    pub area: AreaFigure,
+    /// The fault-coverage report from the `run_fault_flow` phase.
+    pub fault: FaultReport,
+    /// Fault-simulator instrumentation (shard timing, drop curve).
+    pub fault_stats: fault::FaultSimStats,
+    /// Phase spans: `validate_all_levels`, `run_area_flow`,
+    /// `run_fault_flow`, with per-design children under the first.
+    pub profiler: Profiler,
+    /// Deterministic quantities gathered along the way (fault drop
+    /// curve, pattern/design counts) — wall times stay in `profiler`.
+    pub metrics: MetricsRegistry,
+}
+
+impl FlowProfile {
+    /// Total profiled wall time, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.profiler.total_ns()
+    }
+
+    /// Human-readable span tree.
+    pub fn report(&self) -> String {
+        self.profiler.report()
+    }
+}
+
+/// Runs the complete flow — refinement validation on the engine named by
+/// `SCFLOW_SIM_ENGINE`, the Figure 10 area table, and the scan-test
+/// fault-coverage flow — with every phase profiled.
+///
+/// # Errors
+///
+/// Returns the first failing phase's error.
+pub fn profile_flow(
+    cfg: &SrcConfig,
+    lib: &CellLibrary,
+    input: &[i16],
+    n_patterns: usize,
+    seed: u64,
+) -> Result<FlowProfile, ScflowError> {
+    let engine = SimEngine::from_env();
+    let mut prof = Profiler::new();
+    prof.scope("validate_all_levels", |p| {
+        validate_all_levels_profiled(engine, cfg, input, p)
+    })?;
+    let area = prof.scope("run_area_flow", |_| run_area_flow(cfg, lib))?;
+    let (fault, fault_stats) = prof.scope("run_fault_flow", |_| {
+        run_fault_flow_instrumented(cfg, lib, n_patterns, seed)
+    })?;
+
+    let mut metrics = MetricsRegistry::new();
+    fault_stats.register_into(&mut metrics, &format!("fault.{}", fault_stats.engine));
+    metrics.set_counter("flow.designs_validated", 6);
+    metrics.set_counter("flow.input_samples", input.len() as u64);
+    metrics.set_counter("flow.scan_patterns", fault.patterns as u64);
+    metrics.set_counter("flow.fault_sites", fault.faults as u64);
+    metrics.set_counter("flow.faults_detected", fault.detected as u64);
+    Ok(FlowProfile {
+        area,
+        fault,
+        fault_stats,
+        profiler: prof,
+        metrics,
     })
 }

@@ -145,6 +145,7 @@ pub struct BitGateSim<'p> {
     dirty: bool,
     q_buf: Vec<(u32, u64, u64)>,
     mw_buf: Vec<(usize, usize, Bv)>,
+    coverage: Option<Box<scflow_obs::ToggleCoverage>>,
 }
 
 impl<'p> BitGateSim<'p> {
@@ -177,6 +178,7 @@ impl<'p> BitGateSim<'p> {
             dirty: true,
             q_buf: Vec::new(),
             mw_buf: Vec::new(),
+            coverage: None,
         };
         sim.power_on();
         sim
@@ -657,6 +659,13 @@ impl<'p> BitGateSim<'p> {
         // The edge changed flop outputs and memory words directly, so
         // this propagation must run regardless of the dirty flag.
         self.sweep();
+        if let Some(cov) = self.coverage.as_deref_mut() {
+            let (nl, val, unk) = (self.prog.nl, &self.val, &self.unk);
+            cov.sample_with(|i| {
+                let n = nl.instances()[i].output.0;
+                (val[n] & 1, !unk[n] & 1)
+            });
+        }
     }
 
     /// Runs `n` clock cycles.
@@ -664,6 +673,31 @@ impl<'p> BitGateSim<'p> {
         for _ in 0..n {
             self.tick();
         }
+    }
+
+    /// Turns cycle-boundary toggle-coverage collection over every cell
+    /// output (lane 0) on or off. Enabling primes the collector with
+    /// the current settled values; disabling drops the collected map.
+    /// With collection off, [`tick`](BitGateSim::tick) pays one branch
+    /// for this feature.
+    pub fn set_coverage(&mut self, enabled: bool) {
+        if !enabled {
+            self.coverage = None;
+            return;
+        }
+        let mut cov = crate::cov::instance_coverage(self.prog.nl);
+        let (nl, val, unk) = (self.prog.nl, &self.val, &self.unk);
+        cov.sample_with(|i| {
+            let n = nl.instances()[i].output.0;
+            (val[n] & 1, !unk[n] & 1)
+        });
+        self.coverage = Some(Box::new(cov));
+    }
+
+    /// The per-cell-output toggle-coverage map (lane 0), if collection
+    /// is enabled.
+    pub fn coverage(&self) -> Option<&scflow_obs::ToggleCoverage> {
+        self.coverage.as_deref()
     }
 }
 

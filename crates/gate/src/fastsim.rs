@@ -47,6 +47,7 @@ pub struct FastGateSim<'n> {
     stats: GateSimStats,
     skipped: u64,
     violations: Vec<MemAccessViolation>,
+    coverage: Option<Box<scflow_obs::ToggleCoverage>>,
 }
 
 impl<'n> FastGateSim<'n> {
@@ -72,6 +73,7 @@ impl<'n> FastGateSim<'n> {
             stats: GateSimStats::default(),
             skipped: 0,
             violations: Vec::new(),
+            coverage: None,
         };
         sim.values[nl.const0().0] = Logic::Zero;
         sim.values[nl.const1().0] = Logic::One;
@@ -377,6 +379,10 @@ impl<'n> FastGateSim<'n> {
 
         self.stats.cycles += 1;
         self.settle();
+        if let Some(cov) = self.coverage.as_deref_mut() {
+            let (nl, values) = (self.nl, &self.values);
+            cov.sample_with(|i| crate::cov::logic_sample(values[nl.instances()[i].output.0]));
+        }
     }
 
     /// Runs `n` clock cycles.
@@ -384,6 +390,28 @@ impl<'n> FastGateSim<'n> {
         for _ in 0..n {
             self.tick();
         }
+    }
+
+    /// Turns cycle-boundary toggle-coverage collection over every cell
+    /// output on or off. Enabling primes the collector with the current
+    /// settled values; disabling drops the collected map. With
+    /// collection off, [`tick`](FastGateSim::tick) pays one branch for
+    /// this feature.
+    pub fn set_coverage(&mut self, enabled: bool) {
+        if !enabled {
+            self.coverage = None;
+            return;
+        }
+        let mut cov = crate::cov::instance_coverage(self.nl);
+        let (nl, values) = (self.nl, &self.values);
+        cov.sample_with(|i| crate::cov::logic_sample(values[nl.instances()[i].output.0]));
+        self.coverage = Some(Box::new(cov));
+    }
+
+    /// The per-cell-output toggle-coverage map, if collection is
+    /// enabled.
+    pub fn coverage(&self) -> Option<&scflow_obs::ToggleCoverage> {
+        self.coverage.as_deref()
     }
 }
 

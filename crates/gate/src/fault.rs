@@ -242,6 +242,71 @@ impl CoverageResult {
     }
 }
 
+/// Instrumentation from one fault-coverage run.
+///
+/// The drop-rate curve is purely a function of the netlist, fault list
+/// and pattern set (patterns are independent, so a fault's first
+/// detecting batch does not depend on batching into shards or thread
+/// count) — it belongs in deterministic metrics sections. The per-shard
+/// wall times are wall-clock and must stay out of them.
+#[derive(Clone, Debug)]
+pub struct FaultSimStats {
+    /// Engine that produced the result: `"ppsfp"` or `"serial"`.
+    pub engine: &'static str,
+    /// Worker threads used (1 for the serial reference).
+    pub threads: usize,
+    /// Pattern batches (64-pattern groups for PPSFP, single patterns
+    /// for the serial reference).
+    pub batches: usize,
+    /// Faults assigned to each shard.
+    pub shard_faults: Vec<usize>,
+    /// Wall time each shard spent simulating, nanoseconds
+    /// (non-deterministic; excluded from
+    /// [`register_into`](FaultSimStats::register_into)).
+    pub shard_wall_ns: Vec<u64>,
+    /// Fault-drop-rate curve: `drop_curve[b]` faults were first
+    /// detected (and dropped) in batch `b`; undetected faults appear in
+    /// no bucket.
+    pub drop_curve: Vec<usize>,
+}
+
+impl FaultSimStats {
+    /// Faults still undetected after each batch, as a cumulative curve
+    /// starting from `total`.
+    pub fn remaining_curve(&self, total: usize) -> Vec<usize> {
+        let mut remaining = total;
+        self.drop_curve
+            .iter()
+            .map(|&d| {
+                remaining -= d;
+                remaining
+            })
+            .collect()
+    }
+
+    /// Per-shard wall times folded into a mergeable histogram (for
+    /// display; wall-clock, hence non-deterministic).
+    pub fn shard_wall_histogram(&self) -> scflow_obs::Histogram {
+        let mut h = scflow_obs::Histogram::new();
+        for &ns in &self.shard_wall_ns {
+            h.record(ns);
+        }
+        h
+    }
+
+    /// Registers the deterministic quantities under `prefix`
+    /// (e.g. `fault.ppsfp`): batch/shard/thread configuration and the
+    /// drop-rate curve. Wall times are deliberately not registered.
+    pub fn register_into(&self, reg: &mut scflow_obs::MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.batches"), self.batches as u64);
+        reg.set_counter(&format!("{prefix}.shards"), self.shard_faults.len() as u64);
+        reg.set_gauge(&format!("{prefix}.threads"), self.threads as i64);
+        for (b, &d) in self.drop_curve.iter().enumerate() {
+            reg.set_counter(&format!("{prefix}.drop_curve.b{b:03}"), d as u64);
+        }
+    }
+}
+
 /// Worker-thread count for PPSFP fault simulation: `SCFLOW_FAULT_THREADS`
 /// if set to a positive integer, else the machine's available parallelism
 /// (`1` runs everything inline, in deterministic serial order — though the
@@ -283,10 +348,32 @@ pub fn fault_coverage_with_threads(
     patterns: &[ScanPattern],
     threads: usize,
 ) -> CoverageResult {
+    fault_coverage_instrumented_with_threads(nl, lib, faults, patterns, threads).0
+}
+
+/// [`fault_coverage`] plus run instrumentation: per-shard fault counts
+/// and wall times, and the deterministic fault-drop-rate curve.
+pub fn fault_coverage_instrumented(
+    nl: &GateNetlist,
+    lib: &CellLibrary,
+    faults: &[FaultSite],
+    patterns: &[ScanPattern],
+) -> (CoverageResult, FaultSimStats) {
+    fault_coverage_instrumented_with_threads(nl, lib, faults, patterns, fault_threads())
+}
+
+/// [`fault_coverage_instrumented`] with an explicit worker-thread count.
+pub fn fault_coverage_instrumented_with_threads(
+    nl: &GateNetlist,
+    lib: &CellLibrary,
+    faults: &[FaultSite],
+    patterns: &[ScanPattern],
+    threads: usize,
+) -> (CoverageResult, FaultSimStats) {
     match GateProgram::compile(nl) {
         Ok(prog) => ppsfp(&prog, faults, patterns, threads),
         // Combinational loops need the event-driven delay semantics.
-        Err(_) => fault_coverage_serial(nl, lib, faults, patterns),
+        Err(_) => serial_instrumented(nl, lib, faults, patterns),
     }
 }
 
@@ -300,6 +387,19 @@ pub fn fault_coverage_serial(
     faults: &[FaultSite],
     patterns: &[ScanPattern],
 ) -> CoverageResult {
+    serial_instrumented(nl, lib, faults, patterns).0
+}
+
+/// [`fault_coverage_serial`] plus instrumentation. The serial engine
+/// tests one pattern at a time, so its drop-rate curve has one bucket
+/// per pattern (batch size 1) and a single shard.
+fn serial_instrumented(
+    nl: &GateNetlist,
+    lib: &CellLibrary,
+    faults: &[FaultSite],
+    patterns: &[ScanPattern],
+) -> (CoverageResult, FaultSimStats) {
+    let t0 = std::time::Instant::now();
     let mut sim = GateSim::new(nl, lib);
     let golden: Vec<TestSignature> = patterns
         .iter()
@@ -310,17 +410,27 @@ pub fn fault_coverage_serial(
         .collect();
 
     let mut detected_mask = vec![false; faults.len()];
+    let mut drop_curve = vec![0usize; patterns.len()];
     for (fault, flag) in faults.iter().zip(detected_mask.iter_mut()) {
-        for (p, gold) in patterns.iter().zip(&golden) {
+        for (pi, (p, gold)) in patterns.iter().zip(&golden).enumerate() {
             sim.reset();
             sim.inject_stuck_at(fault.instance, fault.stuck_at);
             if apply_pattern(&mut sim, nl, p) != *gold {
                 *flag = true;
+                drop_curve[pi] += 1;
                 break;
             }
         }
     }
-    CoverageResult::from_mask(detected_mask)
+    let stats = FaultSimStats {
+        engine: "serial",
+        threads: 1,
+        batches: patterns.len(),
+        shard_faults: vec![faults.len()],
+        shard_wall_ns: vec![t0.elapsed().as_nanos() as u64],
+        drop_curve,
+    };
+    (CoverageResult::from_mask(detected_mask), stats)
 }
 
 /// PPSFP over a compiled program: fault-free batch signatures once, then
@@ -331,9 +441,18 @@ fn ppsfp(
     faults: &[FaultSite],
     patterns: &[ScanPattern],
     threads: usize,
-) -> CoverageResult {
+) -> (CoverageResult, FaultSimStats) {
+    let n_batches = patterns.len().div_ceil(64);
     if faults.is_empty() || patterns.is_empty() {
-        return CoverageResult::from_mask(vec![false; faults.len()]);
+        let stats = FaultSimStats {
+            engine: "ppsfp",
+            threads: 1,
+            batches: n_batches,
+            shard_faults: Vec::new(),
+            shard_wall_ns: Vec::new(),
+            drop_curve: vec![0; n_batches],
+        };
+        return (CoverageResult::from_mask(vec![false; faults.len()]), stats);
     }
     let batches: Vec<&[ScanPattern]> = patterns.chunks(64).collect();
     let golden: Vec<Vec<(u64, u64)>> = {
@@ -347,10 +466,13 @@ fn ppsfp(
             .collect()
     };
 
-    let run = |shard: &[FaultSite], out: &mut [bool]| {
+    // Each slot records the fault's first differing batch (its drop
+    // point); `None` means undetected. Returns the shard's wall time.
+    let run = |shard: &[FaultSite], out: &mut [Option<u32>]| -> u64 {
+        let t0 = std::time::Instant::now();
         let mut sim = prog.simulator_lanes(64);
-        for (fault, flag) in shard.iter().zip(out.iter_mut()) {
-            'batches: for (b, gold) in batches.iter().zip(&golden) {
+        for (fault, slot) in shard.iter().zip(out.iter_mut()) {
+            'batches: for (bi, (b, gold)) in batches.iter().zip(&golden).enumerate() {
                 sim.reset();
                 sim.inject_stuck_at(fault.instance, fault.stuck_at);
                 let sig = apply_pattern_batch(&mut sim, b);
@@ -361,28 +483,53 @@ fn ppsfp(
                 };
                 for (s, g) in sig.iter().zip(gold) {
                     if ((s.0 ^ g.0) | (s.1 ^ g.1)) & mask != 0 {
-                        *flag = true;
+                        *slot = Some(bi as u32);
                         break 'batches;
                     }
                 }
             }
         }
+        t0.elapsed().as_nanos() as u64
     };
 
     let threads = threads.clamp(1, faults.len());
-    let mut detected_mask = vec![false; faults.len()];
+    let mut detected_at: Vec<Option<u32>> = vec![None; faults.len()];
+    let mut shard_faults = Vec::new();
+    let mut shard_wall_ns = Vec::new();
     if threads == 1 {
-        run(faults, &mut detected_mask);
+        shard_faults.push(faults.len());
+        shard_wall_ns.push(run(faults, &mut detected_at));
     } else {
         let chunk = faults.len().div_ceil(threads);
         let run = &run;
         std::thread::scope(|s| {
-            for (shard, out) in faults.chunks(chunk).zip(detected_mask.chunks_mut(chunk)) {
-                s.spawn(move || run(shard, out));
+            let handles: Vec<_> = faults
+                .chunks(chunk)
+                .zip(detected_at.chunks_mut(chunk))
+                .map(|(shard, out)| {
+                    shard_faults.push(shard.len());
+                    s.spawn(move || run(shard, out))
+                })
+                .collect();
+            for h in handles {
+                shard_wall_ns.push(h.join().expect("fault shard panicked"));
             }
         });
     }
-    CoverageResult::from_mask(detected_mask)
+    let mut drop_curve = vec![0usize; batches.len()];
+    for &bi in detected_at.iter().flatten() {
+        drop_curve[bi as usize] += 1;
+    }
+    let detected_mask = detected_at.iter().map(Option::is_some).collect();
+    let stats = FaultSimStats {
+        engine: "ppsfp",
+        threads,
+        batches: batches.len(),
+        shard_faults,
+        shard_wall_ns,
+        drop_curve,
+    };
+    (CoverageResult::from_mask(detected_mask), stats)
 }
 
 #[cfg(test)]
@@ -480,6 +627,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn drop_curve_sums_to_detected_and_ignores_threading() {
+        // 70 patterns -> two PPSFP batches (one partial).
+        let nl = small_design();
+        let lib = CellLibrary::generic_025u();
+        let faults = all_fault_sites(&nl);
+        let patterns = random_patterns(&nl, 70, 11);
+        let (r1, s1) =
+            fault_coverage_instrumented_with_threads(&nl, &lib, &faults, &patterns, 1);
+        let (r4, s4) =
+            fault_coverage_instrumented_with_threads(&nl, &lib, &faults, &patterns, 4);
+        assert_eq!(s1.engine, "ppsfp");
+        assert_eq!(s1.batches, 2);
+        assert_eq!(s1.drop_curve.iter().sum::<usize>(), r1.detected);
+        // The drop point of each fault is a property of the pattern set,
+        // not of sharding.
+        assert_eq!(s1.drop_curve, s4.drop_curve);
+        assert_eq!(r1.detected_mask, r4.detected_mask);
+        assert_eq!(s4.shard_faults.iter().sum::<usize>(), faults.len());
+        assert_eq!(s4.shard_wall_ns.len(), s4.shard_faults.len());
+        let remaining = s1.remaining_curve(r1.total);
+        assert_eq!(remaining.last().copied(), Some(r1.total - r1.detected));
     }
 
     #[test]

@@ -93,6 +93,7 @@ pub struct GateSim<'n> {
     violations: Vec<MemAccessViolation>,
     /// Injected stuck-at faults: instance index -> forced output value.
     faults: std::collections::HashMap<usize, Logic>,
+    coverage: Option<Box<scflow_obs::ToggleCoverage>>,
     /// Safety cap on events per tick (a quiet netlist never approaches it).
     pub max_events_per_tick: u64,
 }
@@ -144,6 +145,7 @@ impl<'n> GateSim<'n> {
             stats: GateSimStats::default(),
             violations: Vec::new(),
             faults: std::collections::HashMap::new(),
+            coverage: None,
             max_events_per_tick: 50_000_000,
         };
         sim.power_on();
@@ -413,6 +415,10 @@ impl<'n> GateSim<'n> {
 
         self.stats.cycles += 1;
         self.settle();
+        if let Some(cov) = self.coverage.as_deref_mut() {
+            let (nl, values) = (self.nl, &self.values);
+            cov.sample_with(|i| crate::cov::logic_sample(values[nl.instances[i].output.0]));
+        }
     }
 
     /// Runs `n` clock cycles.
@@ -420,6 +426,28 @@ impl<'n> GateSim<'n> {
         for _ in 0..n {
             self.tick();
         }
+    }
+
+    /// Turns cycle-boundary toggle-coverage collection over every cell
+    /// output on or off. Enabling primes the collector with the current
+    /// settled values; disabling drops the collected map. With
+    /// collection off, [`tick`](GateSim::tick) pays one branch for this
+    /// feature.
+    pub fn set_coverage(&mut self, enabled: bool) {
+        if !enabled {
+            self.coverage = None;
+            return;
+        }
+        let mut cov = crate::cov::instance_coverage(self.nl);
+        let (nl, values) = (self.nl, &self.values);
+        cov.sample_with(|i| crate::cov::logic_sample(values[nl.instances[i].output.0]));
+        self.coverage = Some(Box::new(cov));
+    }
+
+    /// The per-cell-output toggle-coverage map, if collection is
+    /// enabled.
+    pub fn coverage(&self) -> Option<&scflow_obs::ToggleCoverage> {
+        self.coverage.as_deref()
     }
 
     fn schedule(&mut self, delay: u64, net: GNetId, value: Logic) {

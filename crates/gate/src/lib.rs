@@ -44,6 +44,7 @@ mod area;
 mod bitpar;
 mod celllib;
 mod compile;
+mod cov;
 mod error;
 pub mod fault;
 mod fastsim;

@@ -12,7 +12,20 @@
 
 use crate::{BitGateSim, FastGateSim, GateSim};
 use scflow_hwtypes::Bv;
-use scflow_sim_api::{EngineStats, SimError, Simulation};
+use scflow_sim_api::{EngineStats, MetricsRegistry, SimError, Simulation, ToggleCoverage};
+
+fn gate_metrics(
+    stats: EngineStats,
+    prefix: &str,
+    coverage: Option<&ToggleCoverage>,
+) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    stats.register_into(&mut reg, prefix);
+    if let Some(cov) = coverage {
+        cov.register_into(&mut reg, "coverage.toggle.gate");
+    }
+    reg
+}
 
 impl GateSim<'_> {
     /// Drives an input port, reporting bad names or widths as errors.
@@ -84,6 +97,23 @@ impl Simulation for GateSim<'_> {
             events: s.events,
         }
     }
+
+    fn set_coverage(&mut self, enabled: bool) -> bool {
+        GateSim::set_coverage(self, enabled);
+        true
+    }
+
+    fn coverage(&self) -> Option<&ToggleCoverage> {
+        GateSim::coverage(self)
+    }
+
+    fn metrics(&self) -> Option<MetricsRegistry> {
+        Some(gate_metrics(
+            Simulation::stats(self),
+            "gate.event",
+            GateSim::coverage(self),
+        ))
+    }
 }
 
 impl Simulation for BitGateSim<'_> {
@@ -120,6 +150,23 @@ impl Simulation for BitGateSim<'_> {
             events: s.events,
         }
     }
+
+    fn set_coverage(&mut self, enabled: bool) -> bool {
+        BitGateSim::set_coverage(self, enabled);
+        true
+    }
+
+    fn coverage(&self) -> Option<&ToggleCoverage> {
+        BitGateSim::coverage(self)
+    }
+
+    fn metrics(&self) -> Option<MetricsRegistry> {
+        Some(gate_metrics(
+            Simulation::stats(self),
+            "gate.bitpar",
+            BitGateSim::coverage(self),
+        ))
+    }
 }
 
 impl Simulation for FastGateSim<'_> {
@@ -155,5 +202,22 @@ impl Simulation for FastGateSim<'_> {
             skipped: self.nodes_skipped(),
             events: s.events,
         }
+    }
+
+    fn set_coverage(&mut self, enabled: bool) -> bool {
+        FastGateSim::set_coverage(self, enabled);
+        true
+    }
+
+    fn coverage(&self) -> Option<&ToggleCoverage> {
+        FastGateSim::coverage(self)
+    }
+
+    fn metrics(&self) -> Option<MetricsRegistry> {
+        Some(gate_metrics(
+            Simulation::stats(self),
+            "gate.fast",
+            FastGateSim::coverage(self),
+        ))
     }
 }

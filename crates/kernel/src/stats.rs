@@ -34,6 +34,16 @@ impl SimStats {
             signal_updates: self.signal_updates - earlier.signal_updates,
         }
     }
+
+    /// Registers every counter into a [`scflow_obs::MetricsRegistry`]
+    /// under `prefix` (conventionally `kernel.sim`).
+    pub fn register_into(&self, reg: &mut scflow_obs::MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.delta_cycles"), self.delta_cycles);
+        reg.set_counter(&format!("{prefix}.timed_steps"), self.timed_steps);
+        reg.set_counter(&format!("{prefix}.processes_polled"), self.processes_polled);
+        reg.set_counter(&format!("{prefix}.events_fired"), self.events_fired);
+        reg.set_counter(&format!("{prefix}.signal_updates"), self.signal_updates);
+    }
 }
 
 impl std::fmt::Display for SimStats {
@@ -78,5 +88,21 @@ mod tests {
     #[test]
     fn display_nonempty() {
         assert!(!SimStats::default().to_string().is_empty());
+    }
+
+    #[test]
+    fn registers_all_counters() {
+        let s = SimStats {
+            delta_cycles: 1,
+            timed_steps: 2,
+            processes_polled: 3,
+            events_fired: 4,
+            signal_updates: 5,
+        };
+        let mut reg = scflow_obs::MetricsRegistry::new();
+        s.register_into(&mut reg, "kernel.sim");
+        assert_eq!(reg.counter("kernel.sim.delta_cycles"), Some(1));
+        assert_eq!(reg.counter("kernel.sim.signal_updates"), Some(5));
+        assert_eq!(reg.len(), 5);
     }
 }

@@ -1,0 +1,438 @@
+//! Metric primitives and the registry that snapshots them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event count, safe to bump from several
+/// threads (relaxed ordering — counts, not synchronisation).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time signed value, safe to set from several threads.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `d` (may be negative).
+    pub fn adjust(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `k ≥ 1`
+/// holds values in `[2^(k-1), 2^k)`, up to bucket 64 for `2^63..`.
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed value distribution.
+///
+/// [`merge`](Histogram::merge) is associative and commutative (all
+/// fields combine by addition, min or max), so per-shard histograms
+/// recorded on worker threads fold together in any order to the same
+/// result — a property the testkit pins with a seeded property test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Folds another histogram into this one (associative, commutative).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+}
+
+/// One registered metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic count.
+    Counter(u64),
+    /// A point-in-time signed value.
+    Gauge(i64),
+    /// A value distribution.
+    Histogram(Histogram),
+}
+
+/// A snapshot of named metrics with deterministic (sorted) iteration
+/// and JSON export.
+///
+/// Names are dot-separated lowercase paths (see the crate docs for the
+/// scheme); they must be non-empty printable ASCII without spaces,
+/// quotes or backslashes, which keeps the JSON export escape-free and
+/// the name set diffable.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+fn check_name(name: &str) {
+    assert!(
+        !name.is_empty()
+            && name
+                .bytes()
+                .all(|b| b.is_ascii_graphic() && b != b'"' && b != b'\\'),
+        "invalid metric name {name:?}: must be non-empty printable ASCII \
+         without spaces, quotes or backslashes"
+    );
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or replaces) a counter value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name.
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        check_name(name);
+        self.entries
+            .insert(name.to_owned(), MetricValue::Counter(v));
+    }
+
+    /// Adds to a counter, registering it at `v` if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid name or if `name` is registered as a
+    /// non-counter.
+    pub fn add_counter(&mut self, name: &str, v: u64) {
+        check_name(name);
+        match self
+            .entries
+            .entry(name.to_owned())
+            .or_insert(MetricValue::Counter(0))
+        {
+            MetricValue::Counter(c) => *c += v,
+            other => panic!("metric `{name}` is not a counter: {other:?}"),
+        }
+    }
+
+    /// Registers (or replaces) a gauge value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name.
+    pub fn set_gauge(&mut self, name: &str, v: i64) {
+        check_name(name);
+        self.entries.insert(name.to_owned(), MetricValue::Gauge(v));
+    }
+
+    /// Merges a histogram into the named metric, registering it if
+    /// absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid name or if `name` is registered as a
+    /// non-histogram.
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        check_name(name);
+        match self
+            .entries
+            .entry(name.to_owned())
+            .or_insert_with(|| MetricValue::Histogram(Histogram::new()))
+        {
+            MetricValue::Histogram(mine) => mine.merge(h),
+            other => panic!("metric `{name}` is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Records one observation into the named histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid name or if `name` is registered as a
+    /// non-histogram.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        check_name(name);
+        match self
+            .entries
+            .entry(name.to_owned())
+            .or_insert_with(|| MetricValue::Histogram(Histogram::new()))
+        {
+            MetricValue::Histogram(mine) => mine.record(v),
+            other => panic!("metric `{name}` is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Reads a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name) {
+            Some(MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.entries.get(name) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Reads a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.entries.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Sorted `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Folds another registry into this one: counters add, gauges take
+    /// the other's value, histograms merge.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (name, value) in &other.entries {
+            match value {
+                MetricValue::Counter(c) => self.add_counter(name, *c),
+                MetricValue::Gauge(g) => self.set_gauge(name, *g),
+                MetricValue::Histogram(h) => self.merge_histogram(name, h),
+            }
+        }
+    }
+
+    /// Renders the registry as a JSON object (sorted keys, hence
+    /// byte-deterministic for equal contents), indented by `indent`
+    /// two-space levels.
+    pub fn to_json_object(&self, indent: usize) -> String {
+        let pad = "  ".repeat(indent);
+        let inner = "  ".repeat(indent + 1);
+        if self.entries.is_empty() {
+            return "{}".to_owned();
+        }
+        let mut out = String::from("{\n");
+        let mut first = true;
+        for (name, value) in &self.entries {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&inner);
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\": ");
+            match value {
+                MetricValue::Counter(c) => out.push_str(&c.to_string()),
+                MetricValue::Gauge(g) => out.push_str(&g.to_string()),
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                         \"buckets\": [",
+                        h.count(),
+                        h.sum(),
+                        h.min().unwrap_or(0),
+                        h.max().unwrap_or(0),
+                    ));
+                    let mut bfirst = true;
+                    for (b, c) in h.nonzero_buckets() {
+                        if !bfirst {
+                            out.push_str(", ");
+                        }
+                        bfirst = false;
+                        out.push_str(&format!("[{b}, {c}]"));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('\n');
+        out.push_str(&pad);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(-3);
+        g.adjust(1);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1024));
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        // 0 → b0, 1 → b1, {2,3} → b2, 4 → b3, 1024 → b11.
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (3, 1), (11, 1)]);
+    }
+
+    #[test]
+    fn registry_roundtrip_and_merge() {
+        let mut a = MetricsRegistry::new();
+        a.set_counter("x.evals", 10);
+        a.set_gauge("x.depth", -1);
+        a.observe("x.lat", 7);
+        let mut b = MetricsRegistry::new();
+        b.set_counter("x.evals", 5);
+        b.observe("x.lat", 9);
+        a.merge_from(&b);
+        assert_eq!(a.counter("x.evals"), Some(15));
+        assert_eq!(a.histogram("x.lat").unwrap().count(), 2);
+        let json = a.to_json_object(0);
+        assert!(json.contains("\"x.evals\": 15"));
+        // Sorted order: x.depth before x.evals before x.lat.
+        let d = json.find("x.depth").unwrap();
+        let e = json.find("x.evals").unwrap();
+        let l = json.find("x.lat").unwrap();
+        assert!(d < e && e < l);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn rejects_bad_name() {
+        MetricsRegistry::new().set_counter("has space", 1);
+    }
+}

@@ -17,6 +17,7 @@ use crate::compile::{CompiledProgram, Inst};
 use crate::module::{MemoryId, NetId};
 use crate::sim::MemViolation;
 use scflow_hwtypes::Bv;
+use scflow_obs::ToggleCoverage;
 use std::ops::Range;
 
 /// Branchless low-`w`-bits mask. The compiler has already validated
@@ -60,6 +61,7 @@ pub struct CompiledSim<'p> {
     write_buf: Vec<(u32, u64, u64)>,
     evals: u64,
     skipped: u64,
+    coverage: Option<Box<ToggleCoverage>>,
     /// When `false` (the default, matching plain HDL simulation),
     /// out-of-range accesses wrap silently. Enabling this also disables
     /// activity gating, so the violation stream is identical to the
@@ -86,6 +88,7 @@ impl<'p> CompiledSim<'p> {
             write_buf: Vec::new(),
             evals: 0,
             skipped: 0,
+            coverage: None,
             check_addresses: false,
         };
         sim.settle();
@@ -437,6 +440,10 @@ impl<'p> CompiledSim<'p> {
                 .collect();
             self.history.push((self.cycle, snapshot));
         }
+        if let Some(cov) = self.coverage.as_deref_mut() {
+            let slots = &self.slots;
+            cov.sample_with(|i| (slots[i], u64::MAX));
+        }
     }
 
     /// Runs `n` clock cycles with the current inputs.
@@ -450,6 +457,34 @@ impl<'p> CompiledSim<'p> {
     /// [`check_addresses`](CompiledSim::check_addresses) is enabled).
     pub fn violations(&self) -> &[MemViolation] {
         &self.violations
+    }
+
+    /// Turns cycle-boundary toggle-coverage collection on or off, over
+    /// the module's nets (slots `0..n_nets` map 1:1 onto module net
+    /// ids; compiler temporaries are excluded). Samples the same
+    /// settled per-cycle values as the interpreter, so both engines
+    /// produce byte-identical maps. With collection off,
+    /// [`tick`](CompiledSim::tick) pays one branch for this feature.
+    pub fn set_coverage(&mut self, enabled: bool) {
+        if !enabled {
+            self.coverage = None;
+            return;
+        }
+        let prog = self.prog;
+        let mut cov = ToggleCoverage::new(
+            prog.net_names
+                .iter()
+                .zip(&prog.net_widths)
+                .map(|(n, &w)| (n.clone(), w)),
+        );
+        let slots = &self.slots;
+        cov.sample_with(|i| (slots[i], u64::MAX));
+        self.coverage = Some(Box::new(cov));
+    }
+
+    /// The per-net toggle-coverage map, if collection is enabled.
+    pub fn coverage(&self) -> Option<&ToggleCoverage> {
+        self.coverage.as_deref()
     }
 
     /// Adds a net to the waveform watch list; its value is sampled after

@@ -3,6 +3,7 @@
 use crate::expr::{BinOp, Expr, UnaryOp};
 use crate::module::{Module, NetId, PortDir};
 use scflow_hwtypes::Bv;
+use scflow_obs::ToggleCoverage;
 
 /// An out-of-range memory access observed during simulation.
 ///
@@ -40,6 +41,7 @@ pub struct RtlSim<'m> {
     violations: Vec<MemViolation>,
     watched: Vec<NetId>,
     history: Vec<(u64, Vec<Bv>)>,
+    coverage: Option<Box<ToggleCoverage>>,
     /// When `false` (the default, matching plain HDL simulation),
     /// out-of-range accesses wrap silently. The gate-level checking memory
     /// model enables this.
@@ -67,6 +69,7 @@ impl<'m> RtlSim<'m> {
             violations: Vec::new(),
             watched: Vec::new(),
             history: Vec::new(),
+            coverage: None,
             check_addresses: false,
         };
         sim.settle();
@@ -240,6 +243,10 @@ impl<'m> RtlSim<'m> {
             let snapshot = self.watched.iter().map(|&n| self.nets[n.0]).collect();
             self.history.push((self.cycle, snapshot));
         }
+        if let Some(cov) = self.coverage.as_deref_mut() {
+            let nets = &self.nets;
+            cov.sample_with(|i| (nets[i].as_u64(), u64::MAX));
+        }
     }
 
     /// Runs `n` clock cycles with the current inputs.
@@ -247,6 +254,32 @@ impl<'m> RtlSim<'m> {
         for _ in 0..n {
             self.tick();
         }
+    }
+
+    /// Turns cycle-boundary toggle-coverage collection over every
+    /// module net on or off. Enabling primes the collector with the
+    /// current settled values; disabling drops the collected map. With
+    /// collection off, [`tick`](RtlSim::tick) pays one branch for this
+    /// feature.
+    pub fn set_coverage(&mut self, enabled: bool) {
+        if !enabled {
+            self.coverage = None;
+            return;
+        }
+        let mut cov = ToggleCoverage::new(
+            self.module
+                .nets
+                .iter()
+                .map(|n| (n.name.clone(), n.width)),
+        );
+        let nets = &self.nets;
+        cov.sample_with(|i| (nets[i].as_u64(), u64::MAX));
+        self.coverage = Some(Box::new(cov));
+    }
+
+    /// The per-net toggle-coverage map, if collection is enabled.
+    pub fn coverage(&self) -> Option<&ToggleCoverage> {
+        self.coverage.as_deref()
     }
 
     /// Out-of-range accesses recorded so far (only populated while

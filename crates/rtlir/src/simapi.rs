@@ -6,7 +6,22 @@
 
 use crate::{CompiledSim, RtlSim};
 use scflow_hwtypes::Bv;
-use scflow_sim_api::{EngineStats, PortHandle, SimError, Simulation};
+use scflow_sim_api::{
+    EngineStats, MetricsRegistry, PortHandle, SimError, Simulation, ToggleCoverage,
+};
+
+fn rtl_metrics(
+    stats: EngineStats,
+    prefix: &str,
+    coverage: Option<&ToggleCoverage>,
+) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    stats.register_into(&mut reg, prefix);
+    if let Some(cov) = coverage {
+        cov.register_into(&mut reg, "coverage.toggle.rtl");
+    }
+    reg
+}
 
 impl Simulation for RtlSim<'_> {
     fn step(&mut self) {
@@ -50,6 +65,23 @@ impl Simulation for RtlSim<'_> {
 
     fn trace(&self, clock_period_ps: u64) -> Option<String> {
         Some(self.waveform_vcd(clock_period_ps))
+    }
+
+    fn set_coverage(&mut self, enabled: bool) -> bool {
+        RtlSim::set_coverage(self, enabled);
+        true
+    }
+
+    fn coverage(&self) -> Option<&ToggleCoverage> {
+        RtlSim::coverage(self)
+    }
+
+    fn metrics(&self) -> Option<MetricsRegistry> {
+        Some(rtl_metrics(
+            Simulation::stats(self),
+            "rtl.interp",
+            RtlSim::coverage(self),
+        ))
     }
 }
 
@@ -113,5 +145,22 @@ impl Simulation for CompiledSim<'_> {
 
     fn trace(&self, clock_period_ps: u64) -> Option<String> {
         Some(self.waveform_vcd(clock_period_ps))
+    }
+
+    fn set_coverage(&mut self, enabled: bool) -> bool {
+        CompiledSim::set_coverage(self, enabled);
+        true
+    }
+
+    fn coverage(&self) -> Option<&ToggleCoverage> {
+        CompiledSim::coverage(self)
+    }
+
+    fn metrics(&self) -> Option<MetricsRegistry> {
+        Some(rtl_metrics(
+            Simulation::stats(self),
+            "rtl.compiled",
+            CompiledSim::coverage(self),
+        ))
     }
 }

@@ -22,6 +22,8 @@ use scflow_hwtypes::Bv;
 use std::error::Error;
 use std::fmt;
 
+pub use scflow_obs::{MetricsRegistry, ToggleCoverage};
+
 /// A port-level access error raised by the fallible [`Simulation`]
 /// accessors.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -111,6 +113,17 @@ pub struct EngineStats {
     pub events: u64,
 }
 
+impl EngineStats {
+    /// Registers the counters under `prefix` (e.g. `rtl.compiled`) with
+    /// the layer-wide names `cycles`/`evals`/`skipped`/`events`.
+    pub fn register_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.cycles"), self.cycles);
+        reg.set_counter(&format!("{prefix}.evals"), self.evals);
+        reg.set_counter(&format!("{prefix}.skipped"), self.skipped);
+        reg.set_counter(&format!("{prefix}.events"), self.events);
+    }
+}
+
 /// A cycle-driven simulation of a single-clock design.
 ///
 /// Usage pattern per clock cycle:
@@ -156,6 +169,32 @@ pub trait Simulation {
     /// Activity counters for the run so far.
     fn stats(&self) -> EngineStats {
         EngineStats::default()
+    }
+
+    /// Turns cycle-boundary toggle-coverage collection on or off, if
+    /// the engine supports it. Returns `true` when the request took
+    /// effect; the default engine supports nothing and returns `false`.
+    ///
+    /// With collection off (the default) the engines pay one branch per
+    /// clock cycle for this feature — see the scflow-obs overhead
+    /// contract.
+    fn set_coverage(&mut self, _enabled: bool) -> bool {
+        false
+    }
+
+    /// The toggle-coverage collector, if collection was enabled via
+    /// [`set_coverage`](Simulation::set_coverage).
+    fn coverage(&self) -> Option<&ToggleCoverage> {
+        None
+    }
+
+    /// A metrics snapshot for the run so far — engine counters under
+    /// stable dot-separated names, plus coverage aggregates when
+    /// collection is enabled. `None` for engines without metrics
+    /// support. Building the snapshot walks counters the engine keeps
+    /// anyway, so calling this costs nothing on the simulation path.
+    fn metrics(&self) -> Option<MetricsRegistry> {
+        None
     }
 
     /// Adds a port to the engine's waveform watch list, if it supports
@@ -274,6 +313,15 @@ impl<S: Simulation + ?Sized> Simulation for &mut S {
     }
     fn trace(&self, clock_period_ps: u64) -> Option<String> {
         (**self).trace(clock_period_ps)
+    }
+    fn set_coverage(&mut self, enabled: bool) -> bool {
+        (**self).set_coverage(enabled)
+    }
+    fn coverage(&self) -> Option<&ToggleCoverage> {
+        (**self).coverage()
+    }
+    fn metrics(&self) -> Option<MetricsRegistry> {
+        (**self).metrics()
     }
 }
 

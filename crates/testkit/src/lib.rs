@@ -17,16 +17,20 @@
 //! * [`bench`] — a micro-benchmark harness (warmup, median/MAD,
 //!   simulated-cycles-per-second) with JSON emission for the
 //!   `BENCH_*.json` files.
+//! * [`metrics`] — delta and name-stability assertions over
+//!   `scflow-obs` metrics registries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod diff;
+pub mod metrics;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{BenchResult, Harness};
+pub use metrics::{assert_counter_delta, assert_names_stable, counter_delta};
 pub use diff::{diff_models, first_divergence, first_divergence_timed, Divergence};
 pub use prop::{bools, check, check_seeded, check_with, floats, ints, vecs, Config, Strategy, StrategyExt, TestResult};
 pub use rng::Rng;

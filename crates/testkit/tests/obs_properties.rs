@@ -1,0 +1,119 @@
+//! Seeded property tests over the scflow-obs primitives: histogram
+//! merging must be a commutative monoid (so per-shard histograms fold
+//! together in any order), and the span profiler's self-time
+//! decomposition must always telescope back to the measured total.
+
+use scflow_obs::{Histogram, Profiler};
+use scflow_testkit::prop::{check, ints, vecs};
+use scflow_testkit::prop_assert_eq;
+
+fn hist(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+#[test]
+fn histogram_merge_is_commutative() {
+    let pairs = (
+        vecs(ints(0u64..=u64::MAX / 2), 0..=40),
+        vecs(ints(0u64..=1000), 0..=40),
+    );
+    check("histogram merge commutes", &pairs, |v| {
+        let (xs, ys) = v;
+        let mut ab = hist(xs);
+        ab.merge(&hist(ys));
+        let mut ba = hist(ys);
+        ba.merge(&hist(xs));
+        prop_assert_eq!(&ab, &ba);
+        Ok(())
+    });
+}
+
+#[test]
+fn histogram_merge_is_associative() {
+    let triples = (
+        vecs(ints(0u64..=u64::MAX / 2), 0..=30),
+        vecs(ints(0u64..=u64::MAX / 2), 0..=30),
+        vecs(ints(0u64..=u64::MAX / 2), 0..=30),
+    );
+    check("histogram merge associates", &triples, |v| {
+        let (xs, ys, zs) = v;
+        let mut left = hist(xs);
+        left.merge(&hist(ys));
+        left.merge(&hist(zs));
+        let mut bc = hist(ys);
+        bc.merge(&hist(zs));
+        let mut right = hist(xs);
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        Ok(())
+    });
+}
+
+#[test]
+fn histogram_merge_equals_concatenated_recording() {
+    let pairs = (
+        vecs(ints(0u64..=u64::MAX / 2), 0..=40),
+        vecs(ints(0u64..=u64::MAX / 2), 0..=40),
+    );
+    check("merge == record-all", &pairs, |v| {
+        let (xs, ys) = v;
+        let mut merged = hist(xs);
+        merged.merge(&hist(ys));
+        let all: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+        prop_assert_eq!(&merged, &hist(&all));
+        Ok(())
+    });
+}
+
+/// Builds a random span tree: each command either opens a child span or
+/// closes the current one; whatever is still open at the end is closed.
+fn random_tree(prof: &mut Profiler, commands: &[u8]) {
+    let mut depth = 0usize;
+    for &c in commands {
+        if c % 3 < 2 && depth < 6 {
+            prof.enter("s");
+            depth += 1;
+        } else if depth > 0 {
+            prof.exit();
+            depth -= 1;
+        }
+    }
+    while depth > 0 {
+        prof.exit();
+        depth -= 1;
+    }
+}
+
+#[test]
+fn profiler_self_times_telescope_to_total() {
+    check(
+        "sum of self times == total",
+        &vecs(ints(0u8..=255), 0..=60),
+        |commands| {
+            let mut prof = Profiler::new();
+            random_tree(&mut prof, commands);
+            prop_assert_eq!(prof.is_balanced(), true);
+            // Children nest inside their parent on one monotonic clock,
+            // so per-span self time never saturates and the self times
+            // partition the measured total exactly.
+            let self_sum: u64 = (0..prof.spans().len()).map(|i| prof.self_ns(i)).sum();
+            prop_assert_eq!(self_sum, prof.total_ns());
+            for i in 0..prof.spans().len() {
+                let children = prof.children_ns(i);
+                prop_assert_eq!(
+                    prof.spans()[i].ns >= children,
+                    true,
+                    "span {} shorter than its children ({} < {})",
+                    i,
+                    prof.spans()[i].ns,
+                    children
+                );
+            }
+            Ok(())
+        },
+    );
+}

@@ -37,4 +37,51 @@ echo "== gate engine check: bit-parallel vs event-driven =="
 # the event-driven one or detects a different fault set.
 cargo run --release --offline -p scflow-bench --bin tables -- --check-gate
 
+echo "== flow profile smoke run =="
+# Profiles all three flow phases; exits non-zero on any phase failure.
+cargo run --release --offline -p scflow-bench --bin tables -- --profile
+
+echo "== coverage determinism =="
+# Two --coverage runs must emit byte-identical METRICS.json (per-net
+# toggle maps identical across all five engines, metric names stable,
+# no wall-clock in the deterministic section).
+covdir="$(mktemp -d)"
+trap 'rm -rf "$covdir"' EXIT
+mkdir -p "$covdir/a" "$covdir/b"
+SCFLOW_BENCH_DIR="$covdir/a" \
+    cargo run --release --offline -p scflow-bench --bin tables -- --coverage
+SCFLOW_BENCH_DIR="$covdir/b" \
+    cargo run --release --offline -p scflow-bench --bin tables -- --coverage >/dev/null
+cmp "$covdir/a/METRICS.json" "$covdir/b/METRICS.json"
+echo "ok: METRICS.json byte-identical across runs"
+
+echo "== metrics overhead guard =="
+# With metrics disabled the engines pay one branch per cycle for the
+# observability layer; a fresh fig8 rtl_compiled measurement must stay
+# within SCFLOW_PERF_TOL (default 5%) of the committed BENCH_fig8.json
+# baseline, catching accidental per-instruction instrumentation. Widen
+# the tolerance via SCFLOW_PERF_TOL when running on a machine slower
+# than the one that recorded the baseline.
+SCFLOW_BENCH_DIR="$covdir" \
+    cargo run --release --offline -p scflow-bench --bin tables -- --fig8 > "$covdir/fig8.txt"
+fresh_cps="$(awk '$1 == "RTL-compiled" { print $2 }' "$covdir/fig8.txt")"
+base_cps="$(python3 - <<'EOF'
+import json
+for r in json.load(open("BENCH_fig8.json"))["results"]:
+    if r["name"] == "rtl_compiled":
+        print(r["cycles_per_sec"])
+EOF
+)"
+python3 - "$fresh_cps" "$base_cps" <<'EOF'
+import os, sys
+fresh, base = float(sys.argv[1]), float(sys.argv[2])
+tol = float(os.environ.get("SCFLOW_PERF_TOL", "0.05"))
+floor = base * (1.0 - tol)
+print(f"rtl_compiled: fresh {fresh:.0f} vs baseline {base:.0f} cycles/s "
+      f"(floor {floor:.0f})")
+if fresh < floor:
+    sys.exit("error: metrics-disabled throughput regressed past tolerance")
+print("ok: metrics-disabled throughput within tolerance")
+EOF
+
 echo "verify: OK"
