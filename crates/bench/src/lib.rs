@@ -24,7 +24,7 @@ use scflow::verify::GoldenVectors;
 use scflow::{stimulus, SrcConfig};
 use scflow_cosim::{run_kernel_cosim, run_native_hdl, run_native_hdl_compiled, CosimRun};
 use scflow_gate::fault;
-use scflow_gate::{CellLibrary, FastGateSim, GateProgram, GateSim};
+use scflow_gate::{sim_threads, CellLibrary, FastGateSim, GateProgram, GateSim, ParGateSim};
 use scflow_rtl::{CompiledProgram, RtlSim};
 use scflow_synth::beh::synthesize_beh;
 use scflow_synth::rtl::{synthesize, SynthOptions};
@@ -652,7 +652,8 @@ pub struct CoverageReport {
     /// (identical on the interpreted and compiled engines, asserted).
     pub rtl_map: String,
     /// Per-cell-output toggle map of the synthesized netlist (identical
-    /// on the event-driven, fast and bit-parallel engines, asserted).
+    /// on the event-driven, fast, bit-parallel and partitioned engines,
+    /// asserted).
     pub gate_map: String,
     /// RTL toggle coverage, percent of net bits that both rose and fell.
     pub rtl_percent: f64,
@@ -665,9 +666,9 @@ pub struct CoverageReport {
     pub metrics: scflow_obs::MetricsRegistry,
 }
 
-/// Runs the fig8 stimulus through all five engines — interpreted and
-/// compiled RTL on the optimised SRC, event-driven, fast and
-/// bit-parallel on its synthesized netlist — with toggle coverage
+/// Runs the fig8 stimulus through all six engines — interpreted and
+/// compiled RTL on the optimised SRC, event-driven, fast, bit-parallel
+/// and partitioned on its synthesized netlist — with toggle coverage
 /// enabled, asserts bit accuracy against the golden model, and
 /// cross-checks that the coverage maps within each level are
 /// byte-identical (the engines sample settled values at the same cycle
@@ -719,8 +720,14 @@ pub fn measure_coverage(cfg: &SrcConfig) -> CoverageReport {
     let gprog = GateProgram::compile(&netlist).expect("gate netlist compiles");
     let mut bitpar = gprog.simulator();
     let (bitpar_map, _) = run_covered(&mut bitpar, "gate.bitpar", None, &mut reg);
+    let (par_map, _) = ParGateSim::with(&gprog, sim_threads(), 1, |sim| {
+        run_covered(sim, "gate.partitioned", None, &mut reg)
+    });
 
-    let maps_match = compiled_map == rtl_map && fast_map == gate_map && bitpar_map == gate_map;
+    let maps_match = compiled_map == rtl_map
+        && fast_map == gate_map
+        && bitpar_map == gate_map
+        && par_map == gate_map;
     CoverageReport {
         rtl_map,
         gate_map,

@@ -17,7 +17,9 @@ use crate::models::harness::{run_fixed, run_handshake};
 use crate::models::rtl::{build_rtl_src, RtlVariant};
 use crate::models::vhdl_ref::build_vhdl_ref;
 use crate::verify::{compare_bit_accurate, GoldenVectors};
-use scflow_gate::{fault, CellLibrary, FastGateSim, GateNetlist, GateProgram, GateSim};
+use scflow_gate::{
+    fault, sim_threads, CellLibrary, FastGateSim, GateNetlist, GateProgram, GateSim, ParGateSim,
+};
 use scflow_obs::{MetricsRegistry, Profiler};
 use scflow_rtl::{CompiledProgram, Module, RtlSim};
 use scflow_synth::rtl::{synthesize, SynthOptions, SynthResult};
@@ -78,17 +80,24 @@ pub enum GateEngine {
     /// The compiled bit-parallel engine in single-pattern mode
     /// ([`BitGateSim`](scflow_gate::BitGateSim)).
     BitParallel,
+    /// The partitioned multi-threaded engine
+    /// ([`ParGateSim`](scflow_gate::ParGateSim)) on
+    /// [`sim_threads`](scflow_gate::sim_threads) workers
+    /// (`SCFLOW_SIM_THREADS`), byte-identical to the bit-parallel engine
+    /// at any thread count.
+    Partitioned,
 }
 
 impl GateEngine {
     /// Reads the engine choice from the `SCFLOW_GATE_ENGINE` environment
-    /// variable (`event`, `fast` or `bitpar`, case-insensitive). Unset or
-    /// unrecognised values fall back to the default
-    /// ([`GateEngine::EventDriven`]).
+    /// variable (`event`, `fast`, `bitpar` or `partitioned`,
+    /// case-insensitive). Unset or unrecognised values fall back to the
+    /// default ([`GateEngine::EventDriven`]).
     pub fn from_env() -> Self {
         match std::env::var("SCFLOW_GATE_ENGINE") {
             Ok(v) if v.eq_ignore_ascii_case("fast") => GateEngine::Fast,
             Ok(v) if v.eq_ignore_ascii_case("bitpar") => GateEngine::BitParallel,
+            Ok(v) if v.eq_ignore_ascii_case("partitioned") => GateEngine::Partitioned,
             _ => GateEngine::EventDriven,
         }
     }
@@ -100,6 +109,7 @@ impl fmt::Display for GateEngine {
             GateEngine::EventDriven => "event",
             GateEngine::Fast => "fast",
             GateEngine::BitParallel => "bitpar",
+            GateEngine::Partitioned => "partitioned",
         })
     }
 }
@@ -386,6 +396,13 @@ pub fn validate_gate_level_with(
             tie_off_scan(&mut sim);
             run_and_compare(&mut sim, design, golden, false)
         }
+        GateEngine::Partitioned => {
+            let program = GateProgram::compile(netlist)?;
+            ParGateSim::with(&program, sim_threads(), 1, |sim| {
+                tie_off_scan(sim);
+                run_and_compare(sim, design, golden, false)
+            })
+        }
     }
 }
 
@@ -523,8 +540,17 @@ pub fn profile_flow(
         validate_all_levels_profiled(engine, cfg, input, p)
     })?;
     let area = prof.scope("run_area_flow", |_| run_area_flow(cfg, lib))?;
-    let (fault, fault_stats) = prof.scope("run_fault_flow", |_| {
-        run_fault_flow_instrumented(cfg, lib, n_patterns, seed)
+    let (fault, fault_stats) = prof.scope("run_fault_flow", |p| {
+        let r = run_fault_flow_instrumented(cfg, lib, n_patterns, seed);
+        if let Ok((_, stats)) = &r {
+            // Shards run concurrently, so these child spans may sum to
+            // more than the phase span; they are wall-clock, like all
+            // profiler spans, and stay out of the metrics registry.
+            for (i, &ns) in stats.shard_wall_ns.iter().enumerate() {
+                p.record(&format!("fault_shard_{i}"), ns);
+            }
+        }
+        r
     })?;
 
     let mut metrics = MetricsRegistry::new();

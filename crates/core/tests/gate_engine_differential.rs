@@ -1,9 +1,9 @@
 //! Differential tests at gate level: every synthesisable SRC variant
 //! (plus the buggy one) is synthesized to the 0.25 µm library and run on
-//! the event-driven simulator, the zero-delay levelized fast mode and the
-//! compiled bit-parallel engine — byte-identical output streams, cycle
-//! counts and checking-memory violation streams demanded across all
-//! three.
+//! the event-driven simulator, the zero-delay levelized fast mode, the
+//! compiled bit-parallel engine and the partitioned multi-threaded
+//! engine — byte-identical output streams, cycle counts and
+//! checking-memory violation streams demanded across all four.
 
 use scflow::models::beh::{synthesize_beh_src, BehVariant};
 use scflow::models::harness::{run_fixed, run_handshake};
@@ -12,7 +12,8 @@ use scflow::models::vhdl_ref::build_vhdl_ref;
 use scflow::verify::GoldenVectors;
 use scflow::{stimulus, SrcConfig};
 use scflow_gate::{
-    CellLibrary, FastGateSim, GateProgram, GateSim, MemAccessViolation, Simulation,
+    sim_threads, CellLibrary, FastGateSim, GateProgram, GateSim, MemAccessViolation, ParGateSim,
+    Simulation,
 };
 use scflow_rtl::Module;
 use scflow_synth::rtl::{synthesize, SynthOptions};
@@ -121,6 +122,17 @@ fn gate_engines_agree_on_every_variant() {
             "`{name}`: bit-parallel violation stream"
         );
 
+        let (par_run, par_violations) = ParGateSim::with(&prog, sim_threads(), 1, |par| {
+            let run = run_one(par, fixed, &golden.input, golden.len(), budget);
+            (run, par.violations().to_vec())
+        });
+        assert_eq!(ev_run, par_run, "`{name}`: partitioned (outputs, cycles)");
+        assert_eq!(
+            ev.violations(),
+            par_violations.as_slice(),
+            "`{name}`: partitioned violation stream"
+        );
+
         if name == "rtl_buggy" {
             buggy_violations = ev.violations().to_vec();
         } else {
@@ -154,6 +166,7 @@ fn gate_level_validation_flow_accepts_every_engine() {
         GateEngine::EventDriven,
         GateEngine::Fast,
         GateEngine::BitParallel,
+        GateEngine::Partitioned,
     ] {
         validate_gate_level_with(engine, "RTL opt", &nl, &lib, &golden)
             .unwrap_or_else(|e| panic!("{engine} engine failed validation: {e}"));

@@ -58,7 +58,7 @@ fn p_or(av: u64, au: u64, bv: u64, bu: u64) -> (u64, u64) {
 /// (equal known arms dominate an unknown select) and SDFF's stricter one
 /// (an unknown scan enable always samples X).
 #[inline(always)]
-fn eval_gate(
+pub(crate) fn eval_gate(
     kind: CellKind,
     av: u64,
     au: u64,

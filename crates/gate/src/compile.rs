@@ -32,6 +32,10 @@ pub(crate) struct ScanMode {
     pub(crate) en: u32,
     /// Topologically ordered subset of the full instruction stream.
     pub(crate) instrs: Vec<Instr>,
+    /// For each kept instruction, its index in the full stream — lets
+    /// the partitioner carve per-shard scan sub-programs out of the
+    /// same subset.
+    pub(crate) members: Vec<u32>,
 }
 
 /// One flat instruction of the compiled program.
@@ -158,6 +162,42 @@ impl<'n> GateProgram<'n> {
     pub fn simulator_lanes(&self, lanes: u32) -> BitGateSim<'_> {
         BitGateSim::new(self, lanes)
     }
+
+    /// The distinct nets instruction `i` reads (gate operand nets, or a
+    /// memory's read-address nets). Exposed so partition invariants can
+    /// be checked from outside the crate.
+    pub fn instr_inputs(&self, i: usize) -> Vec<usize> {
+        match self.instrs[i] {
+            Instr::Gate { a, b, c, .. } => {
+                let mut v = vec![a as usize];
+                if b != a {
+                    v.push(b as usize);
+                }
+                if c != a && c != b {
+                    v.push(c as usize);
+                }
+                v
+            }
+            Instr::MemRead(m) => self.nl.memories()[m as usize]
+                .raddr
+                .iter()
+                .map(|n| n.0)
+                .collect(),
+        }
+    }
+
+    /// The nets instruction `i` writes (a gate's output net, or a
+    /// memory's read-data nets).
+    pub fn instr_outputs(&self, i: usize) -> Vec<usize> {
+        match self.instrs[i] {
+            Instr::Gate { out, .. } => vec![out as usize],
+            Instr::MemRead(m) => self.nl.memories()[m as usize]
+                .dout
+                .iter()
+                .map(|n| n.0)
+                .collect(),
+        }
+    }
 }
 
 /// Computes the scan-shift sub-program: the instructions still able to
@@ -241,15 +281,18 @@ fn scan_mode(nl: &GateNetlist, instrs: &[Instr]) -> Option<ScanMode> {
         }
     }
 
-    let sub = instrs
-        .iter()
-        .zip(&needed)
-        .filter(|(_, &keep)| keep)
-        .map(|(i, _)| *i)
-        .collect();
+    let mut sub = Vec::new();
+    let mut members = Vec::new();
+    for (i, (instr, &keep)) in instrs.iter().zip(&needed).enumerate() {
+        if keep {
+            sub.push(*instr);
+            members.push(i as u32);
+        }
+    }
     Some(ScanMode {
         en: en.0 as u32,
         instrs: sub,
+        members,
     })
 }
 

@@ -25,6 +25,10 @@
 //!   `u64` words: 64 independent stimulus patterns per instruction with
 //!   full four-valued X-propagation, or single-pattern mode as the fastest
 //!   drop-in cosimulation DUT,
+//! * [`Partition`] / [`ParGateSim`] — the compiled program split into
+//!   balanced shards (level-aware growth, minimized cut) and executed on
+//!   scoped worker threads with per-phase barriers and a boundary-signal
+//!   exchange plan; byte-identical to [`BitGateSim`] at any thread count,
 //! * the **checking memory model**: out-of-range accesses are recorded,
 //!   reproducing how the paper's golden-model bug was finally caught at
 //!   gate level,
@@ -50,6 +54,8 @@ pub mod fault;
 mod fastsim;
 mod gsim;
 mod netlist;
+mod parsim;
+mod partition;
 mod scan;
 mod simapi;
 mod timing;
@@ -63,6 +69,8 @@ pub use error::GateError;
 pub use fastsim::FastGateSim;
 pub use gsim::{GateSim, GateSimStats, MemAccessViolation};
 pub use netlist::{GNetId, GateMemory, GateNetlist, Instance, NetlistBuilder};
+pub use parsim::{sim_threads, ParGateSim};
+pub use partition::Partition;
 // The unified engine interface both simulators implement.
 pub use scflow_sim_api::{EngineStats, SimError, Simulation};
 pub use scan::insert_scan_chain;

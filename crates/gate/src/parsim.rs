@@ -1,0 +1,1070 @@
+//! Partitioned multi-threaded execution of a compiled gate program.
+//!
+//! [`ParGateSim`] runs the shards of a [`Partition`] on
+//! `std::thread::scope` workers. Each worker owns private `(value,
+//! unknown)` planes for every net plus private copies of the memories it
+//! owns; a sweep executes each shard's per-phase instruction slices with
+//! a spin barrier between phases and **boundary-signal exchange slots**
+//! (one `AtomicU64` pair per cut net) carrying producer values across
+//! shards. The slots are written by exactly one shard once per sweep and
+//! read only after the intervening barrier, so a single buffer per plane
+//! is already race-free — the classic double buffer degenerates to one.
+//!
+//! The coordinator (the thread inside [`ParGateSim::with`]) keeps the
+//! authoritative copy of everything sequential: pokes, flop sampling,
+//! memory writes, the checking-model violation stream, statistics and
+//! toggle coverage all run on the coordinator in the exact order
+//! [`BitGateSim`](crate::BitGateSim) uses, over values the workers
+//! export after every sweep. That is the determinism argument: workers
+//! only ever compute the *same* topologically-ordered instruction
+//! stream (split spatially, never reordered within a shard), so the
+//! settled planes — and hence outputs, violations, coverage maps and
+//! metrics — are byte-identical to the single-threaded engines at any
+//! thread count.
+//!
+//! Worker lifetime is tied to a scope, so the engine is used through a
+//! closure: `ParGateSim::with(&prog, threads, lanes, |sim| ...)`.
+
+use crate::bitpar::eval_gate;
+use crate::compile::{GateProgram, Instr};
+use crate::gsim::{GateSimStats, MemAccessViolation};
+use crate::netlist::{GNetId, GateNetlist};
+use crate::partition::Partition;
+use scflow_hwtypes::{Bv, Logic, LogicVec};
+use scflow_obs::ShardObs;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
+
+const NO_FAULT: u32 = u32::MAX;
+
+/// The thread count partitioned engines should use: `SCFLOW_SIM_THREADS`
+/// when set to a positive integer, else the machine's available
+/// parallelism, capped at 64.
+pub fn sim_threads() -> usize {
+    std::env::var("SCFLOW_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .min(64)
+}
+
+/// A counter/generation spin barrier. Waiters spin briefly, then yield —
+/// on an oversubscribed machine (more workers than cores) the yield path
+/// keeps forward progress without livelock. `wait` returns the
+/// nanoseconds this thread spent waiting (0 for the last arriver).
+struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        SpinBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) -> u64 {
+        let g = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.store(g.wrapping_add(1), Ordering::Release);
+            return 0;
+        }
+        let t0 = Instant::now();
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == g {
+            if spins < 64 {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CmdKind {
+    /// Full settle pass over every shard (optionally after a power-on).
+    Sweep,
+    /// Export current local values only, executing nothing.
+    Export,
+    /// Terminate the worker loop.
+    Exit,
+}
+
+/// One command broadcast from the coordinator to every worker.
+struct Cmd {
+    kind: CmdKind,
+    /// Run the scan-shift sub-programs instead of the full slices.
+    scan: bool,
+    /// Export the full (coverage) set instead of the minimal one.
+    export_all: bool,
+    /// Reinitialise local planes and owned memories first.
+    reset: bool,
+    fault_net: u32,
+    fault_val: u64,
+    /// Coordinator-side net changes to fold in before executing:
+    /// `(net, value plane, unknown plane)`.
+    updates: Vec<(u32, u64, u64)>,
+    /// Memory writes committed at the last clock edge:
+    /// `(memory, word index, data)`; applied by the owning shard.
+    mem_updates: Vec<(usize, usize, Bv)>,
+}
+
+impl Default for Cmd {
+    fn default() -> Self {
+        Cmd {
+            kind: CmdKind::Sweep,
+            scan: false,
+            export_all: false,
+            reset: false,
+            fault_net: NO_FAULT,
+            fault_val: 0,
+            updates: Vec::new(),
+            mem_updates: Vec::new(),
+        }
+    }
+}
+
+/// Everything the coordinator and the workers share by reference.
+struct Shared {
+    cmd: RwLock<Cmd>,
+    /// Sweep-start barrier: `threads + 1` parties (workers + coordinator).
+    start: SpinBarrier,
+    /// Sweep-finish barrier: `threads + 1` parties.
+    finish: SpinBarrier,
+    /// Inter-phase barrier: workers only.
+    level: SpinBarrier,
+    /// Boundary-exchange slots, one pair per cut net.
+    slot_val: Vec<AtomicU64>,
+    slot_unk: Vec<AtomicU64>,
+    /// Export slots the coordinator reads back after each sweep.
+    exp_val: Vec<AtomicU64>,
+    exp_unk: Vec<AtomicU64>,
+    /// Latest per-worker counter snapshots.
+    obs: Vec<Mutex<ShardObs>>,
+}
+
+impl Shared {
+    fn new(part: &Partition, threads: usize) -> Self {
+        let atomics = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        Shared {
+            cmd: RwLock::new(Cmd::default()),
+            start: SpinBarrier::new(threads + 1),
+            finish: SpinBarrier::new(threads + 1),
+            level: SpinBarrier::new(threads),
+            slot_val: atomics(part.slot_count()),
+            slot_unk: atomics(part.slot_count()),
+            exp_val: atomics(part.export_count()),
+            exp_unk: atomics(part.export_count()),
+            obs: (0..threads).map(|w| Mutex::new(ShardObs::new(w))).collect(),
+        }
+    }
+}
+
+/// Sends `Exit` exactly once when dropped — including during a panic
+/// unwind of the user closure, so worker threads never outlive the
+/// scope and a failing assertion inside `with` fails instead of hanging.
+struct ExitGuard<'a>(&'a Shared);
+
+impl Drop for ExitGuard<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut c) = self.0.cmd.write() {
+            c.kind = CmdKind::Exit;
+        }
+        self.0.start.wait();
+    }
+}
+
+/// Powers on a pair of planes: everything unknown except the constant
+/// nets and flop outputs with declared init values.
+fn power_on_planes(nl: &GateNetlist, val: &mut [u64], unk: &mut [u64]) {
+    val.fill(0);
+    unk.fill(!0);
+    val[nl.const0().0] = 0;
+    unk[nl.const0().0] = 0;
+    val[nl.const1().0] = !0;
+    unk[nl.const1().0] = 0;
+    for inst in nl.instances() {
+        if let Some(init) = inst.init {
+            val[inst.output.0] = if init { !0 } else { 0 };
+            unk[inst.output.0] = 0;
+        }
+    }
+}
+
+/// Assembles a lane's value across a net vector; `None` if any bit is
+/// unknown in that lane (or the vector is empty / wider than 64 bits) —
+/// the same contract as the bit-parallel engine.
+fn gather_lane(val: &[u64], unk: &[u64], bits: &[GNetId], lane: usize) -> Option<u64> {
+    if bits.is_empty() || bits.len() > 64 {
+        return None;
+    }
+    let mut out = 0u64;
+    for (i, n) in bits.iter().enumerate() {
+        if (unk[n.0] >> lane) & 1 != 0 {
+            return None;
+        }
+        out |= ((val[n.0] >> lane) & 1) << i;
+    }
+    Some(out)
+}
+
+/// Re-evaluates one memory's read path in every lane over local planes.
+fn read_mem(
+    nl: &GateNetlist,
+    mi: usize,
+    val: &mut [u64],
+    unk: &mut [u64],
+    mems: &[Vec<Bv>],
+    lanes: usize,
+) {
+    let mem = &nl.memories()[mi];
+    let words = mem.words() as u64;
+    let w = mem.width as usize;
+    let mut dv = [0u64; 64];
+    let mut du = [0u64; 64];
+    for lane in 0..lanes {
+        match gather_lane(val, unk, &mem.raddr, lane) {
+            Some(addr) => {
+                let word = mems[mi][(addr % words) as usize * lanes + lane];
+                for (i, acc) in dv.iter_mut().enumerate().take(w) {
+                    *acc |= (word.get(i as u32) as u64) << lane;
+                }
+            }
+            None => {
+                for acc in du.iter_mut().take(w) {
+                    *acc |= 1u64 << lane;
+                }
+            }
+        }
+    }
+    for (i, net) in mem.dout.iter().enumerate() {
+        val[net.0] = dv[i];
+        unk[net.0] = du[i];
+    }
+}
+
+/// Executes one topologically ordered instruction slice over local
+/// planes, forcing the injected fault net like the bit-parallel engine.
+#[allow(clippy::too_many_arguments)]
+fn exec_slice(
+    nl: &GateNetlist,
+    instrs: &[Instr],
+    val: &mut [u64],
+    unk: &mut [u64],
+    mems: &[Vec<Bv>],
+    lanes: usize,
+    fault_net: u32,
+    fault_val: u64,
+) {
+    for instr in instrs {
+        match *instr {
+            Instr::Gate { kind, a, b, c, out } => {
+                let (mut v, mut u) = eval_gate(
+                    kind,
+                    val[a as usize],
+                    unk[a as usize],
+                    val[b as usize],
+                    unk[b as usize],
+                    val[c as usize],
+                    unk[c as usize],
+                );
+                if out == fault_net {
+                    v = fault_val;
+                    u = 0;
+                }
+                val[out as usize] = v;
+                unk[out as usize] = u;
+            }
+            Instr::MemRead(m) => read_mem(nl, m as usize, val, unk, mems, lanes),
+        }
+    }
+}
+
+/// Reloads a worker's owned memories from their init images, one copy
+/// per lane (same layout as the bit-parallel engine's).
+fn reload_mems(nl: &GateNetlist, owned: &[u32], lanes: usize, mems: &mut [Vec<Bv>]) {
+    for &m in owned {
+        let mem = &nl.memories()[m as usize];
+        let words = &mut mems[m as usize];
+        words.clear();
+        words.reserve(mem.words() * lanes);
+        for w in &mem.init {
+            for _ in 0..lanes {
+                words.push(*w);
+            }
+        }
+    }
+}
+
+/// The body of one worker thread: wait for a command, run the shard's
+/// phase slices with boundary exchange, export, repeat until `Exit`.
+fn worker(w: usize, prog: &GateProgram<'_>, part: &Partition, shared: &Shared, lanes: u32) {
+    let nl = prog.netlist();
+    let plan = &part.plans[w];
+    let lanes = lanes as usize;
+    let mut val = vec![0u64; nl.net_count()];
+    let mut unk = vec![0u64; nl.net_count()];
+    let mut mems: Vec<Vec<Bv>> = vec![Vec::new(); nl.memories().len()];
+    let mut obs = ShardObs::new(w);
+    power_on_planes(nl, &mut val, &mut unk);
+    reload_mems(nl, &plan.owned_mems, lanes, &mut mems);
+    loop {
+        shared.start.wait();
+        let cmd = shared.cmd.read().expect("cmd lock");
+        match cmd.kind {
+            CmdKind::Exit => break,
+            CmdKind::Export => {
+                for &(net, slot) in &plan.exports_all {
+                    shared.exp_val[slot as usize].store(val[net as usize], Ordering::Relaxed);
+                    shared.exp_unk[slot as usize].store(unk[net as usize], Ordering::Relaxed);
+                }
+                drop(cmd);
+                shared.finish.wait();
+                continue;
+            }
+            CmdKind::Sweep => {}
+        }
+        if cmd.reset {
+            power_on_planes(nl, &mut val, &mut unk);
+            reload_mems(nl, &plan.owned_mems, lanes, &mut mems);
+        }
+        for &(net, v, u) in &cmd.updates {
+            val[net as usize] = v;
+            unk[net as usize] = u;
+        }
+        for &(m, idx, data) in &cmd.mem_updates {
+            if !mems[m].is_empty() {
+                mems[m][idx] = data;
+            }
+        }
+        let scan = cmd.scan;
+        let (fault_net, fault_val) = (cmd.fault_net, cmd.fault_val);
+        for (pi, phase) in plan.phases.iter().enumerate() {
+            if pi > 0 {
+                obs.barrier_wait.record(shared.level.wait());
+                for &(slot, net) in &phase.import {
+                    val[net as usize] = shared.slot_val[slot as usize].load(Ordering::Relaxed);
+                    unk[net as usize] = shared.slot_unk[slot as usize].load(Ordering::Relaxed);
+                }
+                obs.imports += phase.import.len() as u64;
+            }
+            let instrs: &[Instr] = if scan { &phase.scan_instrs } else { &phase.instrs };
+            exec_slice(
+                nl, instrs, &mut val, &mut unk, &mems, lanes, fault_net, fault_val,
+            );
+            obs.instrs += instrs.len() as u64;
+            for &(net, slot) in &phase.publish {
+                shared.slot_val[slot as usize].store(val[net as usize], Ordering::Relaxed);
+                shared.slot_unk[slot as usize].store(unk[net as usize], Ordering::Relaxed);
+            }
+            obs.publishes += phase.publish.len() as u64;
+        }
+        let list = if cmd.export_all {
+            &plan.exports_all
+        } else {
+            &plan.exports_min
+        };
+        for &(net, slot) in list {
+            shared.exp_val[slot as usize].store(val[net as usize], Ordering::Relaxed);
+            shared.exp_unk[slot as usize].store(unk[net as usize], Ordering::Relaxed);
+        }
+        obs.sweeps += 1;
+        drop(cmd);
+        if let Ok(mut snap) = shared.obs[w].lock() {
+            *snap = obs.clone();
+        }
+        obs.barrier_wait.record(shared.finish.wait());
+    }
+}
+
+/// The partitioned multi-threaded gate engine.
+///
+/// A drop-in for [`BitGateSim`](crate::BitGateSim) — same per-cycle
+/// protocol, same settled values, same lane-0 violation stream, same
+/// toggle-coverage maps — that executes each sweep across worker
+/// threads. Construction is scoped:
+///
+/// ```
+/// use scflow_gate::{CellKind, GateProgram, NetlistBuilder, ParGateSim};
+/// use scflow_hwtypes::Bv;
+///
+/// let mut b = NetlistBuilder::new("half_adder");
+/// let a = b.input_port("a", 1)[0];
+/// let c = b.input_port("b", 1)[0];
+/// let sum = b.cell(CellKind::Xor2, &[a, c]);
+/// b.output_port("sum", &[sum]);
+/// let nl = b.build();
+/// let prog = GateProgram::compile(&nl).unwrap();
+/// let sum = ParGateSim::with(&prog, 2, 1, |sim| {
+///     sim.set_input("a", Bv::bit(true));
+///     sim.set_input("b", Bv::bit(false));
+///     sim.settle();
+///     sim.output("sum")
+/// });
+/// assert_eq!(sum, Some(Bv::bit(true)));
+/// ```
+///
+/// The coordinator's master planes are authoritative for every
+/// coordinator-owned net (primary inputs, constants, flop outputs) and
+/// every exported net (ports, flop data pins, memory port nets; all
+/// cell outputs while coverage is on). Interior shard nets live in the
+/// workers and are not observable through `net_planes` between sweeps.
+pub struct ParGateSim<'p, 'sh> {
+    prog: &'p GateProgram<'p>,
+    part: &'sh Partition,
+    shared: &'sh Shared,
+    threads: usize,
+    lanes: u32,
+    val: Vec<u64>,
+    unk: Vec<u64>,
+    mems: Vec<Vec<Bv>>,
+    fault_net: u32,
+    fault_val: u64,
+    stats: GateSimStats,
+    violations: Vec<MemAccessViolation>,
+    dirty: bool,
+    pending: Vec<(u32, u64, u64)>,
+    pending_mem: Vec<(usize, usize, Bv)>,
+    q_buf: Vec<(u32, u64, u64)>,
+    mw_buf: Vec<(usize, usize, Bv)>,
+    coverage: Option<Box<scflow_obs::ToggleCoverage>>,
+}
+
+impl ParGateSim<'_, '_> {
+    /// Partitions `prog` into `threads` shards (clamped to `1..=64` and
+    /// to the instruction count), spawns the workers in a thread scope
+    /// and hands the coordinator to `f`. Workers are shut down when `f`
+    /// returns — or unwinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or greater than 64.
+    pub fn with<R>(
+        prog: &GateProgram<'_>,
+        threads: usize,
+        lanes: u32,
+        f: impl FnOnce(&mut ParGateSim<'_, '_>) -> R,
+    ) -> R {
+        assert!(
+            (1..=64).contains(&lanes),
+            "ParGateSim supports 1..=64 lanes, got {lanes}"
+        );
+        let threads = threads.clamp(1, 64).min(prog.instr_count().max(1));
+        let part = Partition::new(prog, threads);
+        let shared = Shared::new(&part, threads);
+        std::thread::scope(|s| {
+            for w in 0..threads {
+                let (part, shared) = (&part, &shared);
+                s.spawn(move || worker(w, prog, part, shared, lanes));
+            }
+            let guard = ExitGuard(&shared);
+            let nl = prog.netlist();
+            let mut mems = Vec::with_capacity(nl.memories().len());
+            for mem in nl.memories() {
+                let mut words = Vec::with_capacity(mem.words() * lanes as usize);
+                for w in &mem.init {
+                    for _ in 0..lanes {
+                        words.push(*w);
+                    }
+                }
+                mems.push(words);
+            }
+            let mut sim = ParGateSim {
+                prog,
+                part: &part,
+                shared: &shared,
+                threads,
+                lanes,
+                val: vec![0; nl.net_count()],
+                unk: vec![0; nl.net_count()],
+                mems,
+                fault_net: NO_FAULT,
+                fault_val: 0,
+                stats: GateSimStats::default(),
+                violations: Vec::new(),
+                dirty: true,
+                pending: Vec::new(),
+                pending_mem: Vec::new(),
+                q_buf: Vec::new(),
+                mw_buf: Vec::new(),
+                coverage: None,
+            };
+            power_on_planes(nl, &mut sim.val, &mut sim.unk);
+            sim.do_sweep(true);
+            let r = f(&mut sim);
+            drop(sim);
+            drop(guard);
+            r
+        })
+    }
+
+    /// Number of worker threads (after clamping).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of pattern lanes.
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// The netlist this simulator runs.
+    pub fn netlist(&self) -> &GateNetlist {
+        self.prog.nl
+    }
+
+    /// Activity counters — `evals` counts instructions exactly like the
+    /// single-threaded compiled engines (full stream length per sweep),
+    /// so the value is independent of the thread count.
+    pub fn stats(&self) -> GateSimStats {
+        self.stats
+    }
+
+    /// Recorded memory-access violations (lane 0 only).
+    pub fn violations(&self) -> &[MemAccessViolation] {
+        &self.violations
+    }
+
+    /// Latest per-worker counter snapshots (one [`ShardObs`] per shard,
+    /// including the wall-clock barrier-wait histograms).
+    pub fn shard_obs(&self) -> Vec<ShardObs> {
+        self.shared
+            .obs
+            .iter()
+            .map(|m| m.lock().map(|o| o.clone()).unwrap_or_default())
+            .collect()
+    }
+
+    /// One full sweep across the workers. `reset` also reinitialises
+    /// every worker's planes and owned memories.
+    fn do_sweep(&mut self, reset: bool) {
+        let scan = match &self.prog.scan {
+            Some(sc) => {
+                self.val[sc.en as usize] == !0u64 && self.unk[sc.en as usize] == 0
+            }
+            None => false,
+        };
+        {
+            let mut c = self.shared.cmd.write().expect("cmd lock");
+            c.kind = CmdKind::Sweep;
+            c.scan = scan;
+            c.export_all = self.coverage.is_some();
+            c.reset = reset;
+            c.fault_net = self.fault_net;
+            c.fault_val = self.fault_val;
+            std::mem::swap(&mut c.updates, &mut self.pending);
+            std::mem::swap(&mut c.mem_updates, &mut self.pending_mem);
+        }
+        self.pending.clear();
+        self.pending_mem.clear();
+        self.shared.start.wait();
+        self.shared.finish.wait();
+        let list = if self.coverage.is_some() {
+            &self.part.copyback_all
+        } else {
+            &self.part.copyback_min
+        };
+        for &(net, slot) in list {
+            self.val[net as usize] = self.shared.exp_val[slot as usize].load(Ordering::Relaxed);
+            self.unk[net as usize] = self.shared.exp_unk[slot as usize].load(Ordering::Relaxed);
+        }
+        self.stats.gate_evals += if scan {
+            self.prog.scan.as_ref().map_or(0, |s| s.instrs.len() as u64)
+        } else {
+            self.prog.instrs.len() as u64
+        };
+        self.dirty = false;
+    }
+
+    /// Exports every worker's full value set without executing anything
+    /// (used to prime coverage mid-run).
+    fn do_export(&mut self) {
+        {
+            let mut c = self.shared.cmd.write().expect("cmd lock");
+            c.kind = CmdKind::Export;
+        }
+        self.shared.start.wait();
+        self.shared.finish.wait();
+        for &(net, slot) in &self.part.copyback_all {
+            self.val[net as usize] = self.shared.exp_val[slot as usize].load(Ordering::Relaxed);
+            self.unk[net as usize] = self.shared.exp_unk[slot as usize].load(Ordering::Relaxed);
+        }
+    }
+
+    /// Returns the simulator to its power-on state — flop outputs at
+    /// their init values, memories reloaded in every lane and every
+    /// worker, counters, violations and any injected fault cleared.
+    pub fn reset(&mut self) {
+        let nl = self.prog.nl;
+        let lanes = self.lanes as usize;
+        for (m, mem) in nl.memories().iter().enumerate() {
+            for (a, w) in mem.init.iter().enumerate() {
+                for lane in 0..lanes {
+                    self.mems[m][a * lanes + lane] = *w;
+                }
+            }
+        }
+        self.fault_net = NO_FAULT;
+        self.fault_val = 0;
+        self.stats = GateSimStats::default();
+        self.violations.clear();
+        self.pending.clear();
+        self.pending_mem.clear();
+        power_on_planes(nl, &mut self.val, &mut self.unk);
+        self.do_sweep(true);
+    }
+
+    /// Forces the output net of `instance` to `stuck_at` in every lane,
+    /// effective immediately and at every subsequent evaluation, then
+    /// settles. At most one fault is active; [`ParGateSim::reset`]
+    /// clears it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` is out of range.
+    pub fn inject_stuck_at(&mut self, instance: usize, stuck_at: bool) {
+        let out = self.prog.nl.instances()[instance].output;
+        self.fault_net = out.0 as u32;
+        self.fault_val = if stuck_at { !0 } else { 0 };
+        self.val[out.0] = self.fault_val;
+        self.unk[out.0] = 0;
+        self.pending.push((out.0 as u32, self.fault_val, 0));
+        self.do_sweep(false);
+    }
+
+    /// Drives an input port identically in every lane, reporting bad
+    /// names or widths as errors.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown ports or width mismatches.
+    pub fn try_set_input(
+        &mut self,
+        name: &str,
+        value: Bv,
+    ) -> Result<(), scflow_sim_api::SimError> {
+        use scflow_sim_api::SimError;
+        let nl = self.prog.nl;
+        let bits = nl
+            .input_port(name)
+            .ok_or_else(|| SimError::UnknownPort(name.to_string()))?;
+        if bits.len() as u32 != value.width() {
+            return Err(SimError::WidthMismatch {
+                port: name.to_string(),
+                port_width: bits.len() as u32,
+                value_width: value.width(),
+            });
+        }
+        for (i, net) in bits.to_vec().iter().enumerate() {
+            let v = if value.get(i as u32) { !0 } else { 0 };
+            self.set_net_planes(*net, v, 0);
+        }
+        Ok(())
+    }
+
+    /// Drives an input port identically in every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or the width differs.
+    pub fn set_input(&mut self, name: &str, value: Bv) {
+        if let Err(e) = self.try_set_input(name, value) {
+            panic!("{e}");
+        }
+    }
+
+    /// Drives a single-bit input port with one known bit per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or is wider than one bit.
+    pub fn set_input_word(&mut self, name: &str, word: u64) {
+        let nl = self.prog.nl;
+        let bits = nl
+            .input_port(name)
+            .unwrap_or_else(|| panic!("no input port `{name}`"));
+        assert_eq!(bits.len(), 1, "port `{name}` is not single-bit");
+        self.set_net_planes(bits[0], word, 0);
+    }
+
+    /// Drives an input port in one lane only, leaving the other lanes
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist, the width differs, or `lane`
+    /// is out of range.
+    pub fn set_input_lane(&mut self, name: &str, lane: u32, value: Bv) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let nl = self.prog.nl;
+        let bits = nl
+            .input_port(name)
+            .unwrap_or_else(|| panic!("no input port `{name}`"));
+        assert_eq!(bits.len() as u32, value.width(), "port `{name}` width");
+        let mask = 1u64 << lane;
+        for (i, net) in bits.to_vec().iter().enumerate() {
+            let v = self.val[net.0] & !mask;
+            let v = if value.get(i as u32) { v | mask } else { v };
+            let u = self.unk[net.0] & !mask;
+            if self.val[net.0] != v || self.unk[net.0] != u {
+                self.val[net.0] = v;
+                self.unk[net.0] = u;
+                self.pending.push((net.0 as u32, v, u));
+                self.dirty = true;
+            }
+        }
+    }
+
+    /// Writes a net's planes directly (white-box). The caller is
+    /// responsible for the canonical form (`val & unk == 0`).
+    pub fn set_net_planes(&mut self, net: GNetId, val: u64, unk: u64) {
+        let val = val & !unk;
+        if self.val[net.0] == val && self.unk[net.0] == unk {
+            return;
+        }
+        self.val[net.0] = val;
+        self.unk[net.0] = unk;
+        self.pending.push((net.0 as u32, val, unk));
+        self.dirty = true;
+    }
+
+    /// Reads a net's `(value, unknown)` planes from the coordinator's
+    /// master copy (white-box; see the type docs for which nets the
+    /// master tracks).
+    pub fn net_planes(&self, net: GNetId) -> (u64, u64) {
+        (self.val[net.0], self.unk[net.0])
+    }
+
+    /// Reads a single net in lane 0 (white-box).
+    pub fn peek_net(&self, net: GNetId) -> Logic {
+        self.peek_net_lane(net, 0)
+    }
+
+    /// Reads a single net in one lane (white-box).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn peek_net_lane(&self, net: GNetId, lane: u32) -> Logic {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        if (self.unk[net.0] >> lane) & 1 != 0 {
+            Logic::X
+        } else {
+            Logic::from_bool((self.val[net.0] >> lane) & 1 != 0)
+        }
+    }
+
+    /// Reads a memory word in one lane (white-box).
+    pub fn peek_mem_lane(&self, mem: usize, addr: usize, lane: u32) -> Bv {
+        self.mems[mem][addr * self.lanes as usize + lane as usize]
+    }
+
+    /// Reads an output port in lane 0; `None` while any bit is unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn output(&self, name: &str) -> Option<Bv> {
+        self.output_logic(name).to_bv()
+    }
+
+    /// Reads an output port in lane 0 as four-valued logic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn output_logic(&self, name: &str) -> LogicVec {
+        self.output_logic_lane(name, 0)
+    }
+
+    /// Reads an output port in one lane as four-valued logic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or `lane` is out of range.
+    pub fn output_logic_lane(&self, name: &str, lane: u32) -> LogicVec {
+        let bits = self
+            .prog
+            .nl
+            .output_port(name)
+            .unwrap_or_else(|| panic!("no output port `{name}`"));
+        bits.iter().map(|&n| self.peek_net_lane(n, lane)).collect()
+    }
+
+    /// `true` if the netlist declares an input port of this name.
+    pub fn netlist_has_input(&self, name: &str) -> bool {
+        self.prog.nl.input_port(name).is_some()
+    }
+
+    /// Propagates combinational logic to a fixed point across the
+    /// workers. A no-op unless an input changed since the last
+    /// propagation.
+    pub fn settle(&mut self) {
+        if self.dirty {
+            self.do_sweep(false);
+        }
+    }
+
+    /// One clock cycle: settle, validate read addresses, sample every
+    /// flop's input and the memory write ports (per lane), commit,
+    /// settle — the same edge semantics as every other gate engine,
+    /// executed entirely on the coordinator over exported values.
+    pub fn tick(&mut self) {
+        self.settle();
+        let prog = self.prog;
+        let nl = prog.nl;
+        let cycle = self.stats.cycles;
+        let lanes = self.lanes as usize;
+
+        for mem in nl.memories() {
+            if mem.raddr.is_empty() {
+                continue;
+            }
+            if let Some(a) = gather_lane(&self.val, &self.unk, &mem.raddr, 0) {
+                if a >= mem.words() as u64 {
+                    self.violations.push(MemAccessViolation {
+                        cycle,
+                        memory: mem.name.clone(),
+                        address: a,
+                        write: false,
+                    });
+                }
+            }
+        }
+
+        // Rising edge: sample flop data pins simultaneously, all lanes.
+        let mut q_buf = std::mem::take(&mut self.q_buf);
+        q_buf.clear();
+        for &fi in &prog.flops {
+            let inst = &nl.instances()[fi as usize];
+            let a = inst.inputs[0].0;
+            let (mut v, mut u) = match inst.kind {
+                crate::celllib::CellKind::Dff => (self.val[a], self.unk[a]),
+                _ => {
+                    let b = inst.inputs[1].0;
+                    let c = inst.inputs[2].0;
+                    eval_gate(
+                        crate::celllib::CellKind::Sdff,
+                        self.val[a],
+                        self.unk[a],
+                        self.val[b],
+                        self.unk[b],
+                        self.val[c],
+                        self.unk[c],
+                    )
+                }
+            };
+            let out = inst.output.0 as u32;
+            if out == self.fault_net {
+                v = self.fault_val;
+                u = 0;
+            }
+            q_buf.push((out, v, u));
+        }
+
+        // Sample memory write ports, per lane (lane-0 violations only).
+        let mut mw_buf = std::mem::take(&mut self.mw_buf);
+        mw_buf.clear();
+        for (m, mem) in nl.memories().iter().enumerate() {
+            let Some(wen) = mem.wen else { continue };
+            let wv = self.val[wen.0];
+            let wu = self.unk[wen.0];
+            if wu & 1 != 0 {
+                self.violations.push(MemAccessViolation {
+                    cycle,
+                    memory: mem.name.clone(),
+                    address: u64::MAX,
+                    write: true,
+                });
+            }
+            for lane in 0..lanes {
+                let bit = 1u64 << lane;
+                if wu & bit != 0 || wv & bit == 0 {
+                    continue;
+                }
+                let addr = gather_lane(&self.val, &self.unk, &mem.waddr, lane);
+                let data = gather_lane(&self.val, &self.unk, &mem.wdata, lane);
+                match (addr, data) {
+                    (Some(a), Some(d)) => {
+                        let words = mem.words() as u64;
+                        if a >= words && lane == 0 {
+                            self.violations.push(MemAccessViolation {
+                                cycle,
+                                memory: mem.name.clone(),
+                                address: a,
+                                write: true,
+                            });
+                        }
+                        mw_buf.push((
+                            m,
+                            (a % words) as usize * lanes + lane,
+                            Bv::new(d, mem.width),
+                        ));
+                    }
+                    _ => {
+                        if lane == 0 {
+                            self.violations.push(MemAccessViolation {
+                                cycle,
+                                memory: mem.name.clone(),
+                                address: u64::MAX,
+                                write: true,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Commit flop outputs and memory writes — to the master planes
+        // *and* to the broadcast queue, so every worker folds them in
+        // before its next execution.
+        for &(out, v, u) in &q_buf {
+            self.val[out as usize] = v;
+            self.unk[out as usize] = u;
+            self.pending.push((out, v, u));
+        }
+        self.q_buf = q_buf;
+        for &(m, idx, data) in &mw_buf {
+            self.mems[m][idx] = data;
+            self.pending_mem.push((m, idx, data));
+        }
+        self.mw_buf = mw_buf;
+
+        self.stats.cycles += 1;
+        // The edge changed flop outputs and memory words directly, so
+        // this propagation must run regardless of the dirty flag.
+        self.do_sweep(false);
+        if let Some(cov) = self.coverage.as_deref_mut() {
+            let (nl, val, unk) = (self.prog.nl, &self.val, &self.unk);
+            cov.sample_with(|i| {
+                let n = nl.instances()[i].output.0;
+                (val[n] & 1, !unk[n] & 1)
+            });
+        }
+    }
+
+    /// Runs `n` clock cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Turns cycle-boundary toggle-coverage collection over every cell
+    /// output (lane 0) on or off. Enabling pulls every worker's current
+    /// values first, then primes the collector — so the map starts from
+    /// exactly the same state the single-threaded engines would report.
+    pub fn set_coverage(&mut self, enabled: bool) {
+        if !enabled {
+            self.coverage = None;
+            return;
+        }
+        self.do_export();
+        let mut cov = crate::cov::instance_coverage(self.prog.nl);
+        let (nl, val, unk) = (self.prog.nl, &self.val, &self.unk);
+        cov.sample_with(|i| {
+            let n = nl.instances()[i].output.0;
+            (val[n] & 1, !unk[n] & 1)
+        });
+        self.coverage = Some(Box::new(cov));
+    }
+
+    /// The per-cell-output toggle-coverage map (lane 0), if collection
+    /// is enabled.
+    pub fn coverage(&self) -> Option<&scflow_obs::ToggleCoverage> {
+        self.coverage.as_deref()
+    }
+}
+
+impl std::fmt::Debug for ParGateSim<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParGateSim")
+            .field("netlist", &self.prog.nl.name())
+            .field("threads", &self.threads)
+            .field("lanes", &self.lanes)
+            .field("cycles", &self.stats.cycles)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::celllib::CellKind;
+    use crate::netlist::NetlistBuilder;
+
+    #[test]
+    fn spin_barrier_synchronises_and_reuses() {
+        let b = SpinBarrier::new(3);
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        b.wait();
+                        hits.fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 150);
+    }
+
+    #[test]
+    fn matches_bitpar_on_a_counter() {
+        let mut b = NetlistBuilder::new("cnt");
+        let en = b.input_port("en", 1)[0];
+        let q0 = b.net("q0".into());
+        let d0 = b.cell(CellKind::Xor2, &[q0, en]);
+        b.dff_onto(d0, q0, false);
+        let carry = b.cell(CellKind::And2, &[q0, en]);
+        let q1 = b.net("q1".into());
+        let d1 = b.cell(CellKind::Xor2, &[q1, carry]);
+        b.dff_onto(d1, q1, false);
+        b.output_port("q", &[q0, q1]);
+        let nl = b.build();
+        let prog = GateProgram::compile(&nl).unwrap();
+        let mut bp = prog.simulator();
+        ParGateSim::with(&prog, 2, 1, |par| {
+            for cycle in 0..12 {
+                let en = cycle % 3 != 0;
+                bp.set_input("en", Bv::bit(en));
+                par.set_input("en", Bv::bit(en));
+                bp.tick();
+                par.tick();
+                assert_eq!(
+                    bp.output_logic("q"),
+                    par.output_logic("q"),
+                    "cycle {cycle}"
+                );
+            }
+            assert_eq!(bp.stats().cycles, par.stats().cycles);
+            assert_eq!(bp.stats().gate_evals, par.stats().gate_evals);
+        });
+    }
+
+    #[test]
+    fn unwinding_closure_shuts_workers_down() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_port("a", 1)[0];
+        let y = b.cell(CellKind::Inv, &[a]);
+        b.output_port("y", &[y]);
+        let nl = b.build();
+        let prog = GateProgram::compile(&nl).unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ParGateSim::with(&prog, 2, 1, |_| panic!("boom"))
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,560 @@
+//! Level-aware partitioning of a compiled gate program for
+//! multi-threaded execution.
+//!
+//! [`Partition::new`] splits the flat levelized instruction stream of a
+//! [`GateProgram`] into N balanced shards with a small cut, then derives
+//! everything the parallel engine ([`crate::ParGateSim`]) needs to run
+//! the shards in lockstep:
+//!
+//! - **Shards** — greedy level-aware BFS growth (each shard grows from a
+//!   seed along producer/consumer edges, preferring low-level
+//!   instructions) followed by a local-refinement pass that moves
+//!   boundary instructions to their neighbour-majority shard when that
+//!   reduces the cut. Growth caps every shard at `ceil(total / N)`
+//!   instructions and refinement at 15% above the average, so the load
+//!   imbalance stays well under the 20% the property suite pins.
+//! - **Cut nets and exchange slots** — every net produced in one shard
+//!   and consumed in another gets one exchange-slot index; the plan
+//!   lists, per shard and phase, which `(net, slot)` pairs to publish
+//!   after executing and which `(slot, net)` pairs to import after the
+//!   phase barrier.
+//! - **Phases** — barriers are placed by greedy interval stabbing over
+//!   the cut edges' `(producer level, first consumer level]` windows:
+//!   minimal in count, and levels with no crossing edge need no barrier
+//!   at all. Within each phase every shard keeps its instructions in
+//!   global topological order, so per-shard execution order is a
+//!   subsequence of the serial engines' order.
+//! - **Export slots** — the settled values the coordinator thread needs
+//!   back after a sweep (output ports, flop data pins, memory port
+//!   nets; or every cell output when toggle coverage is on).
+//!
+//! The partition is a pure function of `(program, shard count)` — no
+//! randomness, no wall-clock — which is what makes partitioned runs
+//! reproducible at any thread count.
+
+use crate::compile::{GateProgram, Instr};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// One shard's per-phase slice of the program.
+pub(crate) struct PhasePlan {
+    /// Instructions to execute, in global topological order.
+    pub(crate) instrs: Vec<Instr>,
+    /// Global stream indices of `instrs` (introspection / scan carving).
+    pub(crate) idx: Vec<u32>,
+    /// Scan-shift subset of `instrs` (same order).
+    pub(crate) scan_instrs: Vec<Instr>,
+    /// `(net, slot)` pairs to store into the exchange buffer after this
+    /// phase's instructions (before the next barrier).
+    pub(crate) publish: Vec<(u32, u32)>,
+    /// `(slot, net)` pairs to load from the exchange buffer right after
+    /// the barrier that starts this phase.
+    pub(crate) import: Vec<(u32, u32)>,
+}
+
+/// One worker's complete execution plan.
+pub(crate) struct ShardPlan {
+    /// Phase-by-phase instruction slices and exchange actions.
+    pub(crate) phases: Vec<PhasePlan>,
+    /// `(net, slot)` pairs of the minimal export set owned by this shard.
+    pub(crate) exports_min: Vec<(u32, u32)>,
+    /// `(net, slot)` pairs of the full export set owned by this shard.
+    pub(crate) exports_all: Vec<(u32, u32)>,
+    /// Memories whose `MemRead` instruction lives in this shard.
+    pub(crate) owned_mems: Vec<u32>,
+}
+
+/// A deterministic N-way split of a compiled gate program, with the
+/// boundary-exchange plan the multi-threaded engine executes.
+pub struct Partition {
+    shards: usize,
+    phase_count: usize,
+    /// Cut nets, ascending; position = exchange-slot index.
+    cut_nets: Vec<u32>,
+    /// Shard index per instruction (global stream order).
+    shard_of: Vec<u32>,
+    /// Topological level per instruction.
+    level_of: Vec<u32>,
+    /// Phase index per instruction.
+    phase_of: Vec<u32>,
+    /// Nets the coordinator copies back after a normal sweep, with their
+    /// export-slot indices.
+    pub(crate) copyback_min: Vec<(u32, u32)>,
+    /// Nets the coordinator copies back when toggle coverage needs every
+    /// cell output.
+    pub(crate) copyback_all: Vec<(u32, u32)>,
+    pub(crate) plans: Vec<ShardPlan>,
+}
+
+impl Partition {
+    /// Partitions `prog` into `shards` balanced shards (clamped to at
+    /// least 1 and at most the instruction count, so empty shards never
+    /// arise on non-empty programs).
+    pub fn new(prog: &GateProgram<'_>, shards: usize) -> Partition {
+        let total = prog.instrs.len();
+        let n = shards.max(1).min(total.max(1));
+        let inputs: Vec<Vec<usize>> = (0..total).map(|i| prog.instr_inputs(i)).collect();
+        let outputs: Vec<Vec<usize>> = (0..total).map(|i| prog.instr_outputs(i)).collect();
+
+        // Producer instruction per net (primary inputs, constants and
+        // flop outputs have none — they are coordinator-owned).
+        let mut producer: Vec<Option<u32>> = vec![None; prog.nl.net_count()];
+        for (i, outs) in outputs.iter().enumerate() {
+            for &net in outs {
+                producer[net] = Some(i as u32);
+            }
+        }
+
+        // Topological level: 0 for instructions fed only by
+        // coordinator-owned nets, else 1 + max over producing
+        // instructions. The stream is already topologically ordered, so
+        // one forward pass suffices.
+        let mut level_of = vec![0u32; total];
+        for i in 0..total {
+            let mut lvl = 0;
+            for &net in &inputs[i] {
+                if let Some(p) = producer[net] {
+                    lvl = lvl.max(level_of[p as usize] + 1);
+                }
+            }
+            level_of[i] = lvl;
+        }
+
+        // Undirected producer/consumer adjacency, for growth/refinement.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); total];
+        for (i, ins) in inputs.iter().enumerate() {
+            for &net in ins {
+                if let Some(p) = producer[net] {
+                    if p as usize != i {
+                        adj[i].push(p);
+                        adj[p as usize].push(i as u32);
+                    }
+                }
+            }
+        }
+
+        let shard_of = grow_shards(total, n, &level_of, &adj);
+        let shard_of = refine(shard_of, n, &adj);
+
+        // Cut nets and their cross-shard consumers' earliest levels.
+        let mut cut = BTreeSet::new();
+        // (net, consumer shard) -> earliest consuming level in that shard.
+        let mut first_use: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+        for (i, ins) in inputs.iter().enumerate() {
+            let s = shard_of[i];
+            for &net in ins {
+                let Some(p) = producer[net] else { continue };
+                if shard_of[p as usize] == s {
+                    continue;
+                }
+                cut.insert(net as u32);
+                let e = first_use.entry((net as u32, s)).or_insert(u32::MAX);
+                *e = (*e).min(level_of[i]);
+            }
+        }
+        let cut_nets: Vec<u32> = cut.into_iter().collect();
+        let slot_of: BTreeMap<u32, u32> = cut_nets
+            .iter()
+            .enumerate()
+            .map(|(s, &net)| (net, s as u32))
+            .collect();
+
+        // Barrier placement by greedy interval stabbing: each cut net
+        // needs a barrier at some level x with
+        // `producer_level < x <= min cross-shard consumer level`.
+        // Processing windows by right endpoint and placing a barrier at
+        // the endpoint only when the window is still uncovered yields
+        // the minimum number of barriers.
+        let mut windows: Vec<(u32, u32)> = cut_nets
+            .iter()
+            .map(|&net| {
+                let p = level_of[producer[net as usize].expect("cut net has producer") as usize];
+                let c = first_use
+                    .iter()
+                    .filter(|((n, _), _)| *n == net)
+                    .map(|(_, &lvl)| lvl)
+                    .min()
+                    .expect("cut net has a cross consumer");
+                (p, c)
+            })
+            .collect();
+        windows.sort_by_key(|&(_, c)| c);
+        let mut sync_levels: Vec<u32> = Vec::new();
+        for &(p, c) in &windows {
+            if sync_levels.last().is_none_or(|&x| x <= p) {
+                sync_levels.push(c);
+            }
+        }
+        let phase_count = sync_levels.len() + 1;
+        // Phase of a level = number of barriers at or below it.
+        let phase_of_level = |lvl: u32| -> u32 {
+            sync_levels.partition_point(|&x| x <= lvl) as u32
+        };
+        let phase_of: Vec<u32> = level_of.iter().map(|&l| phase_of_level(l)).collect();
+
+        // Scan-shift membership per global instruction index.
+        let mut in_scan = vec![false; total];
+        if let Some(scan) = &prog.scan {
+            for &m in &scan.members {
+                in_scan[m as usize] = true;
+            }
+        }
+
+        // Export sets. `min` is what a normal settled sweep must hand
+        // the coordinator: output ports, flop data pins, memory port
+        // nets. `all` adds every cell output and memory dout for toggle
+        // coverage. Only shard-produced nets export — the rest live on
+        // the coordinator already.
+        let nl = prog.nl;
+        let mut need_min: BTreeSet<u32> = BTreeSet::new();
+        for (_, bits) in nl.outputs() {
+            need_min.extend(bits.iter().map(|b| b.0 as u32));
+        }
+        for inst in nl.instances() {
+            if inst.kind.is_sequential() {
+                need_min.extend(inst.inputs.iter().map(|b| b.0 as u32));
+            }
+        }
+        for mem in nl.memories() {
+            need_min.extend(mem.raddr.iter().map(|b| b.0 as u32));
+            need_min.extend(mem.waddr.iter().map(|b| b.0 as u32));
+            need_min.extend(mem.wdata.iter().map(|b| b.0 as u32));
+            if let Some(wen) = mem.wen {
+                need_min.insert(wen.0 as u32);
+            }
+        }
+        need_min.retain(|&net| producer[net as usize].is_some());
+        let mut need_all = need_min.clone();
+        for outs in &outputs {
+            need_all.extend(outs.iter().map(|&n| n as u32));
+        }
+        let export_nets: Vec<u32> = need_all.iter().copied().collect();
+        let export_slot: BTreeMap<u32, u32> = export_nets
+            .iter()
+            .enumerate()
+            .map(|(s, &net)| (net, s as u32))
+            .collect();
+        let copyback_all: Vec<(u32, u32)> =
+            export_nets.iter().map(|&net| (net, export_slot[&net])).collect();
+        let copyback_min: Vec<(u32, u32)> =
+            need_min.iter().map(|&net| (net, export_slot[&net])).collect();
+
+        // Assemble the per-shard plans.
+        let mut plans: Vec<ShardPlan> = (0..n)
+            .map(|_| ShardPlan {
+                phases: (0..phase_count)
+                    .map(|_| PhasePlan {
+                        instrs: Vec::new(),
+                        idx: Vec::new(),
+                        scan_instrs: Vec::new(),
+                        publish: Vec::new(),
+                        import: Vec::new(),
+                    })
+                    .collect(),
+                exports_min: Vec::new(),
+                exports_all: Vec::new(),
+                owned_mems: Vec::new(),
+            })
+            .collect();
+        for i in 0..total {
+            let s = shard_of[i] as usize;
+            let ph = &mut plans[s].phases[phase_of[i] as usize];
+            ph.instrs.push(prog.instrs[i]);
+            ph.idx.push(i as u32);
+            if in_scan[i] {
+                ph.scan_instrs.push(prog.instrs[i]);
+            }
+            if let Instr::MemRead(m) = prog.instrs[i] {
+                plans[s].owned_mems.push(m);
+            }
+        }
+        for &net in &cut_nets {
+            let p = producer[net as usize].expect("cut net has producer") as usize;
+            let owner = shard_of[p] as usize;
+            let slot = slot_of[&net];
+            plans[owner].phases[phase_of[p] as usize]
+                .publish
+                .push((net, slot));
+        }
+        for (&(net, s), &lvl) in &first_use {
+            let import_phase = phase_of_level(lvl) as usize;
+            let p = producer[net as usize].expect("cut net has producer") as usize;
+            debug_assert!(
+                (phase_of[p] as usize) < import_phase,
+                "import must follow the publishing phase's barrier"
+            );
+            plans[s as usize].phases[import_phase]
+                .import
+                .push((slot_of[&net], net));
+        }
+        for (&net, &slot) in &export_slot {
+            let p = producer[net as usize].expect("export nets are shard-produced") as usize;
+            let owner = shard_of[p] as usize;
+            plans[owner].exports_all.push((net, slot));
+            if need_min.contains(&net) {
+                plans[owner].exports_min.push((net, slot));
+            }
+        }
+
+        Partition {
+            shards: n,
+            phase_count,
+            cut_nets,
+            shard_of,
+            level_of,
+            phase_of,
+            copyback_min,
+            copyback_all,
+            plans,
+        }
+    }
+
+    /// Number of shards (≥ 1, ≤ instruction count).
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of barrier-separated phases per sweep.
+    pub fn phase_count(&self) -> usize {
+        self.phase_count
+    }
+
+    /// Instructions assigned to shard `s`.
+    pub fn load(&self, s: usize) -> usize {
+        self.shard_of.iter().filter(|&&x| x as usize == s).count()
+    }
+
+    /// Instruction counts of every shard.
+    pub fn loads(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.shards];
+        for &s in &self.shard_of {
+            out[s as usize] += 1;
+        }
+        out
+    }
+
+    /// Global stream indices shard `s` executes, in execution order.
+    pub fn shard_instrs(&self, s: usize) -> Vec<usize> {
+        self.plans[s]
+            .phases
+            .iter()
+            .flat_map(|p| p.idx.iter().map(|&i| i as usize))
+            .collect()
+    }
+
+    /// The shard that executes instruction `i`.
+    pub fn shard_of_instr(&self, i: usize) -> usize {
+        self.shard_of[i] as usize
+    }
+
+    /// Topological level of instruction `i`.
+    pub fn instr_level(&self, i: usize) -> usize {
+        self.level_of[i] as usize
+    }
+
+    /// Phase in which instruction `i` executes.
+    pub fn instr_phase(&self, i: usize) -> usize {
+        self.phase_of[i] as usize
+    }
+
+    /// Nets produced in one shard and consumed in another, ascending;
+    /// the position of a net is its exchange-slot index.
+    pub fn cut_nets(&self) -> Vec<usize> {
+        self.cut_nets.iter().map(|&n| n as usize).collect()
+    }
+
+    /// `(phase, net)` pairs shard `s` publishes to the exchange buffer.
+    pub fn publish_plan(&self, s: usize) -> Vec<(usize, usize)> {
+        self.plans[s]
+            .phases
+            .iter()
+            .enumerate()
+            .flat_map(|(ph, p)| p.publish.iter().map(move |&(net, _)| (ph, net as usize)))
+            .collect()
+    }
+
+    /// `(phase, net)` pairs shard `s` imports from the exchange buffer.
+    pub fn import_plan(&self, s: usize) -> Vec<(usize, usize)> {
+        self.plans[s]
+            .phases
+            .iter()
+            .enumerate()
+            .flat_map(|(ph, p)| p.import.iter().map(move |&(_, net)| (ph, net as usize)))
+            .collect()
+    }
+
+    /// Number of exchange slots (= number of cut nets).
+    pub(crate) fn slot_count(&self) -> usize {
+        self.cut_nets.len()
+    }
+
+    /// Number of export slots.
+    pub(crate) fn export_count(&self) -> usize {
+        self.copyback_all.len()
+    }
+}
+
+/// Greedy level-aware BFS growth: shard by shard, pull the
+/// lowest-level reachable neighbour of what the shard already owns,
+/// falling back to the first unassigned instruction in stream order
+/// when the frontier runs dry. Shard `s` takes
+/// `ceil(remaining / remaining_shards)` instructions — fair division,
+/// so loads differ by at most one and no shard is ever empty.
+fn grow_shards(total: usize, n: usize, level_of: &[u32], adj: &[Vec<u32>]) -> Vec<u32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut shard_of = vec![u32::MAX; total];
+    if total == 0 {
+        return shard_of;
+    }
+    let mut remaining = total;
+    let mut cursor = 0usize;
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    for s in 0..n as u32 {
+        heap.clear();
+        let cap = remaining.div_ceil(n - s as usize);
+        let mut load = 0usize;
+        while load < cap {
+            let next = loop {
+                match heap.pop() {
+                    Some(Reverse((_, i))) if shard_of[i as usize] != u32::MAX => continue,
+                    Some(Reverse((_, i))) => break Some(i as usize),
+                    None => {
+                        while cursor < total && shard_of[cursor] != u32::MAX {
+                            cursor += 1;
+                        }
+                        break (cursor < total).then_some(cursor);
+                    }
+                }
+            };
+            let Some(i) = next else { break };
+            shard_of[i] = s;
+            load += 1;
+            remaining -= 1;
+            for &nb in &adj[i] {
+                if shard_of[nb as usize] == u32::MAX {
+                    heap.push(Reverse((level_of[nb as usize], nb)));
+                }
+            }
+        }
+    }
+    debug_assert!(shard_of.iter().all(|&s| s != u32::MAX));
+    shard_of
+}
+
+/// Local refinement: two deterministic passes over every instruction,
+/// moving it to the shard owning the majority of its neighbours when
+/// that strictly reduces the cut and keeps the destination within 15%
+/// of the average load.
+fn refine(mut shard_of: Vec<u32>, n: usize, adj: &[Vec<u32>]) -> Vec<u32> {
+    let total = shard_of.len();
+    if total == 0 || n < 2 {
+        return shard_of;
+    }
+    let mut loads = vec![0usize; n];
+    for &s in &shard_of {
+        loads[s as usize] += 1;
+    }
+    let cap_hi = ((total as f64 / n as f64) * 1.15).ceil() as usize;
+    let cap_hi = cap_hi.max(total.div_ceil(n));
+    let mut affinity = vec![0u32; n];
+    for _pass in 0..2 {
+        for i in 0..total {
+            let s = shard_of[i] as usize;
+            if loads[s] <= 1 || adj[i].is_empty() {
+                continue;
+            }
+            for &nb in &adj[i] {
+                affinity[shard_of[nb as usize] as usize] += 1;
+            }
+            let (mut best, mut best_cnt) = (s, affinity[s]);
+            for (t, &cnt) in affinity.iter().enumerate() {
+                if cnt > best_cnt {
+                    best = t;
+                    best_cnt = cnt;
+                }
+            }
+            if best != s && loads[best] < cap_hi {
+                shard_of[i] = best as u32;
+                loads[s] -= 1;
+                loads[best] += 1;
+            }
+            for &nb in &adj[i] {
+                affinity[shard_of[nb as usize] as usize] = 0;
+            }
+            affinity[shard_of[i] as usize] = 0;
+            affinity[s] = 0;
+        }
+    }
+    shard_of
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::celllib::CellKind;
+    use crate::netlist::NetlistBuilder;
+
+    fn chain(n: usize) -> crate::netlist::GateNetlist {
+        let mut b = NetlistBuilder::new("chain");
+        let mut x = b.input_port("a", 1)[0];
+        for _ in 0..n {
+            x = b.cell(CellKind::Inv, &[x]);
+        }
+        b.output_port("y", &[x]);
+        b.build()
+    }
+
+    #[test]
+    fn every_instruction_lands_in_exactly_one_shard() {
+        let nl = chain(17);
+        let prog = GateProgram::compile(&nl).unwrap();
+        let part = Partition::new(&prog, 4);
+        let mut all: Vec<usize> = (0..part.shard_count())
+            .flat_map(|s| part.shard_instrs(s))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..prog.instr_count()).collect::<Vec<_>>());
+        assert_eq!(part.loads().iter().sum::<usize>(), prog.instr_count());
+    }
+
+    #[test]
+    fn pure_chain_cut_edges_all_have_slots_and_ordered_phases() {
+        let nl = chain(16);
+        let prog = GateProgram::compile(&nl).unwrap();
+        let part = Partition::new(&prog, 4);
+        for i in 0..prog.instr_count() {
+            let s = part.shard_of_instr(i);
+            for net in prog.instr_inputs(i) {
+                let Some(p) = (0..prog.instr_count())
+                    .find(|&j| prog.instr_outputs(j).contains(&net))
+                else {
+                    continue;
+                };
+                if part.shard_of_instr(p) != s {
+                    assert!(part.cut_nets().contains(&net), "net {net} missing from cut");
+                    assert!(part.instr_phase(p) < part.instr_phase(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_has_no_cut_and_one_phase() {
+        let nl = chain(9);
+        let prog = GateProgram::compile(&nl).unwrap();
+        let part = Partition::new(&prog, 1);
+        assert_eq!(part.shard_count(), 1);
+        assert_eq!(part.phase_count(), 1);
+        assert!(part.cut_nets().is_empty());
+    }
+
+    #[test]
+    fn shard_count_clamps_to_instruction_count() {
+        let nl = chain(2);
+        let prog = GateProgram::compile(&nl).unwrap();
+        let part = Partition::new(&prog, 16);
+        assert!(part.shard_count() <= prog.instr_count());
+        assert!(part.loads().iter().all(|&l| l >= 1));
+    }
+}

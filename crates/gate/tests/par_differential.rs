@@ -1,0 +1,367 @@
+//! Differential tests for the partitioned multi-threaded engine
+//! ([`ParGateSim`]): first-divergence lockstep against the event-driven,
+//! fast and bit-parallel engines on the memory-bearing acc_mem DUT —
+//! four-valued outputs, checking-memory violation streams, toggle
+//! coverage maps and rendered VCD bytes must all be identical at every
+//! thread count — plus X-propagation on random netlists with undriven
+//! inputs and the scan-shift protocol against the bit-parallel engine.
+//!
+//! `SCFLOW_SIM_THREADS` joins the exercised thread ladder, so
+//! `scripts/verify.sh` can force the whole suite through 1- and 4-thread
+//! partitions.
+
+use scflow_gate::{
+    insert_scan_chain, sim_threads, BitGateSim, CellKind, CellLibrary, FastGateSim, GNetId,
+    GateNetlist, GateProgram, GateSim, NetlistBuilder, ParGateSim,
+};
+use scflow_hwtypes::{Bv, LogicVec};
+use scflow_testkit::{first_divergence, Rng};
+
+/// Thread counts every test runs the partitioned engine at: 1, 2 and the
+/// environment's `SCFLOW_SIM_THREADS` (deduplicated).
+fn thread_ladder() -> Vec<usize> {
+    let mut ladder = vec![1, 2, sim_threads()];
+    ladder.sort_unstable();
+    ladder.dedup();
+    ladder
+}
+
+/// Builds a full adder from basic gates; returns (sum, carry_out).
+fn full_adder(b: &mut NetlistBuilder, a: GNetId, x: GNetId, cin: GNetId) -> (GNetId, GNetId) {
+    let axx = b.cell(CellKind::Xor2, &[a, x]);
+    let sum = b.cell(CellKind::Xor2, &[axx, cin]);
+    let t1 = b.cell(CellKind::And2, &[axx, cin]);
+    let t2 = b.cell(CellKind::And2, &[a, x]);
+    let cout = b.cell(CellKind::Or2, &[t1, t2]);
+    (sum, cout)
+}
+
+/// The acc_mem DUT: an 8-bit accumulator plus a 5-word checking memory
+/// with 3-bit addresses (6/7 out of range).
+fn build_dut() -> GateNetlist {
+    let mut b = NetlistBuilder::new("acc_mem");
+    let din = b.input_port("din", 8);
+    let wen = b.input_port("wen", 1)[0];
+    let waddr = b.input_port("waddr", 3);
+    let raddr = b.input_port("raddr", 3);
+
+    let q_wires: Vec<GNetId> = (0..8).map(|i| b.net(format!("qw[{i}]"))).collect();
+    let mut carry = b.const0();
+    let mut sums = Vec::new();
+    for i in 0..8 {
+        let (s, c) = full_adder(&mut b, q_wires[i], din[i], carry);
+        sums.push(s);
+        carry = c;
+    }
+    for i in 0..8 {
+        b.dff_onto(sums[i], q_wires[i], false);
+    }
+    b.output_port("acc", &q_wires);
+
+    let wdata: Vec<GNetId> = q_wires[..4].to_vec();
+    let dout = b.memory("buf", 4, vec![Bv::zero(4); 5], raddr, waddr, wdata, Some(wen));
+    b.output_port("dout", &dout);
+    b.build()
+}
+
+/// The shared single-pattern surface of all four gate engines, so one
+/// driver can produce byte-comparable run artefacts from each.
+trait Dut {
+    fn set(&mut self, port: &str, value: Bv);
+    fn settle_now(&mut self);
+    fn step(&mut self);
+    fn out(&self, port: &str) -> LogicVec;
+    fn violation_log(&self) -> Vec<String>;
+    fn cov_on(&mut self);
+    fn cov_report(&self) -> String;
+}
+
+macro_rules! impl_dut {
+    ($ty:ty) => {
+        impl Dut for $ty {
+            fn set(&mut self, port: &str, value: Bv) {
+                self.set_input(port, value);
+            }
+            fn settle_now(&mut self) {
+                self.settle();
+            }
+            fn step(&mut self) {
+                self.tick();
+            }
+            fn out(&self, port: &str) -> LogicVec {
+                self.output_logic(port)
+            }
+            fn violation_log(&self) -> Vec<String> {
+                self.violations().iter().map(|v| format!("{v:?}")).collect()
+            }
+            fn cov_on(&mut self) {
+                self.set_coverage(true);
+            }
+            fn cov_report(&self) -> String {
+                self.coverage().expect("coverage enabled").report()
+            }
+        }
+    };
+}
+impl_dut!(GateSim<'_>);
+impl_dut!(FastGateSim<'_>);
+impl_dut!(BitGateSim<'_>);
+impl_dut!(ParGateSim<'_, '_>);
+
+/// Everything one engine produces from the shared stimulus.
+struct RunArtifacts {
+    /// Per output port, the four-valued value after every settle and
+    /// every clock edge.
+    traces: Vec<(String, Vec<LogicVec>)>,
+    violations: Vec<String>,
+    coverage_map: String,
+    vcd: Vec<u8>,
+}
+
+/// Drives 300 cycles of seeded noise (including out-of-range memory
+/// addresses) and collects the run's comparable artefacts.
+fn drive(sim: &mut dyn Dut, ports: &[&str]) -> RunArtifacts {
+    sim.cov_on();
+    let mut traces: Vec<(String, Vec<LogicVec>)> =
+        ports.iter().map(|p| ((*p).to_owned(), Vec::new())).collect();
+    let mut rng = Rng::new(0x9A97_2004);
+    for _ in 0..300 {
+        let din = rng.next_u64() & 0xFF;
+        let wen = rng.next_u64() & 1;
+        let waddr = rng.next_u64() & 7; // 5-word memory: 6/7 out of range
+        let raddr = rng.next_u64() & 7;
+        for (port, val, w) in [
+            ("din", din, 8u32),
+            ("wen", wen, 1),
+            ("waddr", waddr, 3),
+            ("raddr", raddr, 3),
+        ] {
+            sim.set(port, Bv::new(val, w));
+        }
+        sim.settle_now();
+        for (p, t) in &mut traces {
+            t.push(sim.out(p));
+        }
+        sim.step();
+        for (p, t) in &mut traces {
+            t.push(sim.out(p));
+        }
+    }
+    RunArtifacts {
+        vcd: render_vcd(&traces),
+        violations: sim.violation_log(),
+        coverage_map: sim.cov_report(),
+        traces,
+    }
+}
+
+/// A minimal test-local VCD renderer: one `$var` per port, one `#` stamp
+/// per sample, four-valued values rendered as VCD binary vectors. Two
+/// engines agree byte-for-byte iff their sampled waveforms do.
+fn render_vcd(traces: &[(String, Vec<LogicVec>)]) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let mut out = String::from("$timescale 1ns $end\n$scope module dut $end\n");
+    for (k, (port, t)) in traces.iter().enumerate() {
+        let width = t.first().map_or(0, LogicVec::width);
+        let _ = writeln!(out, "$var wire {width} s{k} {port} $end");
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+    let samples = traces.first().map_or(0, |(_, t)| t.len());
+    for i in 0..samples {
+        let _ = writeln!(out, "#{i}");
+        for (k, (_, t)) in traces.iter().enumerate() {
+            let _ = writeln!(out, "b{} s{k}", t[i]);
+        }
+    }
+    out.into_bytes()
+}
+
+fn assert_same(name: &str, reference: &RunArtifacts, candidate: &RunArtifacts) {
+    for ((port, l), (_, r)) in reference.traces.iter().zip(&candidate.traces) {
+        if let Some(d) = first_divergence(port, l, r) {
+            panic!("{name}: {d}");
+        }
+    }
+    if let Some(d) =
+        first_divergence("violations", &reference.violations, &candidate.violations)
+    {
+        panic!("{name}: {d}");
+    }
+    assert_eq!(
+        reference.coverage_map, candidate.coverage_map,
+        "{name}: toggle-coverage maps differ"
+    );
+    assert_eq!(reference.vcd, candidate.vcd, "{name}: VCD bytes differ");
+}
+
+#[test]
+fn partitioned_matches_every_engine_on_acc_mem() {
+    let nl = build_dut();
+    let lib = CellLibrary::generic_025u();
+    let prog = GateProgram::compile(&nl).expect("acyclic netlist compiles");
+    let ports = ["acc", "dout"];
+
+    let mut ev = GateSim::new(&nl, &lib);
+    let reference = drive(&mut ev, &ports);
+    assert!(
+        !reference.violations.is_empty(),
+        "noise must hit bad addresses"
+    );
+
+    let mut fast = FastGateSim::new(&nl).expect("acyclic netlist levelizes");
+    assert_same("fast vs event", &reference, &drive(&mut fast, &ports));
+    let mut bp = prog.simulator();
+    assert_same("bitpar vs event", &reference, &drive(&mut bp, &ports));
+    for threads in thread_ladder() {
+        let run = ParGateSim::with(&prog, threads, 1, |sim| drive(sim, &ports));
+        assert_same(
+            &format!("partitioned({threads} threads) vs event"),
+            &reference,
+            &run,
+        );
+    }
+}
+
+#[test]
+fn partitioned_stats_match_bitpar_at_every_thread_count() {
+    let nl = build_dut();
+    let prog = GateProgram::compile(&nl).expect("acyclic netlist compiles");
+    let ports = ["acc", "dout"];
+    let mut bp = prog.simulator();
+    drive(&mut bp, &ports);
+    let reference = bp.stats();
+    for threads in thread_ladder() {
+        let stats = ParGateSim::with(&prog, threads, 1, |sim| {
+            drive(sim, &ports);
+            sim.stats()
+        });
+        assert_eq!(
+            stats, reference,
+            "deterministic engine counters must not depend on {threads}-way threading"
+        );
+    }
+}
+
+/// A random acyclic netlist: single-bit inputs, random gates, a few
+/// flops, every net observable through one wide output port.
+fn random_netlist(rng: &mut Rng, n_inputs: usize, n_gates: usize) -> GateNetlist {
+    const KINDS: [CellKind; 9] = [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+    ];
+    let mut b = NetlistBuilder::new("rand");
+    let mut nets: Vec<GNetId> = (0..n_inputs)
+        .map(|i| b.input_port(&format!("i{i}"), 1)[0])
+        .collect();
+    nets.push(b.const0());
+    nets.push(b.const1());
+    for g in 0..n_gates {
+        let kind = KINDS[rng.index(KINDS.len())];
+        let ins: Vec<GNetId> = (0..kind.input_count())
+            .map(|_| nets[rng.index(nets.len())])
+            .collect();
+        let out = b.cell(kind, &ins);
+        nets.push(out);
+        if g % 7 == 3 {
+            nets.push(b.dff(out, rng.bool()));
+        }
+    }
+    let observable: Vec<GNetId> = nets[n_inputs + 2..].to_vec();
+    b.output_port("o", &observable);
+    b.build()
+}
+
+#[test]
+fn x_propagation_matches_bitpar_on_random_netlists() {
+    let mut rng = Rng::new(0x0DD5_EED5);
+    for trial in 0..12 {
+        let nl = random_netlist(&mut rng, 6, 40);
+        let prog = GateProgram::compile(&nl).expect("builder netlists are acyclic");
+        let threads = 1 + (trial % 4);
+        ParGateSim::with(&prog, threads, 1, |par| {
+            let mut bp = prog.simulator();
+            for cycle in 0..25 {
+                // A third of the pokes are skipped, so those inputs stay
+                // unknown and X must flow identically through both.
+                for i in 0..6 {
+                    if rng.index(3) == 0 {
+                        continue;
+                    }
+                    let v = Bv::new(rng.next_u64() & 1, 1);
+                    bp.set_input(&format!("i{i}"), v);
+                    par.set_input(&format!("i{i}"), v);
+                }
+                bp.settle();
+                par.settle();
+                assert_eq!(
+                    bp.output_logic("o"),
+                    par.output_logic("o"),
+                    "four-valued outputs diverged, trial {trial}, cycle {cycle}"
+                );
+                bp.tick();
+                par.tick();
+                assert_eq!(
+                    bp.output_logic("o"),
+                    par.output_logic("o"),
+                    "four-valued outputs diverged after edge, trial {trial}, cycle {cycle}"
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn scan_shift_protocol_matches_bitpar() {
+    // The scan-stitched acc_mem: shift a random chain image in, capture
+    // one functional cycle, shift it back out — the partitioned engine's
+    // scan dispatch must track the bit-parallel engine exactly.
+    let nl = insert_scan_chain(&build_dut());
+    let prog = GateProgram::compile(&nl).expect("scan netlist compiles");
+    let flops = nl.flop_count();
+    for threads in thread_ladder() {
+        ParGateSim::with(&prog, threads, 1, |par| {
+            let mut bp = prog.simulator();
+            let mut rng = Rng::new(0x5CA9_0001 + threads as u64);
+            for round in 0..4 {
+                bp.set_input("scan_en", Bv::bit(true));
+                par.set_input("scan_en", Bv::bit(true));
+                for _ in 0..flops {
+                    let bit = rng.bool();
+                    bp.set_input("scan_in", Bv::bit(bit));
+                    par.set_input("scan_in", Bv::bit(bit));
+                    bp.tick();
+                    par.tick();
+                    assert_eq!(
+                        bp.output_logic("scan_out"),
+                        par.output_logic("scan_out"),
+                        "scan_out diverged mid-shift, round {round}"
+                    );
+                }
+                bp.set_input("scan_en", Bv::zero(1));
+                par.set_input("scan_en", Bv::zero(1));
+                for (port, w) in [("din", 8u32), ("wen", 1), ("waddr", 3), ("raddr", 3)] {
+                    let v = Bv::new(rng.next_u64(), w);
+                    bp.set_input(port, v);
+                    par.set_input(port, v);
+                }
+                bp.tick();
+                par.tick();
+                for port in ["acc", "dout"] {
+                    assert_eq!(
+                        bp.output_logic(port),
+                        par.output_logic(port),
+                        "`{port}` diverged after capture, round {round}"
+                    );
+                }
+            }
+            assert_eq!(bp.violations(), par.violations());
+        });
+    }
+}

@@ -1,0 +1,199 @@
+//! Property tests for the netlist partitioner: on testkit-random
+//! netlists, every instruction lands in exactly one shard, shard load
+//! imbalance stays within 20%, every cut edge appears in the
+//! boundary-exchange plan with its publish phase strictly before its
+//! import phase, and each shard preserves the global levelized order.
+//! Failures shrink to a minimal `(seed, inputs, gates, shards)` tuple
+//! and print the reproducing `SCFLOW_PROPTEST_SEED`.
+
+use scflow_gate::{CellKind, GNetId, GateNetlist, GateProgram, NetlistBuilder, Partition};
+use scflow_testkit::prop::{check, ints};
+use scflow_testkit::{prop_assert, prop_assert_eq, Rng};
+
+/// A random acyclic netlist (the bitpar differential's generator):
+/// single-bit inputs, random gates over existing nets, a few flops,
+/// everything observable through one wide output port.
+fn random_netlist(seed: u64, n_inputs: usize, n_gates: usize) -> GateNetlist {
+    const KINDS: [CellKind; 9] = [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+    ];
+    let mut rng = Rng::new(seed | 1);
+    let mut b = NetlistBuilder::new("rand");
+    let mut nets: Vec<GNetId> = (0..n_inputs)
+        .map(|i| b.input_port(&format!("i{i}"), 1)[0])
+        .collect();
+    nets.push(b.const0());
+    nets.push(b.const1());
+    for g in 0..n_gates {
+        let kind = KINDS[rng.index(KINDS.len())];
+        let ins: Vec<GNetId> = (0..kind.input_count())
+            .map(|_| nets[rng.index(nets.len())])
+            .collect();
+        let out = b.cell(kind, &ins);
+        nets.push(out);
+        if g % 7 == 3 {
+            nets.push(b.dff(out, rng.bool()));
+        }
+    }
+    let observable: Vec<GNetId> = nets[n_inputs + 2..].to_vec();
+    b.output_port("o", &observable);
+    b.build()
+}
+
+/// `(netlist seed, input count, gate count, requested shards)`.
+fn cases() -> impl scflow_testkit::Strategy<Value = (u64, usize, usize, usize)> {
+    (
+        ints(0u64..=u64::MAX),
+        ints(1usize..=6),
+        ints(1usize..=80),
+        ints(1usize..=8),
+    )
+}
+
+#[test]
+fn every_instruction_is_assigned_exactly_once() {
+    check("partition covers the stream", &cases(), |&(seed, ni, ng, shards)| {
+        let nl = random_netlist(seed, ni, ng);
+        let prog = GateProgram::compile(&nl).expect("builder netlists are acyclic");
+        let part = Partition::new(&prog, shards);
+        let mut all: Vec<usize> = (0..part.shard_count())
+            .flat_map(|s| part.shard_instrs(s))
+            .collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..prog.instr_count()).collect::<Vec<_>>());
+        prop_assert_eq!(part.loads().iter().sum::<usize>(), prog.instr_count());
+        Ok(())
+    });
+}
+
+#[test]
+fn shard_load_imbalance_stays_under_20_percent() {
+    check("partition balance", &cases(), |&(seed, ni, ng, shards)| {
+        let nl = random_netlist(seed, ni, ng);
+        let prog = GateProgram::compile(&nl).expect("builder netlists are acyclic");
+        let part = Partition::new(&prog, shards);
+        let loads = part.loads();
+        let total: usize = loads.iter().sum();
+        let n = part.shard_count();
+        // 20% over a perfectly even split, with the one-instruction
+        // granularity floor (tiny programs cannot split any finer).
+        let cap = ((total as f64 / n as f64) * 1.2).ceil() as usize;
+        let cap = cap.max(total.div_ceil(n));
+        let max = loads.iter().copied().max().unwrap_or(0);
+        prop_assert!(
+            max <= cap,
+            "shard load {max} exceeds 20% over even split ({cap}); loads {loads:?}"
+        );
+        prop_assert!(loads.iter().all(|&l| l >= 1), "empty shard in {loads:?}");
+        Ok(())
+    });
+}
+
+#[test]
+fn every_cut_edge_is_in_the_exchange_plan() {
+    check("cut edges exchanged", &cases(), |&(seed, ni, ng, shards)| {
+        let nl = random_netlist(seed, ni, ng);
+        let prog = GateProgram::compile(&nl).expect("builder netlists are acyclic");
+        let part = Partition::new(&prog, shards);
+        let cut = part.cut_nets();
+        // Producer instruction per net; nets without one are
+        // coordinator-owned and never need exchanging.
+        let mut producer = vec![None; nl.net_count()];
+        for i in 0..prog.instr_count() {
+            for net in prog.instr_outputs(i) {
+                producer[net] = Some(i);
+            }
+        }
+        for i in 0..prog.instr_count() {
+            let s = part.shard_of_instr(i);
+            for net in prog.instr_inputs(i) {
+                let Some(p) = producer[net] else { continue };
+                if part.shard_of_instr(p) == s {
+                    continue;
+                }
+                prop_assert!(cut.contains(&net), "cut is missing net {net}");
+                let owner = part.shard_of_instr(p);
+                prop_assert!(
+                    part.publish_plan(owner)
+                        .iter()
+                        .any(|&(ph, n)| n == net && ph == part.instr_phase(p)),
+                    "shard {owner} never publishes net {net}"
+                );
+                let import = part
+                    .import_plan(s)
+                    .into_iter()
+                    .find(|&(_, n)| n == net);
+                let Some((import_phase, _)) = import else {
+                    return Err(format!("shard {s} never imports net {net}"));
+                };
+                prop_assert!(
+                    part.instr_phase(p) < import_phase && import_phase <= part.instr_phase(i),
+                    "net {net}: publish phase {} not before import phase {import_phase} \
+                     (consumer phase {})",
+                    part.instr_phase(p),
+                    part.instr_phase(i)
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn shards_preserve_the_levelized_order() {
+    check("levelized order kept", &cases(), |&(seed, ni, ng, shards)| {
+        let nl = random_netlist(seed, ni, ng);
+        let prog = GateProgram::compile(&nl).expect("builder netlists are acyclic");
+        let part = Partition::new(&prog, shards);
+        for s in 0..part.shard_count() {
+            let order = part.shard_instrs(s);
+            for w in order.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                // Execution order is (phase, global stream index)
+                // lexicographic: within a phase the shard replays a
+                // subsequence of the serial engines' levelized stream.
+                prop_assert!(
+                    part.instr_phase(a) < part.instr_phase(b)
+                        || (part.instr_phase(a) == part.instr_phase(b) && a < b),
+                    "shard {s} runs instr {b} (phase {}) after {a} (phase {})",
+                    part.instr_phase(b),
+                    part.instr_phase(a)
+                );
+                prop_assert!(
+                    part.instr_level(a) <= part.instr_level(b)
+                        || part.instr_phase(a) == part.instr_phase(b),
+                    "levels regress across a phase boundary in shard {s}"
+                );
+            }
+            // Same-shard dataflow edges execute producer-first.
+            let pos: std::collections::HashMap<usize, usize> =
+                order.iter().enumerate().map(|(k, &i)| (i, k)).collect();
+            let mut producer = vec![None; nl.net_count()];
+            for i in 0..prog.instr_count() {
+                for net in prog.instr_outputs(i) {
+                    producer[net] = Some(i);
+                }
+            }
+            for &i in &order {
+                for net in prog.instr_inputs(i) {
+                    let Some(p) = producer[net] else { continue };
+                    if p != i && part.shard_of_instr(p) == s {
+                        prop_assert!(
+                            pos[&p] < pos[&i],
+                            "shard {s} consumes net {net} before producing it"
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    });
+}

@@ -57,6 +57,25 @@ impl Profiler {
         self.spans[idx].ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     }
 
+    /// Records an externally measured, already-completed span of `ns`
+    /// nanoseconds as a child of the currently open span (or as a root)
+    /// and returns its index.
+    ///
+    /// Intended for durations measured on other threads (e.g. per-shard
+    /// wall times from a partitioned run). Because such spans may
+    /// overlap in wall time, the parent-covers-children invariant does
+    /// *not* extend to them; [`self_ns`](Profiler::self_ns) saturates
+    /// to zero rather than underflow.
+    pub fn record(&mut self, name: &str, ns: u64) -> usize {
+        let idx = self.spans.len();
+        self.spans.push(Span {
+            name: name.to_owned(),
+            parent: self.stack.last().map(|&(i, _)| i),
+            ns,
+        });
+        idx
+    }
+
     /// Runs `f` inside a span named `name`.
     pub fn scope<R>(&mut self, name: &str, f: impl FnOnce(&mut Profiler) -> R) -> R {
         self.enter(name);

@@ -1,0 +1,104 @@
+//! Per-shard execution counters for partitioned (multi-threaded)
+//! simulation.
+//!
+//! Each worker thread of a partitioned engine keeps one [`ShardObs`]
+//! privately (no synchronisation on the hot path) and publishes a
+//! snapshot at the end of every sweep. The instruction / publish /
+//! import counters are functions of the partition alone and therefore
+//! deterministic for a fixed design and thread count; only the
+//! barrier-wait [`Histogram`] carries wall-clock, so it is kept out of
+//! [`ShardObs::register_into`]'s deterministic subset.
+
+use crate::metrics::{Histogram, MetricsRegistry};
+
+/// Counters one partitioned-engine worker accumulates over its life.
+#[derive(Clone, Debug, Default)]
+pub struct ShardObs {
+    /// Shard (worker) index.
+    pub shard: usize,
+    /// Gate/mem-read instructions executed (full or scan sub-program).
+    pub instrs: u64,
+    /// Sweeps (full settle passes) this worker participated in.
+    pub sweeps: u64,
+    /// Boundary-net values published to exchange slots.
+    pub publishes: u64,
+    /// Boundary-net values imported from exchange slots.
+    pub imports: u64,
+    /// Nanoseconds spent waiting at each phase/finish barrier —
+    /// wall-clock, hence *not* part of the deterministic metrics set.
+    pub barrier_wait: Histogram,
+}
+
+impl ShardObs {
+    /// A zeroed observer for shard `shard`.
+    pub fn new(shard: usize) -> Self {
+        ShardObs {
+            shard,
+            ..ShardObs::default()
+        }
+    }
+
+    /// Folds another shard's counters into this one (associative and
+    /// commutative, like [`Histogram::merge`]). The shard index of
+    /// `self` is kept.
+    pub fn merge(&mut self, other: &ShardObs) {
+        self.instrs += other.instrs;
+        self.sweeps = self.sweeps.max(other.sweeps);
+        self.publishes += other.publishes;
+        self.imports += other.imports;
+        self.barrier_wait.merge(&other.barrier_wait);
+    }
+
+    /// Registers the deterministic counters under
+    /// `<prefix>.shard<N>.*`. The barrier-wait histogram is wall-clock
+    /// and deliberately excluded — merge it into a registry explicitly
+    /// via [`MetricsRegistry::merge_histogram`] when a non-deterministic
+    /// section is acceptable.
+    pub fn register_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        let base = format!("{prefix}.shard{}", self.shard);
+        reg.set_counter(&format!("{base}.instrs"), self.instrs);
+        reg.set_counter(&format!("{base}.sweeps"), self.sweeps);
+        reg.set_counter(&format!("{base}.publishes"), self.publishes);
+        reg.set_counter(&format!("{base}.imports"), self.imports);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters_and_waits() {
+        let mut a = ShardObs::new(0);
+        a.instrs = 10;
+        a.sweeps = 2;
+        a.publishes = 3;
+        a.barrier_wait.record(100);
+        let mut b = ShardObs::new(1);
+        b.instrs = 5;
+        b.sweeps = 2;
+        b.imports = 4;
+        b.barrier_wait.record(50);
+        a.merge(&b);
+        assert_eq!(a.shard, 0);
+        assert_eq!(a.instrs, 15);
+        assert_eq!(a.sweeps, 2);
+        assert_eq!(a.publishes, 3);
+        assert_eq!(a.imports, 4);
+        assert_eq!(a.barrier_wait.count(), 2);
+        assert_eq!(a.barrier_wait.sum(), 150);
+    }
+
+    #[test]
+    fn registers_deterministic_subset_only() {
+        let mut o = ShardObs::new(2);
+        o.instrs = 7;
+        o.barrier_wait.record(12345);
+        let mut reg = MetricsRegistry::new();
+        o.register_into(&mut reg, "gate.partitioned");
+        assert_eq!(reg.counter("gate.partitioned.shard2.instrs"), Some(7));
+        assert_eq!(reg.counter("gate.partitioned.shard2.sweeps"), Some(0));
+        let json = reg.to_json_object(0);
+        assert!(!json.contains("barrier"), "{json}");
+    }
+}

@@ -29,6 +29,9 @@ pub struct BenchResult {
     /// Simulated cycles per wall second, from the *median* iteration —
     /// the paper's Figure 8/9 metric.
     pub cycles_per_sec: Option<f64>,
+    /// Worker threads the benchmarked workload ran on (`None`, emitted
+    /// as JSON `null`, for serial rows).
+    pub threads: Option<u32>,
     /// Extra named metrics carried into the JSON output.
     pub metrics: Vec<(String, f64)>,
 }
@@ -130,6 +133,7 @@ impl Harness {
             mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
             cycles,
             cycles_per_sec: cycles.map(|c| c as f64 / (med / 1e9).max(1e-12)),
+            threads: None,
             metrics: Vec::new(),
         };
         self.results.push(result);
@@ -140,6 +144,14 @@ impl Harness {
     pub fn metric(&mut self, key: &str, value: f64) {
         if let Some(last) = self.results.last_mut() {
             last.metrics.push((key.to_owned(), value));
+        }
+    }
+
+    /// Records the worker-thread count of the most recent result
+    /// (serial rows keep the default `null`).
+    pub fn set_threads(&mut self, threads: u32) {
+        if let Some(last) = self.results.last_mut() {
+            last.threads = Some(threads);
         }
     }
 
@@ -189,6 +201,11 @@ impl Harness {
                 json_num(r.mean_ns),
                 r.cycles.map_or("null".to_owned(), |c| c.to_string()),
                 r.cycles_per_sec.map_or("null".to_owned(), json_num),
+            );
+            let _ = write!(
+                out,
+                ", \"threads\": {}",
+                r.threads.map_or("null".to_owned(), |t| t.to_string())
             );
             for (k, v) in &r.metrics {
                 let _ = write!(out, ", {}: {}", json_str(k), json_num(*v));
@@ -297,11 +314,15 @@ mod tests {
         };
         h.bench_cycles("m", || 10);
         h.metric("outputs", 42.0);
+        h.bench_cycles("m4", || 10);
+        h.set_threads(4);
         let j = h.to_json();
         assert!(j.contains("\"group\": \"fig\\\"8\""));
         assert!(j.contains("\"cycles\": 10"));
         assert!(j.contains("\"outputs\": 42"));
         assert!(j.contains("\"cycles_per_sec\": "));
+        assert!(j.contains("\"threads\": null"));
+        assert!(j.contains("\"threads\": 4"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 

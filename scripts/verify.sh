@@ -41,9 +41,27 @@ echo "== flow profile smoke run =="
 # Profiles all three flow phases; exits non-zero on any phase failure.
 cargo run --release --offline -p scflow-bench --bin tables -- --profile
 
+echo "== partition property tests (pinned seed) =="
+# The partitioner's invariants (full coverage, <=20% imbalance, complete
+# boundary-exchange plan, levelized order) on a reproducible random-case
+# stream: the pinned seed makes a CI failure replayable verbatim.
+SCFLOW_PROPTEST_SEED=0x5CF10F60 SCFLOW_PROPTEST_CASES=64 \
+    cargo test --release -q --offline -p scflow-gate --test partition_properties
+
+echo "== multi-thread determinism: differential suite at 1 and 4 threads =="
+# The partitioned engine must be byte-identical to the serial engines
+# (outputs, violations, coverage maps, VCD bytes) regardless of
+# SCFLOW_SIM_THREADS — including oversubscribed counts on small hosts.
+for t in 1 4; do
+    SCFLOW_SIM_THREADS="$t" \
+        cargo test --release -q --offline -p scflow-gate --test par_differential
+    SCFLOW_SIM_THREADS="$t" \
+        cargo test --release -q --offline -p scflow --test engine_differential
+done
+
 echo "== coverage determinism =="
 # Two --coverage runs must emit byte-identical METRICS.json (per-net
-# toggle maps identical across all five engines, metric names stable,
+# toggle maps identical across all six engines, metric names stable,
 # no wall-clock in the deterministic section).
 covdir="$(mktemp -d)"
 trap 'rm -rf "$covdir"' EXIT
@@ -54,6 +72,18 @@ SCFLOW_BENCH_DIR="$covdir/b" \
     cargo run --release --offline -p scflow-bench --bin tables -- --coverage >/dev/null
 cmp "$covdir/a/METRICS.json" "$covdir/b/METRICS.json"
 echo "ok: METRICS.json byte-identical across runs"
+
+echo "== coverage determinism across thread counts =="
+# The same artifact must also be byte-identical when the partitioned
+# engine runs on different worker-thread counts: thread scheduling must
+# never leak into any deterministic metric.
+mkdir -p "$covdir/t1" "$covdir/t4"
+SCFLOW_BENCH_DIR="$covdir/t1" SCFLOW_SIM_THREADS=1 \
+    cargo run --release --offline -p scflow-bench --bin tables -- --coverage >/dev/null
+SCFLOW_BENCH_DIR="$covdir/t4" SCFLOW_SIM_THREADS=4 \
+    cargo run --release --offline -p scflow-bench --bin tables -- --coverage >/dev/null
+cmp "$covdir/t1/METRICS.json" "$covdir/t4/METRICS.json"
+echo "ok: METRICS.json byte-identical at 1 and 4 simulation threads"
 
 echo "== metrics overhead guard =="
 # With metrics disabled the engines pay one branch per cycle for the
