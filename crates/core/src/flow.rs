@@ -114,6 +114,63 @@ impl fmt::Display for GateEngine {
     }
 }
 
+/// Configuration of the `scflow-serve` simulation service, following
+/// the same knob convention as the engine selectors above: every field
+/// has an `SCFLOW_*` environment variable and a safe default.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// TCP listen address (`SCFLOW_SERVE_ADDR`, e.g. `127.0.0.1:7450`).
+    /// `None` — the default — serves the JSON-lines protocol over
+    /// stdin/stdout instead of a socket.
+    pub addr: Option<String>,
+    /// Maximum concurrent sessions, each on its own worker thread
+    /// (`SCFLOW_SERVE_THREADS`, default 4, clamped to 1..=64). Opening
+    /// a session beyond the cap is refused with a `server_busy` error
+    /// rather than queued, so a stuck client cannot wedge the pool.
+    pub threads: usize,
+    /// Compiled-design cache capacity in programs (`SCFLOW_CACHE_CAP`,
+    /// default 8, minimum 1). Beyond it the least-recently-used entry
+    /// not pinned by a live session is evicted.
+    pub cache_cap: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: None,
+            threads: 4,
+            cache_cap: 8,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Reads the service configuration from `SCFLOW_SERVE_ADDR`,
+    /// `SCFLOW_SERVE_THREADS` and `SCFLOW_CACHE_CAP`. Unset, empty or
+    /// unparsable values fall back to the defaults; out-of-range counts
+    /// are clamped rather than rejected.
+    pub fn from_env() -> Self {
+        let d = ServeOptions::default();
+        let addr = match std::env::var("SCFLOW_SERVE_ADDR") {
+            Ok(v) if !v.trim().is_empty() => Some(v.trim().to_owned()),
+            _ => None,
+        };
+        let threads = std::env::var("SCFLOW_SERVE_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map_or(d.threads, |n| n.clamp(1, 64));
+        let cache_cap = std::env::var("SCFLOW_CACHE_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map_or(d.cache_cap, |n| n.max(1));
+        ServeOptions {
+            addr,
+            threads,
+            cache_cap,
+        }
+    }
+}
+
 /// One row of the Figure 10 table.
 #[derive(Clone, Debug)]
 pub struct AreaRow {

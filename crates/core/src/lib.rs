@@ -80,7 +80,7 @@ pub mod prelude {
     pub use crate::error::ScflowError;
     pub use crate::flow::{
         run_area_flow, validate_all_levels, validate_all_levels_with, validate_module,
-        validate_module_with, AreaFigure, SimEngine,
+        validate_module_with, AreaFigure, ServeOptions, SimEngine,
     };
     pub use crate::models::harness::{run_fixed, run_handshake};
     pub use crate::verify::{compare_bit_accurate, GoldenVectors};

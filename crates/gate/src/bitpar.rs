@@ -123,7 +123,7 @@ pub(crate) fn eval_gate(
 /// up to 64 lanes it evaluates that many independent patterns per
 /// instruction — the substrate of PPSFP fault simulation.
 pub struct BitGateSim<'p> {
-    prog: &'p GateProgram<'p>,
+    prog: &'p GateProgram,
     lanes: u32,
     /// Value plane per net (bit *i* = lane *i*).
     val: Vec<u64>,
@@ -149,12 +149,12 @@ pub struct BitGateSim<'p> {
 }
 
 impl<'p> BitGateSim<'p> {
-    pub(crate) fn new(prog: &'p GateProgram<'p>, lanes: u32) -> Self {
+    pub(crate) fn new(prog: &'p GateProgram, lanes: u32) -> Self {
         assert!(
             (1..=64).contains(&lanes),
             "BitGateSim supports 1..=64 lanes, got {lanes}"
         );
-        let nl = prog.nl;
+        let nl = &*prog.nl;
         let mut mems = Vec::with_capacity(nl.memories().len());
         for mem in nl.memories() {
             let mut words = Vec::with_capacity(mem.words() * lanes as usize);
@@ -187,7 +187,7 @@ impl<'p> BitGateSim<'p> {
     /// Drives constants and flop power-on values, everything else unknown,
     /// then settles.
     fn power_on(&mut self) {
-        let nl = self.prog.nl;
+        let nl = &*self.prog.nl;
         self.val.fill(0);
         self.unk.fill(!0);
         self.val[nl.const0().0] = 0;
@@ -211,7 +211,7 @@ impl<'p> BitGateSim<'p> {
     /// init values, memories reloaded in every lane, counters, violations
     /// and any injected fault cleared — without recompiling the program.
     pub fn reset(&mut self) {
-        let nl = self.prog.nl;
+        let nl = &*self.prog.nl;
         for (m, mem) in nl.memories().iter().enumerate() {
             let lanes = self.lanes as usize;
             for (a, w) in mem.init.iter().enumerate() {
@@ -225,11 +225,19 @@ impl<'p> BitGateSim<'p> {
         self.stats = GateSimStats::default();
         self.violations.clear();
         self.power_on();
+        if let Some(cov) = self.coverage.as_deref_mut() {
+            cov.clear();
+            let (nl, val, unk) = (&*self.prog.nl, &self.val, &self.unk);
+            cov.sample_with(|i| {
+                let n = nl.instances()[i].output.0;
+                (val[n] & 1, !unk[n] & 1)
+            });
+        }
     }
 
     /// The netlist this simulator runs.
     pub fn netlist(&self) -> &'p GateNetlist {
-        self.prog.nl
+        &self.prog.nl
     }
 
     /// Number of pattern lanes.
@@ -277,7 +285,7 @@ impl<'p> BitGateSim<'p> {
         value: Bv,
     ) -> Result<(), scflow_sim_api::SimError> {
         use scflow_sim_api::SimError;
-        let nl = self.prog.nl;
+        let nl = &*self.prog.nl;
         let bits = nl
             .input_port(name)
             .ok_or_else(|| SimError::UnknownPort(name.to_string()))?;
@@ -313,7 +321,7 @@ impl<'p> BitGateSim<'p> {
     ///
     /// Panics if the port does not exist or is wider than one bit.
     pub fn set_input_word(&mut self, name: &str, word: u64) {
-        let nl = self.prog.nl;
+        let nl = &*self.prog.nl;
         let bits = nl
             .input_port(name)
             .unwrap_or_else(|| panic!("no input port `{name}`"));
@@ -330,7 +338,7 @@ impl<'p> BitGateSim<'p> {
     /// out of range.
     pub fn set_input_lane(&mut self, name: &str, lane: u32, value: Bv) {
         assert!(lane < self.lanes, "lane {lane} out of range");
-        let nl = self.prog.nl;
+        let nl = &*self.prog.nl;
         let bits = nl
             .input_port(name)
             .unwrap_or_else(|| panic!("no input port `{name}`"));
@@ -539,7 +547,7 @@ impl<'p> BitGateSim<'p> {
     pub fn tick(&mut self) {
         self.settle();
         let prog = self.prog;
-        let nl = prog.nl;
+        let nl = &*prog.nl;
         let cycle = self.stats.cycles;
         let lanes = self.lanes as usize;
 
@@ -660,7 +668,7 @@ impl<'p> BitGateSim<'p> {
         // this propagation must run regardless of the dirty flag.
         self.sweep();
         if let Some(cov) = self.coverage.as_deref_mut() {
-            let (nl, val, unk) = (self.prog.nl, &self.val, &self.unk);
+            let (nl, val, unk) = (&*self.prog.nl, &self.val, &self.unk);
             cov.sample_with(|i| {
                 let n = nl.instances()[i].output.0;
                 (val[n] & 1, !unk[n] & 1)
@@ -685,8 +693,8 @@ impl<'p> BitGateSim<'p> {
             self.coverage = None;
             return;
         }
-        let mut cov = crate::cov::instance_coverage(self.prog.nl);
-        let (nl, val, unk) = (self.prog.nl, &self.val, &self.unk);
+        let mut cov = crate::cov::instance_coverage(&self.prog.nl);
+        let (nl, val, unk) = (&*self.prog.nl, &self.val, &self.unk);
         cov.sample_with(|i| {
             let n = nl.instances()[i].output.0;
             (val[n] & 1, !unk[n] & 1)

@@ -13,6 +13,7 @@ use crate::celllib::CellKind;
 use crate::error::GateError;
 use crate::fastsim::{levelize, Node};
 use crate::netlist::GateNetlist;
+use std::sync::Arc;
 
 /// The shift-mode sub-program, executed instead of the full stream while
 /// the `scan_en` input is known-1 in every lane.
@@ -82,8 +83,12 @@ pub(crate) enum Instr {
 /// sim.settle();
 /// assert_eq!(sim.output("sum"), Some(Bv::bit(true)));
 /// ```
-pub struct GateProgram<'n> {
-    pub(crate) nl: &'n GateNetlist,
+pub struct GateProgram {
+    /// The source netlist, shared so any number of compiled programs,
+    /// simulators and cache entries can hold it without a lifetime tie
+    /// (the simulation service keeps programs alive in a
+    /// content-addressed cache across concurrent sessions).
+    pub(crate) nl: Arc<GateNetlist>,
     pub(crate) instrs: Vec<Instr>,
     /// Sequential instances (indices into `nl.instances()`), sampled at
     /// each clock edge.
@@ -93,15 +98,26 @@ pub struct GateProgram<'n> {
     pub(crate) scan: Option<ScanMode>,
 }
 
-impl<'n> GateProgram<'n> {
-    /// Levelizes and flattens the netlist.
+impl GateProgram {
+    /// Levelizes and flattens the netlist (cloned into shared ownership;
+    /// use [`GateProgram::compile_shared`] to avoid the clone when the
+    /// caller already holds an `Arc`).
     ///
     /// # Errors
     ///
     /// [`GateError::CombLoop`] if the combinational cells form a cycle
     /// (such netlists need the event-driven simulator's delay semantics).
-    pub fn compile(nl: &'n GateNetlist) -> Result<Self, GateError> {
-        let order = levelize(nl)?;
+    pub fn compile(nl: &GateNetlist) -> Result<Self, GateError> {
+        Self::compile_shared(Arc::new(nl.clone()))
+    }
+
+    /// Levelizes and flattens a shared netlist without copying it.
+    ///
+    /// # Errors
+    ///
+    /// [`GateError::CombLoop`] as for [`GateProgram::compile`].
+    pub fn compile_shared(nl: Arc<GateNetlist>) -> Result<Self, GateError> {
+        let order = levelize(&nl)?;
         let mut instrs = Vec::with_capacity(order.len());
         for node in order {
             match node {
@@ -128,7 +144,7 @@ impl<'n> GateProgram<'n> {
             .filter(|(_, i)| i.kind.is_sequential())
             .map(|(i, _)| i as u32)
             .collect();
-        let scan = scan_mode(nl, &instrs);
+        let scan = scan_mode(&nl, &instrs);
         Ok(GateProgram {
             nl,
             instrs,
@@ -138,8 +154,20 @@ impl<'n> GateProgram<'n> {
     }
 
     /// The netlist this program was compiled from.
-    pub fn netlist(&self) -> &'n GateNetlist {
-        self.nl
+    pub fn netlist(&self) -> &GateNetlist {
+        &self.nl
+    }
+
+    /// A new shared handle on the source netlist.
+    pub fn shared_netlist(&self) -> Arc<GateNetlist> {
+        Arc::clone(&self.nl)
+    }
+
+    /// The stable content hash of the source netlist — the
+    /// content-address under which a compiled-program cache may share
+    /// this program (see [`GateNetlist::stable_hash`]).
+    pub fn content_hash(&self) -> u64 {
+        self.nl.stable_hash()
     }
 
     /// Number of flat instructions (cells + memory read paths).
@@ -296,7 +324,7 @@ fn scan_mode(nl: &GateNetlist, instrs: &[Instr]) -> Option<ScanMode> {
     })
 }
 
-impl std::fmt::Debug for GateProgram<'_> {
+impl std::fmt::Debug for GateProgram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GateProgram")
             .field("netlist", &self.nl.name())

@@ -115,6 +115,11 @@ impl<'n> FastGateSim<'n> {
             }
         }
         self.settle();
+        if let Some(cov) = self.coverage.as_deref_mut() {
+            cov.clear();
+            let values = &self.values;
+            cov.sample_with(|i| crate::cov::logic_sample(values[nl.instances()[i].output.0]));
+        }
     }
 
     /// Activity counters (`events` counts net value changes, as in the

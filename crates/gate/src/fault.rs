@@ -572,7 +572,7 @@ fn shard_pass<S: ScanSim>(
 /// selects the partitioned engine (with that many simulation threads)
 /// instead of [`BitGateSim`] inside each shard.
 fn ppsfp(
-    prog: &GateProgram<'_>,
+    prog: &GateProgram,
     faults: &[FaultSite],
     patterns: &[ScanPattern],
     threads: usize,

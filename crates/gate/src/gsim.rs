@@ -169,6 +169,11 @@ impl<'n> GateSim<'n> {
         self.violations.clear();
         self.faults.clear();
         self.power_on();
+        if let Some(cov) = self.coverage.as_deref_mut() {
+            cov.clear();
+            let (nl, values) = (self.nl, &self.values);
+            cov.sample_with(|i| crate::cov::logic_sample(values[nl.instances[i].output.0]));
+        }
     }
 
     /// Drives constants and power-on flop values into a fresh value array.

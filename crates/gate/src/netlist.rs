@@ -136,6 +136,73 @@ impl GateNetlist {
         self.instances.len() - self.flop_count()
     }
 
+    /// A stable 64-bit content hash over everything that affects
+    /// simulation semantics: nets, cells (kind, pins, power-on values),
+    /// ports, memory macros and the constant nets.
+    ///
+    /// Two netlists with equal structure hash equally regardless of the
+    /// process that built them — the content address under which the
+    /// simulation service shares one compiled [`crate::GateProgram`]
+    /// across concurrent sessions. Instance and net *names* are included
+    /// (they name coverage items and violation records, which are part
+    /// of the observable behaviour).
+    pub fn stable_hash(&self) -> u64 {
+        use scflow_hwtypes::Fnv64;
+        let mut h = Fnv64::new();
+        h.write_str("gate-netlist-v1");
+        h.write_str(&self.name);
+        h.write_usize(self.net_names.len());
+        for n in &self.net_names {
+            h.write_str(n);
+        }
+        h.write_usize(self.instances.len());
+        for inst in &self.instances {
+            h.write_str(&inst.name);
+            h.write_u8(inst.kind as u8);
+            h.write_usize(inst.inputs.len());
+            for i in &inst.inputs {
+                h.write_usize(i.0);
+            }
+            h.write_usize(inst.output.0);
+            h.write_u8(match inst.init {
+                None => 0,
+                Some(false) => 1,
+                Some(true) => 2,
+            });
+        }
+        for (label, ports) in [("in", &self.inputs), ("out", &self.outputs)] {
+            h.write_str(label);
+            h.write_usize(ports.len());
+            for (name, bits) in ports.iter() {
+                h.write_str(name);
+                h.write_usize(bits.len());
+                for b in bits {
+                    h.write_usize(b.0);
+                }
+            }
+        }
+        h.write_usize(self.memories.len());
+        for mem in &self.memories {
+            h.write_str(&mem.name);
+            h.write_u32(mem.width);
+            h.write_usize(mem.init.len());
+            for w in &mem.init {
+                h.write_u64(w.as_u64());
+            }
+            for bits in [&mem.raddr, &mem.dout, &mem.waddr, &mem.wdata] {
+                h.write_usize(bits.len());
+                for b in bits {
+                    h.write_usize(b.0);
+                }
+            }
+            h.write_u64(mem.wen.map_or(u64::MAX, |n| n.0 as u64));
+            h.write_u64(mem.read_delay_ps);
+        }
+        h.write_usize(self.const0.0);
+        h.write_usize(self.const1.0);
+        h.finish()
+    }
+
     /// Looks up an input port.
     pub fn input_port(&self, name: &str) -> Option<&[GNetId]> {
         self.inputs

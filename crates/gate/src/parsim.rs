@@ -308,7 +308,7 @@ fn reload_mems(nl: &GateNetlist, owned: &[u32], lanes: usize, mems: &mut [Vec<Bv
 
 /// The body of one worker thread: wait for a command, run the shard's
 /// phase slices with boundary exchange, export, repeat until `Exit`.
-fn worker(w: usize, prog: &GateProgram<'_>, part: &Partition, shared: &Shared, lanes: u32) {
+fn worker(w: usize, prog: &GateProgram, part: &Partition, shared: &Shared, lanes: u32) {
     let nl = prog.netlist();
     let plan = &part.plans[w];
     let lanes = lanes as usize;
@@ -420,7 +420,7 @@ fn worker(w: usize, prog: &GateProgram<'_>, part: &Partition, shared: &Shared, l
 /// cell outputs while coverage is on). Interior shard nets live in the
 /// workers and are not observable through `net_planes` between sweeps.
 pub struct ParGateSim<'p, 'sh> {
-    prog: &'p GateProgram<'p>,
+    prog: &'p GateProgram,
     part: &'sh Partition,
     shared: &'sh Shared,
     threads: usize,
@@ -450,7 +450,7 @@ impl ParGateSim<'_, '_> {
     ///
     /// Panics if `lanes` is 0 or greater than 64.
     pub fn with<R>(
-        prog: &GateProgram<'_>,
+        prog: &GateProgram,
         threads: usize,
         lanes: u32,
         f: impl FnOnce(&mut ParGateSim<'_, '_>) -> R,
@@ -520,7 +520,7 @@ impl ParGateSim<'_, '_> {
 
     /// The netlist this simulator runs.
     pub fn netlist(&self) -> &GateNetlist {
-        self.prog.nl
+        &self.prog.nl
     }
 
     /// Activity counters — `evals` counts instructions exactly like the
@@ -605,7 +605,7 @@ impl ParGateSim<'_, '_> {
     /// their init values, memories reloaded in every lane and every
     /// worker, counters, violations and any injected fault cleared.
     pub fn reset(&mut self) {
-        let nl = self.prog.nl;
+        let nl = &*self.prog.nl;
         let lanes = self.lanes as usize;
         for (m, mem) in nl.memories().iter().enumerate() {
             for (a, w) in mem.init.iter().enumerate() {
@@ -622,6 +622,14 @@ impl ParGateSim<'_, '_> {
         self.pending_mem.clear();
         power_on_planes(nl, &mut self.val, &mut self.unk);
         self.do_sweep(true);
+        if let Some(cov) = self.coverage.as_deref_mut() {
+            cov.clear();
+            let (nl, val, unk) = (&*self.prog.nl, &self.val, &self.unk);
+            cov.sample_with(|i| {
+                let n = nl.instances()[i].output.0;
+                (val[n] & 1, !unk[n] & 1)
+            });
+        }
     }
 
     /// Forces the output net of `instance` to `stuck_at` in every lane,
@@ -654,7 +662,7 @@ impl ParGateSim<'_, '_> {
         value: Bv,
     ) -> Result<(), scflow_sim_api::SimError> {
         use scflow_sim_api::SimError;
-        let nl = self.prog.nl;
+        let nl = &*self.prog.nl;
         let bits = nl
             .input_port(name)
             .ok_or_else(|| SimError::UnknownPort(name.to_string()))?;
@@ -689,7 +697,7 @@ impl ParGateSim<'_, '_> {
     ///
     /// Panics if the port does not exist or is wider than one bit.
     pub fn set_input_word(&mut self, name: &str, word: u64) {
-        let nl = self.prog.nl;
+        let nl = &*self.prog.nl;
         let bits = nl
             .input_port(name)
             .unwrap_or_else(|| panic!("no input port `{name}`"));
@@ -706,7 +714,7 @@ impl ParGateSim<'_, '_> {
     /// is out of range.
     pub fn set_input_lane(&mut self, name: &str, lane: u32, value: Bv) {
         assert!(lane < self.lanes, "lane {lane} out of range");
-        let nl = self.prog.nl;
+        let nl = &*self.prog.nl;
         let bits = nl
             .input_port(name)
             .unwrap_or_else(|| panic!("no input port `{name}`"));
@@ -822,7 +830,7 @@ impl ParGateSim<'_, '_> {
     pub fn tick(&mut self) {
         self.settle();
         let prog = self.prog;
-        let nl = prog.nl;
+        let nl = &*prog.nl;
         let cycle = self.stats.cycles;
         let lanes = self.lanes as usize;
 
@@ -945,7 +953,7 @@ impl ParGateSim<'_, '_> {
         // this propagation must run regardless of the dirty flag.
         self.do_sweep(false);
         if let Some(cov) = self.coverage.as_deref_mut() {
-            let (nl, val, unk) = (self.prog.nl, &self.val, &self.unk);
+            let (nl, val, unk) = (&*self.prog.nl, &self.val, &self.unk);
             cov.sample_with(|i| {
                 let n = nl.instances()[i].output.0;
                 (val[n] & 1, !unk[n] & 1)
@@ -970,8 +978,8 @@ impl ParGateSim<'_, '_> {
             return;
         }
         self.do_export();
-        let mut cov = crate::cov::instance_coverage(self.prog.nl);
-        let (nl, val, unk) = (self.prog.nl, &self.val, &self.unk);
+        let mut cov = crate::cov::instance_coverage(&self.prog.nl);
+        let (nl, val, unk) = (&*self.prog.nl, &self.val, &self.unk);
         cov.sample_with(|i| {
             let n = nl.instances()[i].output.0;
             (val[n] & 1, !unk[n] & 1)

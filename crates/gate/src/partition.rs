@@ -90,7 +90,7 @@ impl Partition {
     /// Partitions `prog` into `shards` balanced shards (clamped to at
     /// least 1 and at most the instruction count, so empty shards never
     /// arise on non-empty programs).
-    pub fn new(prog: &GateProgram<'_>, shards: usize) -> Partition {
+    pub fn new(prog: &GateProgram, shards: usize) -> Partition {
         let total = prog.instrs.len();
         let n = shards.max(1).min(total.max(1));
         let inputs: Vec<Vec<usize>> = (0..total).map(|i| prog.instr_inputs(i)).collect();
@@ -205,7 +205,7 @@ impl Partition {
         // nets. `all` adds every cell output and memory dout for toggle
         // coverage. Only shard-produced nets export — the rest live on
         // the coordinator already.
-        let nl = prog.nl;
+        let nl = &*prog.nl;
         let mut need_min: BTreeSet<u32> = BTreeSet::new();
         for (_, bits) in nl.outputs() {
             need_min.extend(bits.iter().map(|b| b.0 as u32));

@@ -98,6 +98,11 @@ impl Simulation for GateSim<'_> {
         }
     }
 
+    fn reset(&mut self) -> bool {
+        GateSim::reset(self);
+        true
+    }
+
     fn set_coverage(&mut self, enabled: bool) -> bool {
         GateSim::set_coverage(self, enabled);
         true
@@ -149,6 +154,11 @@ impl Simulation for BitGateSim<'_> {
             skipped: 0,
             events: s.events,
         }
+    }
+
+    fn reset(&mut self) -> bool {
+        BitGateSim::reset(self);
+        true
     }
 
     fn set_coverage(&mut self, enabled: bool) -> bool {
@@ -204,6 +214,11 @@ impl Simulation for ParGateSim<'_, '_> {
         }
     }
 
+    fn reset(&mut self) -> bool {
+        ParGateSim::reset(self);
+        true
+    }
+
     fn set_coverage(&mut self, enabled: bool) -> bool {
         ParGateSim::set_coverage(self, enabled);
         true
@@ -255,6 +270,11 @@ impl Simulation for FastGateSim<'_> {
             skipped: self.nodes_skipped(),
             events: s.events,
         }
+    }
+
+    fn reset(&mut self) -> bool {
+        FastGateSim::reset(self);
+        true
     }
 
     fn set_coverage(&mut self, enabled: bool) -> bool {

@@ -32,12 +32,14 @@
 
 mod bv;
 mod fixed;
+mod fnv;
 mod logic;
 mod sint;
 mod uint;
 
 pub use bv::Bv;
 pub use fixed::SFixed;
+pub use fnv::Fnv64;
 pub use logic::{Logic, LogicVec};
 pub use sint::SInt;
 pub use uint::UInt;

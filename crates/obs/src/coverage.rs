@@ -83,6 +83,22 @@ impl ToggleCoverage {
         self.samples += 1;
     }
 
+    /// Discards everything observed so far — transition masks, flip
+    /// counts and the previous sample — returning the collector to its
+    /// just-constructed state (the next sample primes it again). The
+    /// tracked item list is fixed at construction and survives.
+    ///
+    /// Engines call this from their `reset()` so a recycled simulator
+    /// instance never leaks a prior run's coverage into the next one.
+    pub fn clear(&mut self) {
+        self.prev_val.fill(0);
+        self.prev_known.fill(0);
+        self.rose.fill(0);
+        self.fell.fill(0);
+        self.flips.fill(0);
+        self.samples = 0;
+    }
+
     /// Number of tracked items.
     pub fn items(&self) -> usize {
         self.names.len()

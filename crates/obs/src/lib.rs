@@ -48,7 +48,7 @@ mod profile;
 mod shard;
 
 pub use coverage::ToggleCoverage;
-pub use metrics::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry};
+pub use metrics::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry, SharedHistogram};
 pub use profile::{Profiler, Span};
 pub use shard::ShardObs;
 

@@ -379,6 +379,37 @@ impl MetricsRegistry {
     }
 }
 
+/// A [`Histogram`] safe to record into from many threads.
+///
+/// The simulation service records per-request handling latency from
+/// every session worker; a plain `Histogram` is single-threaded, so
+/// this wraps one in a mutex. Recording takes the lock for a handful of
+/// integer updates — nanoseconds — which is invisible next to the
+/// request work it measures. [`snapshot`](SharedHistogram::snapshot)
+/// clones the current state out for merging into a
+/// [`MetricsRegistry`].
+#[derive(Debug, Default)]
+pub struct SharedHistogram {
+    inner: std::sync::Mutex<Histogram>,
+}
+
+impl SharedHistogram {
+    /// An empty shared histogram.
+    pub fn new() -> Self {
+        SharedHistogram::default()
+    }
+
+    /// Records one observation (lock, update, unlock).
+    pub fn record(&self, v: u64) {
+        self.inner.lock().expect("histogram lock").record(v);
+    }
+
+    /// A copy of the current distribution.
+    pub fn snapshot(&self) -> Histogram {
+        self.inner.lock().expect("histogram lock").clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,5 +465,24 @@ mod tests {
     #[should_panic(expected = "invalid metric name")]
     fn rejects_bad_name() {
         MetricsRegistry::new().set_counter("has space", 1);
+    }
+
+    #[test]
+    fn shared_histogram_records_across_threads() {
+        let h = SharedHistogram::new();
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let h = &h;
+                sc.spawn(move || {
+                    for i in 0..100 {
+                        h.record(t * 100 + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 400);
+        assert_eq!(snap.min(), Some(0));
+        assert_eq!(snap.max(), Some(399));
     }
 }

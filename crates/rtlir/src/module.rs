@@ -164,6 +164,69 @@ impl Module {
         self.net_index.get(name).copied()
     }
 
+    /// A stable 64-bit content hash over everything that affects
+    /// simulation semantics: nets, ports, combinational assignments (in
+    /// evaluation order), registers and memories.
+    ///
+    /// Two structurally equal modules hash equally regardless of the
+    /// process that built them — the content address under which the
+    /// simulation service shares one compiled
+    /// [`CompiledProgram`](crate::CompiledProgram) across concurrent
+    /// sessions. The (unordered) name index is deliberately excluded;
+    /// expressions are folded via their canonical debug rendering, which
+    /// spells out every operator, operand net and constant.
+    pub fn stable_hash(&self) -> u64 {
+        use scflow_hwtypes::Fnv64;
+        let mut h = Fnv64::new();
+        h.write_str("rtl-module-v1");
+        h.write_str(&self.name);
+        h.write_usize(self.nets.len());
+        for n in &self.nets {
+            h.write_str(&n.name);
+            h.write_u32(n.width);
+        }
+        h.write_usize(self.ports.len());
+        for p in &self.ports {
+            h.write_str(&p.name);
+            h.write_u8(match p.dir {
+                PortDir::Input => 0,
+                PortDir::Output => 1,
+            });
+            h.write_usize(p.net.0);
+            h.write_u32(p.width);
+        }
+        h.write_usize(self.comb_targets.len());
+        for (t, e) in self.comb_targets.iter().zip(&self.comb_exprs) {
+            h.write_usize(t.0);
+            h.write_str(&format!("{e:?}"));
+        }
+        h.write_usize(self.comb_order.len());
+        for &i in &self.comb_order {
+            h.write_usize(i);
+        }
+        h.write_usize(self.regs.len());
+        for r in &self.regs {
+            h.write_usize(r.q.0);
+            h.write_str(&format!("{:?}", r.next));
+            h.write_u64(r.init.as_u64());
+            h.write_u32(r.init.width());
+        }
+        h.write_usize(self.mems.len());
+        for m in &self.mems {
+            h.write_str(&m.name);
+            h.write_u32(m.width);
+            h.write_usize(m.init.len());
+            for w in &m.init {
+                h.write_u64(w.as_u64());
+            }
+            h.write_usize(m.write_ports.len());
+            for wp in &m.write_ports {
+                h.write_str(&format!("{:?} {:?} {:?}", wp.addr, wp.data, wp.enable));
+            }
+        }
+        h.finish()
+    }
+
     /// The width of a net.
     ///
     /// # Panics

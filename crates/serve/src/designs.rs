@@ -1,0 +1,87 @@
+//! The design catalog: named, server-buildable designs.
+//!
+//! Every design the service can open is one of the paper's SRC models,
+//! addressed by a short stable name. A catalog entry builds the RTL
+//! [`Module`]; gate-level engines then synthesize it through the flow's
+//! RTL-to-gate synthesiser. Building a module is cheap (milliseconds);
+//! the expensive artefacts — compiled RTL bytecode, synthesized and
+//! levelized gate programs — are what the
+//! [`CompileCache`](crate::cache::CompileCache) shares across sessions.
+
+use scflow::models::beh::{synthesize_beh_src, BehVariant};
+use scflow::models::rtl::{build_rtl_src, RtlVariant};
+use scflow::models::vhdl_ref::build_vhdl_ref;
+use scflow::SrcConfig;
+use scflow_rtl::Module;
+
+/// Names the service accepts in `open_session.design`, in catalog order.
+pub const DESIGN_NAMES: [&str; 6] = [
+    "beh_unopt",
+    "beh_opt",
+    "rtl_unopt",
+    "rtl_opt",
+    "rtl_buggy",
+    "vhdl_ref",
+];
+
+/// Builds the named design's RTL module (always the cd-to-dvd SRC
+/// configuration, as everywhere else in the flow).
+///
+/// # Errors
+///
+/// `None` for a name outside [`DESIGN_NAMES`]; build errors are reported
+/// as strings (none occur for the shipped designs, but the protocol
+/// keeps the path honest).
+pub fn build_design(name: &str) -> Option<Result<Module, String>> {
+    let cfg = SrcConfig::cd_to_dvd();
+    let module = match name {
+        "beh_unopt" => synthesize_beh_src(&cfg, BehVariant::Unoptimised)
+            .map(|o| o.module)
+            .map_err(|e| e.to_string()),
+        "beh_opt" => synthesize_beh_src(&cfg, BehVariant::Optimised)
+            .map(|o| o.module)
+            .map_err(|e| e.to_string()),
+        "rtl_unopt" => build_rtl_src(&cfg, RtlVariant::Unoptimised).map_err(|e| e.to_string()),
+        "rtl_opt" => build_rtl_src(&cfg, RtlVariant::Optimised).map_err(|e| e.to_string()),
+        "rtl_buggy" => build_rtl_src(&cfg, RtlVariant::OptimisedBuggy).map_err(|e| e.to_string()),
+        "vhdl_ref" => build_vhdl_ref(&cfg).map_err(|e| e.to_string()),
+        _ => return None,
+    };
+    Some(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalog_name_builds() {
+        for name in DESIGN_NAMES {
+            let m = build_design(name).expect("known name").expect("builds");
+            assert!(!m.ports().is_empty(), "{name} has ports");
+        }
+        assert!(build_design("nope").is_none());
+    }
+
+    #[test]
+    fn same_name_builds_identical_content() {
+        // The content address must be reproducible across builds — this
+        // is what lets concurrent sessions share one compiled program.
+        for name in DESIGN_NAMES {
+            let a = build_design(name).unwrap().unwrap().stable_hash();
+            let b = build_design(name).unwrap().unwrap().stable_hash();
+            assert_eq!(a, b, "{name} hash unstable");
+        }
+    }
+
+    #[test]
+    fn distinct_designs_have_distinct_hashes() {
+        let mut hashes: Vec<u64> = DESIGN_NAMES
+            .iter()
+            .map(|n| build_design(n).unwrap().unwrap().stable_hash())
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), DESIGN_NAMES.len());
+    }
+}

@@ -1,0 +1,586 @@
+//! `scflow-serve`: a concurrent simulation service over the flow's
+//! engines.
+//!
+//! The service speaks a JSON-lines protocol (one request object per
+//! line, one reply object per line — see `DESIGN.md` for the grammar)
+//! over stdin/stdout or TCP. Each open session owns one deterministic
+//! simulation engine on a dedicated worker thread; compiled designs are
+//! shared across sessions through a content-addressed cache, so the
+//! compile cost of a design is paid once no matter how many sessions
+//! open it. Batched stimulus (`step_batch`) amortises protocol
+//! round-trips, and on a `gate.bitpar` session a lanes-mode batch
+//! drives up to 64 independent stimulus tuples through one bit-parallel
+//! engine pass.
+//!
+//! Determinism contract: a session's replies depend only on its own
+//! request sequence. Concurrent sessions on the same design produce
+//! byte-identical outputs, coverage maps and (deterministic-mode)
+//! metrics to a serial single-session run — the integration tests pin
+//! this.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod designs;
+pub mod json;
+pub mod session;
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use scflow::prelude::ServeOptions;
+use scflow_hwtypes::Bv;
+use scflow_obs::{Histogram, MetricValue, MetricsRegistry};
+use scflow_sim_api::SimError;
+
+use cache::CompileCache;
+use json::{obj, Json};
+use session::{BatchItem, Req, Resp, SessionMgr};
+
+/// Protocol version reported by `ping`. Additive changes (new ops, new
+/// optional fields) keep the version; anything that changes the meaning
+/// or type of an existing field bumps it.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// The server: session table, compile cache and request counters. All
+/// methods take `&self`, so one server can be driven from many
+/// connection threads at once.
+pub struct Server {
+    mgr: SessionMgr,
+    cache: Arc<CompileCache>,
+    shutdown: AtomicBool,
+    /// Per-op wall-clock handling latency in microseconds. Wall clock is
+    /// inherently nondeterministic, so these histograms are only
+    /// exported by `server_metrics` when `deterministic` is false.
+    latency: Mutex<BTreeMap<String, Histogram>>,
+    requests: scflow_obs::Counter,
+    errors: scflow_obs::Counter,
+}
+
+impl Server {
+    /// A server configured by `opts`.
+    pub fn new(opts: &ServeOptions) -> Self {
+        let cache = Arc::new(CompileCache::new(opts.cache_cap));
+        Server {
+            mgr: SessionMgr::new(opts, cache.clone()),
+            cache,
+            shutdown: AtomicBool::new(false),
+            latency: Mutex::new(BTreeMap::new()),
+            requests: scflow_obs::Counter::new(),
+            errors: scflow_obs::Counter::new(),
+        }
+    }
+
+    /// The shared compile cache (tests assert on its counters).
+    pub fn cache(&self) -> &CompileCache {
+        &self.cache
+    }
+
+    /// The session manager.
+    pub fn sessions(&self) -> &SessionMgr {
+        &self.mgr
+    }
+
+    /// `true` once a `shutdown` request has been accepted.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Handles one request line and returns the reply line (without the
+    /// trailing newline). Never panics: malformed input becomes an
+    /// `ok:false` reply, and engine panics are caught at the session
+    /// boundary.
+    pub fn handle_line(&self, line: &str) -> String {
+        let start = Instant::now();
+        self.requests.inc();
+        let (reply, op) = self.dispatch(line);
+        let op = op.unwrap_or_else(|| "invalid".to_owned());
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.latency
+            .lock()
+            .expect("latency table")
+            .entry(op)
+            .or_default()
+            .record(micros);
+        reply.render()
+    }
+
+    fn dispatch(&self, line: &str) -> (Json, Option<String>) {
+        let req = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return (self.err(Json::Num(0), "bad_json", &e), None);
+            }
+        };
+        let id = req.get("id").cloned().unwrap_or(Json::Num(0));
+        let Some(op) = req.get("op").and_then(Json::as_str).map(str::to_owned) else {
+            return (
+                self.err(id, "bad_request", "missing string field `op`"),
+                None,
+            );
+        };
+        let reply = match op.as_str() {
+            "ping" => ok(
+                id,
+                [
+                    ("server", Json::Str("scflow-serve".into())),
+                    ("protocol", Json::Num(PROTOCOL_VERSION)),
+                ],
+            ),
+            "open_session" => self.op_open(id, &req),
+            "poke" => self.op_poke(id, &req),
+            "peek" => self.op_session_simple(id, &req, |port| Req::Peek(port)),
+            "step" => self.op_step(id, &req),
+            "settle" => self.op_no_arg(id, &req, Req::Settle),
+            "step_batch" => self.op_step_batch(id, &req),
+            "coverage" => self.op_no_arg(id, &req, Req::Coverage),
+            "metrics" => self.op_no_arg(id, &req, Req::Metrics),
+            "reset" => self.op_no_arg(id, &req, Req::Reset),
+            "close" => self.op_close(id, &req),
+            "server_metrics" => self.op_server_metrics(id, &req),
+            "shutdown" => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                ok(id, [("closing", Json::Bool(true))])
+            }
+            _ => self.err(id, "unknown_op", &format!("unknown op `{op}`")),
+        };
+        (reply, Some(op))
+    }
+
+    fn err(&self, id: Json, code: &str, msg: &str) -> Json {
+        self.errors.inc();
+        obj([
+            ("id", id),
+            ("ok", Json::Bool(false)),
+            (
+                "error",
+                obj([
+                    ("code", Json::Str(code.to_owned())),
+                    ("msg", Json::Str(msg.to_owned())),
+                ]),
+            ),
+        ])
+    }
+
+    fn op_open(&self, id: Json, req: &Json) -> Json {
+        let Some(design) = req.get("design").and_then(Json::as_str) else {
+            return self.err(id, "bad_request", "missing string field `design`");
+        };
+        let Some(engine) = req.get("engine").and_then(Json::as_str) else {
+            return self.err(id, "bad_request", "missing string field `engine`");
+        };
+        let coverage = req
+            .get("coverage")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        match self.mgr.open(design, engine, coverage) {
+            Ok((sid, outcome, content_hash)) => ok(
+                id,
+                [
+                    ("session", Json::Str(sid)),
+                    ("design", Json::Str(design.to_owned())),
+                    ("engine", Json::Str(engine.to_owned())),
+                    ("cache", Json::Str(outcome.as_str().to_owned())),
+                    ("content_hash", Json::Str(format!("0x{content_hash:016x}"))),
+                ],
+            ),
+            Err((code, msg)) => self.err(id, code, &msg),
+        }
+    }
+
+    fn session_id<'r>(&self, req: &'r Json) -> Result<&'r str, &'static str> {
+        req.get("session")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `session`")
+    }
+
+    fn op_poke(&self, id: Json, req: &Json) -> Json {
+        let sid = match self.session_id(req) {
+            Ok(s) => s,
+            Err(m) => return self.err(id, "bad_request", m),
+        };
+        let Some(port) = req.get("port").and_then(Json::as_str) else {
+            return self.err(id, "bad_request", "missing string field `port`");
+        };
+        let value = match parse_value(req.get("value"), req.get("width")) {
+            Ok(v) => v,
+            Err(m) => return self.err(id, "bad_value", &m),
+        };
+        self.finish(id, self.mgr.request(sid, Req::Poke(port.to_owned(), value)))
+    }
+
+    fn op_session_simple(&self, id: Json, req: &Json, mk: impl FnOnce(String) -> Req) -> Json {
+        let sid = match self.session_id(req) {
+            Ok(s) => s,
+            Err(m) => return self.err(id, "bad_request", m),
+        };
+        let Some(port) = req.get("port").and_then(Json::as_str) else {
+            return self.err(id, "bad_request", "missing string field `port`");
+        };
+        self.finish(id, self.mgr.request(sid, mk(port.to_owned())))
+    }
+
+    fn op_step(&self, id: Json, req: &Json) -> Json {
+        let sid = match self.session_id(req) {
+            Ok(s) => s,
+            Err(m) => return self.err(id, "bad_request", m),
+        };
+        let cycles = match req.get("cycles") {
+            None => 1,
+            Some(Json::Num(n)) if *n >= 0 => *n as u64,
+            Some(_) => {
+                return self.err(id, "bad_request", "`cycles` must be a non-negative integer");
+            }
+        };
+        self.finish(id, self.mgr.request(sid, Req::Step(cycles)))
+    }
+
+    fn op_no_arg(&self, id: Json, req: &Json, r: Req) -> Json {
+        let sid = match self.session_id(req) {
+            Ok(s) => s,
+            Err(m) => return self.err(id, "bad_request", m),
+        };
+        self.finish(id, self.mgr.request(sid, r))
+    }
+
+    fn op_close(&self, id: Json, req: &Json) -> Json {
+        let sid = match self.session_id(req) {
+            Ok(s) => s.to_owned(),
+            Err(m) => return self.err(id, "bad_request", m),
+        };
+        match self.mgr.request(&sid, Req::Close) {
+            Resp::Done => ok(id, [("closed", Json::Str(sid))]),
+            other => self.finish(id, other),
+        }
+    }
+
+    fn op_step_batch(&self, id: Json, req: &Json) -> Json {
+        let sid = match self.session_id(req) {
+            Ok(s) => s,
+            Err(m) => return self.err(id, "bad_request", m),
+        };
+        let Some(raw_items) = req.get("items").and_then(Json::as_arr) else {
+            return self.err(id, "bad_request", "missing array field `items`");
+        };
+        let mut items = Vec::with_capacity(raw_items.len());
+        for (i, it) in raw_items.iter().enumerate() {
+            let cycles = match it.get("cycles") {
+                None => 1,
+                Some(Json::Num(n)) if *n >= 0 => *n as u64,
+                _ => {
+                    return self.err(
+                        id,
+                        "bad_request",
+                        &format!("item {i}: `cycles` must be a non-negative integer"),
+                    );
+                }
+            };
+            let mut pokes = Vec::new();
+            if let Some(raw_pokes) = it.get("pokes") {
+                let Some(raw_pokes) = raw_pokes.as_arr() else {
+                    return self.err(
+                        id,
+                        "bad_request",
+                        &format!("item {i}: `pokes` must be an array"),
+                    );
+                };
+                for p in raw_pokes {
+                    let Some(port) = p.get("port").and_then(Json::as_str) else {
+                        return self.err(
+                            id,
+                            "bad_request",
+                            &format!("item {i}: poke missing `port`"),
+                        );
+                    };
+                    match parse_value(p.get("value"), p.get("width")) {
+                        Ok(v) => pokes.push((port.to_owned(), v)),
+                        Err(m) => {
+                            return self.err(id, "bad_value", &format!("item {i}: {m}"));
+                        }
+                    }
+                }
+            }
+            items.push(BatchItem { pokes, cycles });
+        }
+        let read: Vec<String> = match req.get("read") {
+            None => Vec::new(),
+            Some(Json::Arr(ports)) => {
+                let mut out = Vec::with_capacity(ports.len());
+                for p in ports {
+                    match p.as_str() {
+                        Some(s) => out.push(s.to_owned()),
+                        None => {
+                            return self.err(id, "bad_request", "`read` must hold strings");
+                        }
+                    }
+                }
+                out
+            }
+            Some(_) => return self.err(id, "bad_request", "`read` must be an array"),
+        };
+        let lanes = match req.get("mode").and_then(Json::as_str) {
+            None | Some("sequential") => false,
+            Some("lanes") => true,
+            Some(m) => {
+                return self.err(
+                    id,
+                    "bad_request",
+                    &format!("unknown batch mode `{m}` (sequential|lanes)"),
+                );
+            }
+        };
+        self.finish(id, self.mgr.request(sid, Req::StepBatch { items, read, lanes }))
+    }
+
+    fn op_server_metrics(&self, id: Json, req: &Json) -> Json {
+        let deterministic = req
+            .get("deterministic")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let mut reg = MetricsRegistry::new();
+        let cs = self.cache.stats();
+        reg.set_counter("serve.cache.hits", cs.hits);
+        reg.set_counter("serve.cache.misses", cs.misses);
+        reg.set_counter("serve.cache.compiles", cs.compiles);
+        reg.set_counter("serve.cache.evictions", cs.evictions);
+        reg.set_counter("serve.cache.entries", self.cache.len() as u64);
+        let sc = &self.mgr.counters;
+        reg.set_counter("serve.sessions.opened", sc.opened.load(Ordering::Relaxed));
+        reg.set_counter("serve.sessions.closed", sc.closed.load(Ordering::Relaxed));
+        reg.set_counter(
+            "serve.sessions.busy_rejections",
+            sc.busy_rejections.load(Ordering::Relaxed),
+        );
+        reg.set_gauge("serve.sessions.active", self.mgr.active() as i64);
+        if !deterministic {
+            // Wall-clock latency never enters the deterministic view.
+            reg.set_counter("serve.requests.total", self.requests.get());
+            reg.set_counter("serve.requests.errors", self.errors.get());
+            for (op, h) in self.latency.lock().expect("latency table").iter() {
+                reg.merge_histogram(&format!("serve.latency.{op}.us"), h);
+            }
+        }
+        ok(id, [("metrics", registry_to_json(&reg))])
+    }
+
+    fn finish(&self, id: Json, resp: Resp) -> Json {
+        match resp {
+            Resp::Done => ok(id, []),
+            Resp::Value(v) => ok(id, value_fields(&v)),
+            Resp::Cycles(c) => ok(id, [("cycles", num_u64(c))]),
+            Resp::Batch { outputs, cycles } => {
+                let items: Vec<Json> = outputs
+                    .into_iter()
+                    .map(|reads| {
+                        Json::Obj(vec![(
+                            "outputs".to_owned(),
+                            Json::Arr(
+                                reads
+                                    .into_iter()
+                                    .map(|(port, v)| {
+                                        let mut fields =
+                                            vec![("port".to_owned(), Json::Str(port))];
+                                        for (k, j) in value_fields(&v) {
+                                            fields.push((k.to_owned(), j));
+                                        }
+                                        Json::Obj(fields)
+                                    })
+                                    .collect(),
+                            ),
+                        )])
+                    })
+                    .collect();
+                ok(
+                    id,
+                    [("items", Json::Arr(items)), ("cycles", num_u64(cycles))],
+                )
+            }
+            Resp::Coverage {
+                covered_bits,
+                total_bits,
+                flips,
+                samples,
+                summary,
+                report,
+            } => ok(
+                id,
+                [
+                    ("covered_bits", num_u64(covered_bits)),
+                    ("total_bits", num_u64(total_bits)),
+                    ("flips", num_u64(flips)),
+                    ("samples", num_u64(samples)),
+                    ("summary", Json::Str(summary)),
+                    ("report", Json::Str(report)),
+                ],
+            ),
+            Resp::Metrics(Some(reg)) => ok(id, [("metrics", registry_to_json(&reg))]),
+            Resp::Metrics(None) => {
+                self.err(id, "unsupported_op", "this engine exports no metrics")
+            }
+            Resp::Sim(e) => {
+                let code = match &e {
+                    SimError::UnknownPort(_) => "unknown_port",
+                    SimError::NotAnInput(_) => "not_an_input",
+                    SimError::NotAnOutput(_) => "not_an_output",
+                    SimError::WidthMismatch { .. } => "width_mismatch",
+                };
+                self.err(id, code, &e.to_string())
+            }
+            Resp::Failed(code, msg) => self.err(id, code, &msg),
+        }
+    }
+
+    /// Serves the JSON-lines protocol over `input`/`output` until EOF
+    /// or a `shutdown` request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the transport.
+    pub fn serve_io(
+        &self,
+        input: impl BufRead,
+        mut output: impl Write,
+    ) -> std::io::Result<()> {
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = self.handle_line(&line);
+            output.write_all(reply.as_bytes())?;
+            output.write_all(b"\n")?;
+            output.flush()?;
+            if self.shutting_down() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves over stdin/stdout (the default transport).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the standard streams.
+    pub fn serve_stdio(&self) -> std::io::Result<()> {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        self.serve_io(stdin.lock(), stdout.lock())
+    }
+
+    /// Binds `addr` and serves each TCP connection on its own thread;
+    /// sessions and the compile cache are shared server-wide. Returns
+    /// when a `shutdown` request arrives on any connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/accept errors.
+    pub fn serve_tcp(&self, addr: &str) -> std::io::Result<()> {
+        let listener = std::net::TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| {
+            loop {
+                if self.shutting_down() {
+                    return Ok(());
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nodelay(true);
+                        scope.spawn(move || {
+                            let reader = std::io::BufReader::new(
+                                stream.try_clone().expect("clone stream"),
+                            );
+                            let _ = self.serve_io(reader, stream);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        })
+    }
+}
+
+fn ok<const N: usize>(id: Json, fields: [(&str, Json); N]) -> Json {
+    let mut all = vec![("id".to_owned(), id), ("ok".to_owned(), Json::Bool(true))];
+    for (k, v) in fields {
+        all.push((k.to_owned(), v));
+    }
+    Json::Obj(all)
+}
+
+fn num_u64(v: u64) -> Json {
+    // Counts that fit JSON integers stay numeric; anything wider would
+    // have to travel as a hex string like port values do.
+    i64::try_from(v).map_or_else(|_| Json::Str(format!("0x{v:x}")), Json::Num)
+}
+
+fn value_fields(v: &Bv) -> [(&'static str, Json); 2] {
+    [
+        ("value", Json::Str(format!("0x{:x}", v.as_u64()))),
+        ("width", Json::Num(i64::from(v.width()))),
+    ]
+}
+
+/// Parses a port value: `value` is a `0x…` hex string (64-bit values do
+/// not survive JSON's float-safe integer range) or a small non-negative
+/// integer; `width` is the port width in bits (1..=64), required.
+fn parse_value(value: Option<&Json>, width: Option<&Json>) -> Result<Bv, String> {
+    let width = match width {
+        Some(Json::Num(w)) if (1..=64).contains(w) => *w as u32,
+        Some(_) => return Err("`width` must be an integer in 1..=64".to_owned()),
+        None => return Err("missing integer field `width`".to_owned()),
+    };
+    let bits = match value {
+        Some(Json::Str(s)) => {
+            let hex = s
+                .strip_prefix("0x")
+                .or_else(|| s.strip_prefix("0X"))
+                .ok_or_else(|| format!("string value `{s}` must start with 0x"))?;
+            u64::from_str_radix(hex, 16).map_err(|e| format!("bad hex value `{s}`: {e}"))?
+        }
+        Some(Json::Num(n)) if *n >= 0 => *n as u64,
+        Some(_) => return Err("`value` must be a 0x… string or non-negative integer".to_owned()),
+        None => return Err("missing field `value`".to_owned()),
+    };
+    if width < 64 && bits >= (1u64 << width) {
+        return Err(format!("value 0x{bits:x} does not fit {width} bits"));
+    }
+    Ok(Bv::new(bits, width))
+}
+
+/// Renders a registry as a single-line [`Json`] object (sorted names,
+/// so byte-deterministic for equal contents).
+fn registry_to_json(reg: &MetricsRegistry) -> Json {
+    let mut fields = Vec::with_capacity(reg.len());
+    for (name, value) in reg.iter() {
+        let v = match value {
+            MetricValue::Counter(c) => num_u64(*c),
+            MetricValue::Gauge(g) => Json::Num(*g),
+            MetricValue::Histogram(h) => obj([
+                ("count", num_u64(h.count())),
+                ("sum", num_u64(h.sum())),
+                ("min", num_u64(h.min().unwrap_or(0))),
+                ("max", num_u64(h.max().unwrap_or(0))),
+                (
+                    "buckets",
+                    Json::Arr(
+                        h.nonzero_buckets()
+                            .map(|(b, c)| {
+                                Json::Arr(vec![Json::Num(b as i64), num_u64(c)])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        };
+        fields.push((name.to_owned(), v));
+    }
+    Json::Obj(fields)
+}

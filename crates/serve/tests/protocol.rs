@@ -1,0 +1,244 @@
+//! Wire-protocol conformance: reply shapes are pinned byte-for-byte
+//! (the verify script separately pins a golden transcript with `cmp`),
+//! every documented error code is reachable, and a batched request is
+//! observationally identical to the unbatched sequence it replaces.
+
+use scflow::prelude::ServeOptions;
+use scflow_serve::Server;
+
+fn server() -> Server {
+    Server::new(&ServeOptions::default())
+}
+
+fn open(server: &Server, design: &str, engine: &str, coverage: bool) -> String {
+    let reply = server.handle_line(&format!(
+        r#"{{"id":0,"op":"open_session","design":"{design}","engine":"{engine}","coverage":{coverage}}}"#
+    ));
+    assert!(reply.contains(r#""ok":true"#), "open failed: {reply}");
+    let tag = r#""session":""#;
+    let start = reply.find(tag).unwrap() + tag.len();
+    let end = reply[start..].find('"').unwrap() + start;
+    reply[start..end].to_owned()
+}
+
+fn error_code(reply: &str) -> Option<&str> {
+    let tag = r#""error":{"code":""#;
+    let start = reply.find(tag)? + tag.len();
+    let end = reply[start..].find('"')? + start;
+    Some(&reply[start..end])
+}
+
+#[test]
+fn ping_reply_is_byte_stable() {
+    let s = server();
+    assert_eq!(
+        s.handle_line(r#"{"id":7,"op":"ping"}"#),
+        r#"{"id":7,"ok":true,"server":"scflow-serve","protocol":1}"#
+    );
+    // `id` is echoed verbatim, including string ids.
+    assert_eq!(
+        s.handle_line(r#"{"id":"x","op":"ping"}"#),
+        r#"{"id":"x","ok":true,"server":"scflow-serve","protocol":1}"#
+    );
+}
+
+#[test]
+fn every_documented_error_code_is_reachable() {
+    let s = server();
+    let check = |req: &str, code: &str| {
+        let reply = s.handle_line(req);
+        assert_eq!(error_code(&reply), Some(code), "req {req} got {reply}");
+    };
+    check("{not json", "bad_json");
+    check(r#"{"id":1,"value":3}"#, "bad_request");
+    check(r#"{"id":1,"op":"warp"}"#, "unknown_op");
+    check(
+        r#"{"id":1,"op":"open_session","design":"nope","engine":"rtl.compiled"}"#,
+        "unknown_design",
+    );
+    check(
+        r#"{"id":1,"op":"open_session","design":"rtl_opt","engine":"rtl.jit"}"#,
+        "unknown_engine",
+    );
+    check(
+        r#"{"id":1,"op":"open_session","design":"rtl_opt","engine":"gate.partitioned"}"#,
+        "unsupported_engine",
+    );
+    check(r#"{"id":1,"op":"peek","session":"s99","port":"out_sample"}"#, "unknown_session");
+
+    let sid = open(&s, "rtl_opt", "rtl.compiled", false);
+    check(
+        &format!(r#"{{"id":1,"op":"poke","session":"{sid}","port":"zz","value":0,"width":1}}"#),
+        "unknown_port",
+    );
+    check(
+        &format!(r#"{{"id":1,"op":"poke","session":"{sid}","port":"out_sample","value":0,"width":16}}"#),
+        "not_an_input",
+    );
+    check(
+        &format!(r#"{{"id":1,"op":"peek","session":"{sid}","port":"in_sample"}}"#),
+        "not_an_output",
+    );
+    check(
+        &format!(r#"{{"id":1,"op":"poke","session":"{sid}","port":"in_sample","value":0,"width":4}}"#),
+        "width_mismatch",
+    );
+    check(
+        &format!(r#"{{"id":1,"op":"poke","session":"{sid}","port":"in_sample","value":"0x10000","width":16}}"#),
+        "bad_value",
+    );
+    check(
+        &format!(r#"{{"id":1,"op":"coverage","session":"{sid}"}}"#),
+        "coverage_disabled",
+    );
+    check(
+        &format!(
+            r#"{{"id":1,"op":"step_batch","session":"{sid}","mode":"lanes","items":[{{"cycles":1}}]}}"#
+        ),
+        "lanes_unsupported",
+    );
+    check(
+        &format!(
+            r#"{{"id":1,"op":"step_batch","session":"{sid}","items":[{{"pokes":[{{"port":"zz","value":0,"width":1}}],"cycles":1}}]}}"#
+        ),
+        "bad_batch_item",
+    );
+
+    let gate = open(&s, "rtl_opt", "gate.bitpar", false);
+    let many: Vec<String> = (0..65).map(|_| r#"{"cycles":1}"#.to_owned()).collect();
+    check(
+        &format!(
+            r#"{{"id":1,"op":"step_batch","session":"{gate}","mode":"lanes","items":[{}]}}"#,
+            many.join(",")
+        ),
+        "lanes_overflow",
+    );
+    check(
+        &format!(
+            r#"{{"id":1,"op":"step_batch","session":"{gate}","mode":"lanes","items":[{{"cycles":1}},{{"cycles":2}}]}}"#
+        ),
+        "lanes_mismatch",
+    );
+
+    // Closing twice: the second close sees no session.
+    let r = s.handle_line(&format!(r#"{{"id":1,"op":"close","session":"{sid}"}}"#));
+    assert!(r.contains(r#""ok":true"#));
+    check(&format!(r#"{{"id":1,"op":"close","session":"{sid}"}}"#), "unknown_session");
+}
+
+#[test]
+fn hex_values_round_trip_and_floats_are_refused() {
+    let s = server();
+    let sid = open(&s, "rtl_opt", "rtl.compiled", false);
+    let r = s.handle_line(&format!(
+        r#"{{"id":1,"op":"poke","session":"{sid}","port":"in_sample","value":"0xBEEF","width":16}}"#
+    ));
+    assert_eq!(r, r#"{"id":1,"ok":true}"#);
+    let r = s.handle_line(&format!(
+        r#"{{"id":2,"op":"poke","session":"{sid}","port":"in_sample","value":1.5,"width":16}}"#
+    ));
+    assert_eq!(error_code(&r), Some("bad_json"));
+}
+
+#[test]
+fn step_batch_equals_the_unbatched_sequence() {
+    let s = server();
+    let stimulus: [(u64, u64); 5] = [(0x101, 3), (0x7fff, 1), (0, 2), (0x4242, 4), (0xffff, 1)];
+
+    // Unbatched: poke / step / peek per tuple.
+    let a = open(&s, "rtl_opt", "rtl.compiled", false);
+    let mut unbatched = Vec::new();
+    for (v, cycles) in stimulus {
+        for (port, val, w) in [
+            ("in_sample", v, 16),
+            ("in_sample_valid", 1, 1),
+            ("out_sample_ready", 1, 1),
+        ] {
+            let r = s.handle_line(&format!(
+                r#"{{"id":1,"op":"poke","session":"{a}","port":"{port}","value":"0x{val:x}","width":{w}}}"#
+            ));
+            assert!(r.contains(r#""ok":true"#), "{r}");
+        }
+        let r = s.handle_line(&format!(
+            r#"{{"id":1,"op":"step","session":"{a}","cycles":{cycles}}}"#
+        ));
+        assert!(r.contains(r#""ok":true"#), "{r}");
+        for port in ["out_sample", "out_sample_valid"] {
+            let r = s.handle_line(&format!(
+                r#"{{"id":1,"op":"peek","session":"{a}","port":"{port}"}}"#
+            ));
+            unbatched.push(r);
+        }
+    }
+
+    // Batched: the same tuples in one request.
+    let b = open(&s, "rtl_opt", "rtl.compiled", false);
+    let items: Vec<String> = stimulus
+        .iter()
+        .map(|(v, cycles)| {
+            format!(
+                concat!(
+                    r#"{{"pokes":[{{"port":"in_sample","value":"0x{:x}","width":16}},"#,
+                    r#"{{"port":"in_sample_valid","value":1,"width":1}},"#,
+                    r#"{{"port":"out_sample_ready","value":1,"width":1}}],"cycles":{}}}"#
+                ),
+                v, cycles
+            )
+        })
+        .collect();
+    let r = s.handle_line(&format!(
+        r#"{{"id":1,"op":"step_batch","session":"{b}","items":[{}],"read":["out_sample","out_sample_valid"]}}"#,
+        items.join(",")
+    ));
+    assert!(r.contains(r#""ok":true"#), "{r}");
+
+    // Every batched read equals the unbatched peek, in order.
+    let mut batched = Vec::new();
+    for part in r.split(r#"{"port":""#).skip(1) {
+        let port = &part[..part.find('"').unwrap()];
+        let tag = r#""value":""#;
+        let vs = part.find(tag).unwrap() + tag.len();
+        let ve = part[vs..].find('"').unwrap() + vs;
+        batched.push((port.to_owned(), part[vs..ve].to_owned()));
+    }
+    assert_eq!(batched.len(), unbatched.len());
+    for ((port, value), peek_reply) in batched.iter().zip(&unbatched) {
+        assert!(
+            peek_reply.contains(&format!(r#""value":"{value}""#)),
+            "batched {port}={value} but unbatched peek said {peek_reply}"
+        );
+    }
+
+    // Total cycle counts agree too.
+    let total: u64 = stimulus.iter().map(|&(_, c)| c).sum();
+    assert!(r.contains(&format!(r#""cycles":{total}"#)), "{r}");
+}
+
+#[test]
+fn engine_panic_is_a_reply_not_a_crash() {
+    let s = server();
+    let sid = open(&s, "rtl_opt", "gate.bitpar", false);
+    // 65 lanes passes the netlist port checks (they are lane-agnostic)
+    // but would overflow the engine — the protocol guard refuses it
+    // before the engine sees it, and the session survives.
+    let r = s.handle_line(&format!(
+        r#"{{"id":1,"op":"step_batch","session":"{sid}","mode":"lanes","items":[{{"cycles":1}},{{"cycles":1}}],"read":["out_sample"]}}"#
+    ));
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    let r = s.handle_line(&format!(r#"{{"id":2,"op":"step","session":"{sid}"}}"#));
+    assert!(r.contains(r#""ok":true"#), "session still alive: {r}");
+}
+
+#[test]
+fn server_busy_when_the_pool_is_full() {
+    let s = Server::new(&ServeOptions {
+        addr: None,
+        threads: 1,
+        cache_cap: 8,
+    });
+    let _keep = open(&s, "rtl_opt", "rtl.compiled", false);
+    let r = s.handle_line(
+        r#"{"id":1,"op":"open_session","design":"rtl_opt","engine":"rtl.compiled"}"#,
+    );
+    assert_eq!(error_code(&r), Some("server_busy"));
+}

@@ -124,6 +124,33 @@ impl EngineStats {
     }
 }
 
+/// An opaque engine-encoded state snapshot (see
+/// [`Simulation::snapshot`]).
+///
+/// The payload is a private byte blob only meaningful to the engine
+/// instance (or an identically-configured twin) that produced it. The
+/// simulation service will use snapshots to migrate sessions between
+/// pooled workers; no engine implements them yet, so today this type
+/// only pins down the API shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    blob: Vec<u8>,
+}
+
+impl Snapshot {
+    /// Wraps an engine-encoded state blob.
+    #[must_use]
+    pub fn from_blob(blob: Vec<u8>) -> Self {
+        Snapshot { blob }
+    }
+
+    /// The engine-encoded state blob.
+    #[must_use]
+    pub fn blob(&self) -> &[u8] {
+        &self.blob
+    }
+}
+
 /// A cycle-driven simulation of a single-clock design.
 ///
 /// Usage pattern per clock cycle:
@@ -272,7 +299,38 @@ pub trait Simulation {
             Err(e) => panic!("{e}"),
         }
     }
+
+    /// Returns the engine to its power-on state without rebuilding its
+    /// compiled structures, if the engine supports in-place reuse.
+    /// Returns `true` when the reset took effect; the default supports
+    /// nothing and returns `false`. Engines that support coverage must
+    /// also clear and re-prime the coverage collector here, so a
+    /// recycled instance never leaks a prior run's map.
+    fn reset(&mut self) -> bool {
+        false
+    }
+
+    /// Captures the engine's full simulation state as an opaque
+    /// [`Snapshot`], if the engine supports it. The default supports
+    /// nothing and returns `None`. Reserved for session migration in
+    /// the simulation service; no engine implements it yet.
+    fn snapshot(&self) -> Option<Snapshot> {
+        None
+    }
+
+    /// Restores state captured by [`snapshot`](Simulation::snapshot) on
+    /// this engine (or an identically-configured twin). Returns `true`
+    /// when the restore took effect; the default returns `false`.
+    fn restore(&mut self, _snapshot: &Snapshot) -> bool {
+        false
+    }
 }
+
+/// A heap-allocated engine behind the [`Simulation`] vtable, sendable
+/// to a worker thread — the form the simulation service's session
+/// manager holds its per-session engines in. The lifetime covers
+/// whatever compiled program or netlist the engine borrows.
+pub type BoxedSimulation<'p> = Box<dyn Simulation + Send + 'p>;
 
 impl<S: Simulation + ?Sized> Simulation for &mut S {
     fn step(&mut self) {
@@ -322,6 +380,75 @@ impl<S: Simulation + ?Sized> Simulation for &mut S {
     }
     fn metrics(&self) -> Option<MetricsRegistry> {
         (**self).metrics()
+    }
+    fn reset(&mut self) -> bool {
+        (**self).reset()
+    }
+    fn snapshot(&self) -> Option<Snapshot> {
+        (**self).snapshot()
+    }
+    fn restore(&mut self, snapshot: &Snapshot) -> bool {
+        (**self).restore(snapshot)
+    }
+}
+
+impl<S: Simulation + ?Sized> Simulation for Box<S> {
+    fn step(&mut self) {
+        (**self).step();
+    }
+    fn settle(&mut self) {
+        (**self).settle();
+    }
+    fn cycle(&self) -> u64 {
+        (**self).cycle()
+    }
+    fn try_poke(&mut self, port: &str, value: Bv) -> Result<(), SimError> {
+        (**self).try_poke(port, value)
+    }
+    fn try_peek(&self, port: &str) -> Result<Bv, SimError> {
+        (**self).try_peek(port)
+    }
+    fn has_input(&self, port: &str) -> bool {
+        (**self).has_input(port)
+    }
+    fn input_handle(&self, port: &str) -> Option<PortHandle> {
+        (**self).input_handle(port)
+    }
+    fn output_handle(&self, port: &str) -> Option<PortHandle> {
+        (**self).output_handle(port)
+    }
+    fn poke_handle(&mut self, handle: PortHandle, value: Bv) {
+        (**self).poke_handle(handle, value);
+    }
+    fn peek_handle(&self, handle: PortHandle) -> Bv {
+        (**self).peek_handle(handle)
+    }
+    fn stats(&self) -> EngineStats {
+        (**self).stats()
+    }
+    fn watch(&mut self, port: &str) {
+        (**self).watch(port);
+    }
+    fn trace(&self, clock_period_ps: u64) -> Option<String> {
+        (**self).trace(clock_period_ps)
+    }
+    fn set_coverage(&mut self, enabled: bool) -> bool {
+        (**self).set_coverage(enabled)
+    }
+    fn coverage(&self) -> Option<&ToggleCoverage> {
+        (**self).coverage()
+    }
+    fn metrics(&self) -> Option<MetricsRegistry> {
+        (**self).metrics()
+    }
+    fn reset(&mut self) -> bool {
+        (**self).reset()
+    }
+    fn snapshot(&self) -> Option<Snapshot> {
+        (**self).snapshot()
+    }
+    fn restore(&mut self, snapshot: &Snapshot) -> bool {
+        (**self).restore(snapshot)
     }
 }
 
@@ -397,6 +524,23 @@ mod tests {
         assert_eq!(e.to_string(), "no port named `nope`");
         let e = t.try_poke("d", Bv::bit(false)).unwrap_err();
         assert!(e.to_string().contains("width mismatch"));
+    }
+
+    #[test]
+    fn boxed_forwards() {
+        let t = Toy {
+            cycles: 0,
+            value: Bv::zero(8),
+        };
+        let mut b: BoxedSimulation<'static> = Box::new(t);
+        b.poke("d", Bv::new(1, 8));
+        b.step();
+        assert_eq!(b.cycle(), 1);
+        assert_eq!(b.peek("q").as_u64(), 2);
+        // The snapshot hook is a stub: no engine implements it yet.
+        assert_eq!(b.snapshot(), None);
+        assert!(!b.restore(&Snapshot::from_blob(vec![1, 2])));
+        assert_eq!(Snapshot::from_blob(vec![1, 2]).blob(), &[1, 2]);
     }
 
     #[test]

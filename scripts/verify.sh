@@ -85,6 +85,31 @@ SCFLOW_BENCH_DIR="$covdir/t4" SCFLOW_SIM_THREADS=4 \
 cmp "$covdir/t1/METRICS.json" "$covdir/t4/METRICS.json"
 echo "ok: METRICS.json byte-identical at 1 and 4 simulation threads"
 
+echo "== serve protocol smoke (golden bytes over stdio) =="
+# The JSON-lines service replies must be byte-identical to the pinned
+# golden transcript: session ids, cache hit/miss fields, coverage maps,
+# engine metrics and deterministic-mode server metrics are all
+# deterministic, so any byte drift is a protocol regression.
+cargo run --release --offline -q -p scflow-serve --bin scflow-serve \
+    < scripts/serve_smoke.jsonl > "$covdir/serve_smoke.out"
+cmp "$covdir/serve_smoke.out" scripts/serve_smoke.golden
+echo "ok: serve replies byte-identical to scripts/serve_smoke.golden"
+
+echo "== serve concurrency: single-flight cache + 4-session determinism =="
+# cache_share pins that an 8-way concurrent open storm compiles exactly
+# once; determinism pins that 4 concurrent sessions produce reply
+# transcripts (outputs, coverage, metrics) byte-identical to a serial
+# run on every engine, and that deterministic server metrics are
+# byte-identical across independent concurrent runs.
+cargo test --release -q --offline -p scflow-serve --test cache_share
+cargo test --release -q --offline -p scflow-serve --test determinism
+
+echo "== serve throughput bench (BENCH_serve.json) =="
+SCFLOW_BENCH_DIR="$covdir" \
+    cargo bench --offline -q -p scflow-bench --bench serve_throughput
+test -s "$covdir/BENCH_serve.json"
+echo "ok: BENCH_serve.json emitted"
+
 echo "== metrics overhead guard =="
 # With metrics disabled the engines pay one branch per cycle for the
 # observability layer; a fresh fig8 rtl_compiled measurement must stay
