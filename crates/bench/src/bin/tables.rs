@@ -7,7 +7,7 @@
 
 use scflow::SrcConfig;
 
-const KNOWN_FLAGS: [&str; 18] = [
+const KNOWN_FLAGS: [&str; 19] = [
     "--down",
     "--all",
     "--verify",
@@ -23,6 +23,7 @@ const KNOWN_FLAGS: [&str; 18] = [
     "--ablation-pack",
     "--check-engines",
     "--check-gate",
+    "--check-snapshot",
     "--profile",
     "--coverage",
     "--help",
@@ -48,7 +49,7 @@ fn main() {
             "usage: tables [--down] [--all] [--verify] [--fig7] [--fig8] [--fig9] \
              [--fig10] [--timing] [--fault] [--ablation-sched] [--ablation-regs] \
              [--ablation-share] [--ablation-pack] [--check-engines] [--check-gate] \
-             [--profile] [--coverage]"
+             [--check-snapshot] [--profile] [--coverage]"
         );
         std::process::exit(2);
     }
@@ -229,6 +230,31 @@ fn main() {
                  ({:.0} vs {:.0} cycles/sec)",
                 check.bitpar_cps, check.event_cps
             );
+            std::process::exit(1);
+        }
+    }
+
+    if has("--check-snapshot") {
+        println!("=== Snapshot check: forked replays vs straight runs ===\n");
+        let check = scflow_bench::check_snapshot(&cfg);
+        let straight = scflow_bench::bench_output_path("SNAPSHOT_straight.txt");
+        let forked = scflow_bench::bench_output_path("SNAPSHOT_forked.txt");
+        std::fs::write(&straight, &check.straight).expect("write SNAPSHOT_straight.txt");
+        std::fs::write(&forked, &check.forked).expect("write SNAPSHOT_forked.txt");
+        println!(
+            "{} scenarios x 2 engines: outputs, violations, coverage, VCD and \
+             metrics {}",
+            check.scenarios,
+            if check.matches() {
+                "byte-identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+        println!("wrote {}", straight.display());
+        println!("wrote {}\n", forked.display());
+        if !check.matches() {
+            eprintln!("FAILED: snapshot-forked replays diverged from the straight runs");
             std::process::exit(1);
         }
     }

@@ -738,6 +738,128 @@ pub fn measure_coverage(cfg: &SrcConfig) -> CoverageReport {
     }
 }
 
+/// Everything the snapshot-determinism check compares: one artifact
+/// dump per (engine, scenario) for the straight runs and the forked
+/// replays. The two strings must be byte-identical — `verify.sh` also
+/// `cmp`s the files the `tables --check-snapshot` mode writes.
+#[derive(Clone, Debug)]
+pub struct SnapshotCheck {
+    /// Scenarios exercised per engine.
+    pub scenarios: usize,
+    /// Artifact dump of fresh per-scenario runs (warmup paid each time).
+    pub straight: String,
+    /// Artifact dump of snapshot-forked replays (warmup paid once).
+    pub forked: String,
+}
+
+impl SnapshotCheck {
+    /// `true` when the forked replays reproduced the straight runs
+    /// byte-for-byte.
+    pub fn matches(&self) -> bool {
+        self.straight == self.forked
+    }
+}
+
+/// Runs the snapshot-determinism check on both compiled RTL engines
+/// (`rtl.compiled` scalar and `rtl.bitpar` 64-lane) over the buggy SRC
+/// variant with address checking enabled, so the compared artifacts
+/// include a live violation stream alongside outputs, cycle counts,
+/// coverage maps, VCD waveforms and rendered metrics.
+pub fn check_snapshot(cfg: &SrcConfig) -> SnapshotCheck {
+    use scflow_hwtypes::Bv;
+    use scflow_sim_api::{Simulation, StimulusBatch, StimulusItem};
+
+    const SCENARIOS: u64 = 5;
+    let batches: Vec<StimulusBatch> = (0..SCENARIOS)
+        .map(|i| StimulusBatch {
+            items: vec![StimulusItem {
+                pokes: vec![
+                    ("in_sample".to_owned(), Bv::new((i * 0x0777) & 0xffff, 16)),
+                    ("in_sample_valid".to_owned(), Bv::bit(true)),
+                    ("out_sample_ready".to_owned(), Bv::bit(true)),
+                ],
+                cycles: 6,
+            }],
+            read: vec!["out_sample".to_owned(), "dbg_state".to_owned()],
+        })
+        .collect();
+
+    fn prep(sim: &mut (impl Simulation + ?Sized)) {
+        sim.set_coverage(true);
+        sim.watch("out_sample");
+        sim.watch("dbg_state");
+        sim.poke("in_sample", Bv::new(0x0421, 16));
+        sim.poke("in_sample_valid", Bv::bit(true));
+        sim.poke("out_sample_ready", Bv::bit(true));
+        sim.run_cycles(40);
+    }
+
+    fn dump(
+        out: &mut String,
+        engine: &str,
+        scenario: usize,
+        sim: &(impl Simulation + ?Sized),
+        violations: &str,
+        reply_outputs: &[Vec<(String, Bv)>],
+    ) {
+        use std::fmt::Write as _;
+        writeln!(out, "== {engine} scenario {scenario} ==").unwrap();
+        for item in reply_outputs {
+            for (port, v) in item {
+                writeln!(out, "out {port} = {v:?}").unwrap();
+            }
+        }
+        writeln!(out, "cycle {}", sim.cycle()).unwrap();
+        writeln!(out, "violations {violations}").unwrap();
+        writeln!(out, "coverage\n{}", sim.coverage().expect("coverage").report()).unwrap();
+        writeln!(out, "vcd\n{}", sim.trace(40_000).expect("vcd")).unwrap();
+        let metrics = sim.metrics().expect("metrics");
+        writeln!(out, "metrics\n{}", scflow_obs::render_metrics_json(&metrics, None)).unwrap();
+    }
+
+    let module = build_rtl_src(cfg, RtlVariant::OptimisedBuggy).expect("rtl buggy builds");
+    let program = CompiledProgram::compile(&module).expect("compiles");
+
+    let mut straight = String::new();
+    let mut forked = String::new();
+    for engine in ["rtl.compiled", "rtl.bitpar"] {
+        // One closure per engine flavour keeps the generic sims' types
+        // concrete; both flavours run the same straight/forked split.
+        macro_rules! run_engine {
+            ($mk:expr) => {{
+                for (i, batch) in batches.iter().enumerate() {
+                    let mut sim = $mk;
+                    sim.check_addresses = true;
+                    prep(&mut sim);
+                    let reply = sim.step_batch(batch).expect("scenario");
+                    let v = format!("{:?}", sim.violations());
+                    dump(&mut straight, engine, i, &sim, &v, &reply.outputs);
+                }
+                let mut sim = $mk;
+                sim.check_addresses = true;
+                prep(&mut sim);
+                let snap = Simulation::snapshot(&sim).expect("snapshot");
+                for (i, batch) in batches.iter().enumerate() {
+                    assert!(sim.restore(&snap), "restore");
+                    let reply = sim.step_batch(batch).expect("scenario");
+                    let v = format!("{:?}", sim.violations());
+                    dump(&mut forked, engine, i, &sim, &v, &reply.outputs);
+                }
+            }};
+        }
+        match engine {
+            "rtl.compiled" => run_engine!(program.simulator()),
+            _ => run_engine!(program.bit_simulator()),
+        }
+    }
+
+    SnapshotCheck {
+        scenarios: SCENARIOS as usize,
+        straight,
+        forked,
+    }
+}
+
 /// Renders a registry (plus an optional profile) with
 /// [`scflow_obs::render_metrics_json`] and writes it as `METRICS.json`
 /// via [`bench_output_path`]. Returns the path written.

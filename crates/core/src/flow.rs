@@ -7,9 +7,13 @@
 //! refinement step, which is the discipline the whole approach rests on.
 //!
 //! RTL validation runs on a selectable engine ([`SimEngine`]): the
-//! tree-walking interpreter or the compiled levelized engine. Both are
-//! bit-identical, so the choice only affects wall-clock time; the
-//! `SCFLOW_SIM_ENGINE` environment variable picks the default.
+//! tree-walking interpreter, the compiled levelized engine, or the
+//! 64-lane bit-parallel executor (lane 0). All three are bit-identical,
+//! so the choice only affects wall-clock time; the `SCFLOW_SIM_ENGINE`
+//! environment variable picks the default. Snapshot-capable engines can
+//! additionally amortise a shared warmup across many scenarios with
+//! [`run_forked_scenarios`] (warm up once, snapshot, restore per
+//! scenario).
 
 use crate::config::SrcConfig;
 use crate::models::beh::{synthesize_beh_src, BehVariant};
@@ -42,16 +46,24 @@ pub enum SimEngine {
     /// ([`CompiledSim`](scflow_rtl::CompiledSim)) — one-time compilation
     /// to flat bytecode, then activity-gated re-evaluation.
     Compiled,
+    /// The 64-lane bit-parallel executor over the same compiled bytecode
+    /// ([`BitRtlSim`](scflow_rtl::BitRtlSim)). In the flow's
+    /// single-stimulus harnesses it behaves as a lane-0 simulator
+    /// (pokes broadcast, peeks read lane 0), byte-identical to the
+    /// compiled engine; its 64 lanes pay off in scenario sweeps
+    /// ([`run_forked_scenarios`]).
+    BitParallel,
 }
 
 impl SimEngine {
     /// Reads the engine choice from the `SCFLOW_SIM_ENGINE` environment
-    /// variable (`interpreted` or `compiled`, case-insensitive).
-    /// Unset or unrecognised values fall back to the default
-    /// ([`SimEngine::Interpreted`]).
+    /// variable (`interpreted`, `compiled` or `rtl_bitpar`,
+    /// case-insensitive). Unset or unrecognised values fall back to the
+    /// default ([`SimEngine::Interpreted`]).
     pub fn from_env() -> Self {
         match std::env::var("SCFLOW_SIM_ENGINE") {
             Ok(v) if v.eq_ignore_ascii_case("compiled") => SimEngine::Compiled,
+            Ok(v) if v.eq_ignore_ascii_case("rtl_bitpar") => SimEngine::BitParallel,
             _ => SimEngine::Interpreted,
         }
     }
@@ -62,6 +74,7 @@ impl fmt::Display for SimEngine {
         f.write_str(match self {
             SimEngine::Interpreted => "interpreted",
             SimEngine::Compiled => "compiled",
+            SimEngine::BitParallel => "rtl_bitpar",
         })
     }
 }
@@ -329,6 +342,11 @@ pub fn validate_module_with(
             let mut sim = program.simulator();
             run_and_compare(&mut sim, design, golden, fixed_mode)
         }
+        SimEngine::BitParallel => {
+            let program = CompiledProgram::compile(module)?;
+            let mut sim = program.bit_simulator();
+            run_and_compare(&mut sim, design, golden, fixed_mode)
+        }
     }
 }
 
@@ -408,6 +426,93 @@ fn validate_all_levels_profiled(
 /// Returns the first failing design.
 pub fn validate_all_levels(cfg: &SrcConfig, input: &[i16]) -> Result<(), ScflowError> {
     validate_all_levels_with(SimEngine::from_env(), cfg, input)
+}
+
+/// Why a fork-style scenario sweep stopped (see
+/// [`run_forked_scenarios`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SweepError {
+    /// The engine returned `None` from [`Simulation::snapshot`] — only
+    /// snapshot-capable engines (the compiled RTL engines, the
+    /// bit-parallel gate engine) can run forked sweeps.
+    SnapshotUnsupported,
+    /// [`Simulation::restore`] refused the warmup snapshot before this
+    /// scenario index — should not happen for a blob the same engine
+    /// just produced, so it indicates the engine was swapped or the
+    /// blob was corrupted in between.
+    RestoreFailed {
+        /// Index into the scenario slice.
+        scenario: usize,
+    },
+    /// A scenario's batch was rejected.
+    Batch {
+        /// Index into the scenario slice.
+        scenario: usize,
+        /// The engine's refusal.
+        error: scflow_sim_api::BatchError,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::SnapshotUnsupported => {
+                f.write_str("engine does not support snapshots")
+            }
+            SweepError::RestoreFailed { scenario } => {
+                write!(f, "warmup snapshot refused before scenario {scenario}")
+            }
+            SweepError::Batch { scenario, error } => {
+                write!(f, "scenario {scenario} rejected: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Runs a scenario sweep fork-style: `warmup` drives the engine to the
+/// state every scenario shares (reset sequence, configuration, cache
+/// fill — whatever is common), the helper snapshots that state once,
+/// and each scenario then starts from a [`Simulation::restore`] of the
+/// snapshot instead of paying the warmup again.
+///
+/// With `lanes` set, each scenario batch runs through
+/// [`Simulation::step_batch_lanes`] — up to 64 independent stimulus
+/// items in one engine pass on the lane-parallel engines. Without it,
+/// scenarios run through the portable sequential
+/// [`Simulation::step_batch`], where a batch's items thread state from
+/// one to the next.
+///
+/// Returns one [`BatchReply`] per scenario; the engine is left in the
+/// final state of the *last* scenario (no trailing restore).
+///
+/// # Errors
+///
+/// [`SweepError::SnapshotUnsupported`] if the engine cannot snapshot,
+/// [`SweepError::RestoreFailed`] / [`SweepError::Batch`] on the first
+/// scenario that fails (earlier replies are discarded).
+pub fn run_forked_scenarios<S: scflow_sim_api::Simulation + ?Sized>(
+    sim: &mut S,
+    warmup: impl FnOnce(&mut S),
+    scenarios: &[scflow_sim_api::StimulusBatch],
+    lanes: bool,
+) -> Result<Vec<scflow_sim_api::BatchReply>, SweepError> {
+    warmup(sim);
+    let snap = sim.snapshot().ok_or(SweepError::SnapshotUnsupported)?;
+    let mut replies = Vec::with_capacity(scenarios.len());
+    for (scenario, batch) in scenarios.iter().enumerate() {
+        if !sim.restore(&snap) {
+            return Err(SweepError::RestoreFailed { scenario });
+        }
+        let reply = if lanes {
+            sim.step_batch_lanes(batch)
+        } else {
+            sim.step_batch(batch)
+        };
+        replies.push(reply.map_err(|error| SweepError::Batch { scenario, error })?);
+    }
+    Ok(replies)
 }
 
 /// Holds the scan interface inactive so a scan-stitched netlist behaves

@@ -79,8 +79,8 @@ pub mod prelude {
     pub use crate::algo::AlgoSrc;
     pub use crate::error::ScflowError;
     pub use crate::flow::{
-        run_area_flow, validate_all_levels, validate_all_levels_with, validate_module,
-        validate_module_with, AreaFigure, ServeOptions, SimEngine,
+        run_area_flow, run_forked_scenarios, validate_all_levels, validate_all_levels_with,
+        validate_module, validate_module_with, AreaFigure, ServeOptions, SimEngine, SweepError,
     };
     pub use crate::models::harness::{run_fixed, run_handshake};
     pub use crate::verify::{compare_bit_accurate, GoldenVectors};

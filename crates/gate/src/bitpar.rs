@@ -27,8 +27,13 @@ use crate::compile::{GateProgram, Instr};
 use crate::gsim::{GateSimStats, MemAccessViolation};
 use crate::netlist::{GNetId, GateNetlist};
 use scflow_hwtypes::{Bv, Logic, LogicVec};
+use scflow_sim_api::snapblob::{SnapshotReader, SnapshotWriter};
+use scflow_sim_api::Snapshot;
 
 const NO_FAULT: u32 = u32::MAX;
+
+/// Snapshot blob format version for this engine.
+const SNAP_VERSION: u16 = 1;
 
 /// NOT over two-plane words: unknowns stay unknown.
 #[inline(always)]
@@ -706,6 +711,130 @@ impl<'p> BitGateSim<'p> {
     /// is enabled.
     pub fn coverage(&self) -> Option<&scflow_obs::ToggleCoverage> {
         self.coverage.as_deref()
+    }
+
+    /// Captures the full simulation state — both planes of every net,
+    /// every lane's memory contents, the injected fault, counters,
+    /// the lane-0 violation stream and coverage observations — as a
+    /// versioned, length-prefixed [`Snapshot`] blob.
+    pub fn snapshot_state(&self) -> Snapshot {
+        let mut w =
+            SnapshotWriter::new("gate.bitpar", SNAP_VERSION, self.prog.content_hash());
+        w.u64(u64::from(self.lanes));
+        w.u64s(&self.val);
+        w.u64s(&self.unk);
+        w.u64(self.mems.len() as u64);
+        for m in &self.mems {
+            let words: Vec<u64> = m.iter().map(|b| b.as_u64()).collect();
+            w.u64s(&words);
+        }
+        w.u64(u64::from(self.fault_net));
+        w.u64(self.fault_val);
+        w.u64(self.stats.events);
+        w.u64(self.stats.gate_evals);
+        w.u64(self.stats.cycles);
+        w.u64(u64::from(self.dirty));
+        w.u64(self.violations.len() as u64);
+        for v in &self.violations {
+            w.u64(v.cycle);
+            w.bytes(v.memory.as_bytes());
+            w.u64(v.address);
+            w.u64(u64::from(v.write));
+        }
+        w.u64(u64::from(self.coverage.is_some()));
+        if let Some(cov) = self.coverage.as_deref() {
+            w.u64s(&cov.save_state());
+        }
+        w.finish()
+    }
+
+    /// Restores state captured by
+    /// [`snapshot_state`](BitGateSim::snapshot_state) on this engine or
+    /// an identically-configured twin (same netlist, lane count and
+    /// coverage configuration). Returns `false` — leaving the engine
+    /// untouched — when the blob is stale or corrupt.
+    pub fn restore_state(&mut self, snap: &Snapshot) -> bool {
+        let Some(mut r) =
+            SnapshotReader::open(snap, "gate.bitpar", SNAP_VERSION, self.prog.content_hash())
+        else {
+            return false;
+        };
+        let parsed = (|| {
+            let lanes = r.u64()?;
+            let val = r.u64s()?;
+            let unk = r.u64s()?;
+            let n_mems = r.u64()?;
+            let mut mems = Vec::new();
+            for _ in 0..n_mems {
+                mems.push(r.u64s()?);
+            }
+            let fault_net = u32::try_from(r.u64()?).ok()?;
+            let fault_val = r.u64()?;
+            let stats = GateSimStats {
+                events: r.u64()?,
+                gate_evals: r.u64()?,
+                cycles: r.u64()?,
+            };
+            let dirty = r.u64()? != 0;
+            let n_viol = usize::try_from(r.u64()?).ok()?;
+            let mut violations = Vec::with_capacity(n_viol.min(1024));
+            for _ in 0..n_viol {
+                let cycle = r.u64()?;
+                let memory = String::from_utf8(r.bytes()?.to_vec()).ok()?;
+                let address = r.u64()?;
+                let write = match r.u64()? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
+                violations.push(MemAccessViolation {
+                    cycle,
+                    memory,
+                    address,
+                    write,
+                });
+            }
+            let has_cov = r.u64()? != 0;
+            let cov_state = if has_cov { Some(r.u64s()?) } else { None };
+            r.done().then_some((
+                lanes, val, unk, mems, fault_net, fault_val, stats, dirty, violations,
+                cov_state,
+            ))
+        })();
+        let Some((lanes, val, unk, mems, fault_net, fault_val, stats, dirty, violations, cov_state)) =
+            parsed
+        else {
+            return false;
+        };
+        if lanes != u64::from(self.lanes)
+            || val.len() != self.val.len()
+            || unk.len() != self.unk.len()
+            || mems.len() != self.mems.len()
+            || mems.iter().zip(&self.mems).any(|(a, b)| a.len() != b.len())
+            || cov_state.is_some() != self.coverage.is_some()
+        {
+            return false;
+        }
+        if let (Some(state), Some(cov)) = (&cov_state, self.coverage.as_deref_mut()) {
+            if !cov.load_state(state) {
+                return false;
+            }
+        }
+        let nl = &*self.prog.nl;
+        for (mi, words) in mems.into_iter().enumerate() {
+            let width = nl.memories()[mi].width;
+            for (slot, word) in self.mems[mi].iter_mut().zip(words) {
+                *slot = Bv::new(word & scflow_hwtypes::mask(width), width);
+            }
+        }
+        self.val = val;
+        self.unk = unk;
+        self.fault_net = fault_net;
+        self.fault_val = fault_val;
+        self.stats = stats;
+        self.dirty = dirty;
+        self.violations = violations;
+        true
     }
 }
 

@@ -54,6 +54,7 @@ pub mod fault;
 mod fastsim;
 mod gsim;
 mod netlist;
+mod parhandle;
 mod parsim;
 mod partition;
 mod scan;
@@ -69,6 +70,7 @@ pub use error::GateError;
 pub use fastsim::FastGateSim;
 pub use gsim::{GateSim, GateSimStats, MemAccessViolation};
 pub use netlist::{GNetId, GateMemory, GateNetlist, Instance, NetlistBuilder};
+pub use parhandle::OwnedParGateSim;
 pub use parsim::{sim_threads, ParGateSim};
 pub use partition::Partition;
 // The unified engine interface both simulators implement.

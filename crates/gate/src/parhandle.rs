@@ -1,0 +1,358 @@
+//! An owning handle for the partitioned engine.
+//!
+//! [`ParGateSim`] runs its workers inside a thread scope, so the
+//! simulator itself only exists for the duration of a
+//! [`ParGateSim::with`] closure — fine for benchmarks, useless for a
+//! long-lived session that needs to *own* its engine. [`OwnedParGateSim`]
+//! bridges the gap: it spawns one host thread that owns the compiled
+//! program, enters `with` there, and serves operations sent over a
+//! channel as boxed closures. Dropping the handle closes the channel,
+//! which ends the host closure, tears down the worker scope and joins
+//! the host thread — no detached threads survive the handle.
+//!
+//! The handle implements [`Simulation`] (forwarding to the inner
+//! engine's impl, metrics prefix `gate.partitioned`), so the simulation
+//! service can back a `gate.partitioned` session with it exactly like
+//! any other engine. Every operation is one channel round-trip; the
+//! per-call cost is irrelevant next to a settle/tick, which is where the
+//! worker threads earn their keep.
+
+use std::sync::mpsc;
+use std::thread;
+
+use crate::{GateProgram, GateSimStats, MemAccessViolation, ParGateSim};
+use scflow_hwtypes::{Bv, LogicVec};
+use scflow_obs::ToggleCoverage;
+use scflow_sim_api::{
+    BatchError, BatchReply, EngineStats, MetricsRegistry, SimError, Simulation, StimulusBatch,
+};
+
+/// One queued operation: a closure the host thread applies to the live
+/// [`ParGateSim`].
+type Op = Box<dyn for<'p, 'sh> FnOnce(&mut ParGateSim<'p, 'sh>) + Send>;
+
+/// An owning, join-on-drop wrapper around [`ParGateSim`] (see the
+/// module docs).
+///
+/// Built with [`spawn`](OwnedParGateSim::spawn) from anything that can
+/// lend out a [`GateProgram`] — typically an `Arc` holding the compiled
+/// artifact — and usable wherever a `Box<dyn Simulation>` is.
+pub struct OwnedParGateSim {
+    tx: Option<mpsc::Sender<Op>>,
+    join: Option<thread::JoinHandle<()>>,
+    threads: usize,
+    lanes: u32,
+    /// Lane-0 coverage mirrored out of the host thread after each
+    /// mutating call, so `coverage(&self)` can hand out a reference.
+    cov: Option<Box<ToggleCoverage>>,
+    cov_enabled: bool,
+}
+
+impl OwnedParGateSim {
+    /// Spawns the host thread.
+    ///
+    /// `owner` is moved onto the host thread and `get` borrows the
+    /// compiled program out of it — e.g. an `Arc<GateProgram>` with
+    /// `|p| &**p`, or a shared artifact with an accessor closure. The
+    /// engine inherits [`ParGateSim::with`]'s semantics: `threads` is
+    /// clamped to `1..=64` and to the instruction count, `lanes` must
+    /// be `1..=64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is outside `1..=64` or the host thread cannot
+    /// be spawned.
+    #[must_use]
+    pub fn spawn<O, F>(owner: O, get: F, threads: usize, lanes: u32) -> Self
+    where
+        O: Send + 'static,
+        F: for<'a> FnOnce(&'a O) -> &'a GateProgram + Send + 'static,
+    {
+        // Mirror the `with` assertion here so a bad lane count panics
+        // on the caller's thread instead of poisoning the channel.
+        assert!(
+            (1..=64).contains(&lanes),
+            "ParGateSim supports 1..=64 lanes, got {lanes}"
+        );
+        let (tx, rx) = mpsc::channel::<Op>();
+        let join = thread::Builder::new()
+            .name("gate-par-host".into())
+            .spawn(move || {
+                let prog = get(&owner);
+                ParGateSim::with(prog, threads, lanes, |sim| {
+                    while let Ok(op) = rx.recv() {
+                        op(sim);
+                    }
+                });
+            })
+            .expect("spawn partitioned-engine host thread");
+        let mut handle = OwnedParGateSim {
+            tx: Some(tx),
+            join: Some(join),
+            threads: 0,
+            lanes: 0,
+            cov: None,
+            cov_enabled: false,
+        };
+        let (threads, lanes) = handle.call(|s| (s.threads(), s.lanes()));
+        handle.threads = threads;
+        handle.lanes = lanes;
+        handle
+    }
+
+    /// [`spawn`](OwnedParGateSim::spawn) from a shared compiled program.
+    #[must_use]
+    pub fn from_arc(prog: std::sync::Arc<GateProgram>, threads: usize, lanes: u32) -> Self {
+        Self::spawn(prog, |p| &**p, threads, lanes)
+    }
+
+    /// Runs `f` against the live engine on the host thread and returns
+    /// its result.
+    fn call<R, F>(&self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: for<'p, 'sh> FnOnce(&mut ParGateSim<'p, 'sh>) -> R + Send + 'static,
+    {
+        let (rtx, rrx) = mpsc::channel();
+        let op: Op = Box::new(move |sim: &mut ParGateSim<'_, '_>| {
+            let _ = rtx.send(f(sim));
+        });
+        self.tx
+            .as_ref()
+            .expect("channel lives until drop")
+            .send(op)
+            .expect("partitioned-engine host thread is alive");
+        rrx.recv().expect("partitioned-engine host thread replied")
+    }
+
+    fn refresh_cov(&mut self) {
+        if self.cov_enabled {
+            self.cov = self.call(|s| s.coverage().cloned().map(Box::new));
+        }
+    }
+
+    /// Worker thread count actually in use (after clamping).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Stimulus lanes per instruction word.
+    #[must_use]
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Engine-native activity counters (see [`ParGateSim::stats`]).
+    #[must_use]
+    pub fn gate_stats(&self) -> GateSimStats {
+        self.call(|s| ParGateSim::stats(s))
+    }
+
+    /// Checking-memory violations recorded so far (lane 0), in order.
+    #[must_use]
+    pub fn violations(&self) -> Vec<MemAccessViolation> {
+        self.call(|s| s.violations().to_vec())
+    }
+
+    /// Drives an input on every lane (see [`ParGateSim::set_input`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown ports or width mismatches (on the host
+    /// thread, which surfaces here as a dead-channel panic); prefer
+    /// [`Simulation::try_poke`] for validated pokes.
+    pub fn set_input(&mut self, name: &str, value: Bv) {
+        let name = name.to_string();
+        self.call(move |s| s.set_input(&name, value));
+    }
+
+    /// Drives an input on one lane (see [`ParGateSim::set_input_lane`]).
+    pub fn set_input_lane(&mut self, name: &str, lane: u32, value: Bv) {
+        let name = name.to_string();
+        self.call(move |s| s.set_input_lane(&name, lane, value));
+    }
+
+    /// Four-valued view of an output port on one lane.
+    #[must_use]
+    pub fn output_logic_lane(&self, name: &str, lane: u32) -> LogicVec {
+        let name = name.to_string();
+        self.call(move |s| s.output_logic_lane(&name, lane))
+    }
+
+    /// Settles combinational logic (see [`ParGateSim::settle`]).
+    pub fn settle(&mut self) {
+        self.call(|s| s.settle());
+    }
+
+    /// One clock edge (see [`ParGateSim::tick`]).
+    pub fn tick(&mut self) {
+        self.call(|s| s.tick());
+        self.refresh_cov();
+    }
+
+    /// Runs `n` clock cycles.
+    pub fn run(&mut self, n: u64) {
+        self.call(move |s| s.run(n));
+        self.refresh_cov();
+    }
+}
+
+impl Simulation for OwnedParGateSim {
+    fn step(&mut self) {
+        self.tick();
+    }
+
+    fn settle(&mut self) {
+        OwnedParGateSim::settle(self);
+    }
+
+    fn cycle(&self) -> u64 {
+        self.call(|s| s.stats().cycles)
+    }
+
+    fn try_poke(&mut self, port: &str, value: Bv) -> Result<(), SimError> {
+        let port = port.to_string();
+        self.call(move |s| s.try_set_input(&port, value))
+    }
+
+    fn try_peek(&self, port: &str) -> Result<Bv, SimError> {
+        let port = port.to_string();
+        self.call(move |s| Simulation::try_peek(s, &port))
+    }
+
+    fn has_input(&self, port: &str) -> bool {
+        let port = port.to_string();
+        self.call(move |s| Simulation::has_input(s, &port))
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.call(|s| Simulation::stats(s))
+    }
+
+    fn reset(&mut self) -> bool {
+        self.call(|s| s.reset());
+        self.refresh_cov();
+        true
+    }
+
+    fn set_coverage(&mut self, enabled: bool) -> bool {
+        self.call(move |s| s.set_coverage(enabled));
+        self.cov_enabled = enabled;
+        if enabled {
+            self.refresh_cov();
+        } else {
+            self.cov = None;
+        }
+        true
+    }
+
+    fn coverage(&self) -> Option<&ToggleCoverage> {
+        self.cov.as_deref()
+    }
+
+    fn metrics(&self) -> Option<MetricsRegistry> {
+        self.call(|s| Simulation::metrics(s))
+    }
+
+    fn step_batch(&mut self, batch: &StimulusBatch) -> Result<BatchReply, BatchError> {
+        let batch = batch.clone();
+        let reply = self.call(move |s| Simulation::step_batch(s, &batch));
+        self.refresh_cov();
+        reply
+    }
+}
+
+impl Drop for OwnedParGateSim {
+    fn drop(&mut self) {
+        // Closing the channel ends the host closure, which tears down
+        // the worker scope; join so no thread outlives the handle.
+        drop(self.tx.take());
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for OwnedParGateSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OwnedParGateSim")
+            .field("threads", &self.threads)
+            .field("lanes", &self.lanes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::celllib::CellKind;
+    use crate::netlist::NetlistBuilder;
+    use std::sync::Arc;
+
+    fn counter_prog() -> GateProgram {
+        let mut b = NetlistBuilder::new("cnt");
+        let en = b.input_port("en", 1)[0];
+        let q0 = b.net("q0".into());
+        let d0 = b.cell(CellKind::Xor2, &[q0, en]);
+        b.dff_onto(d0, q0, false);
+        let carry = b.cell(CellKind::And2, &[q0, en]);
+        let q1 = b.net("q1".into());
+        let d1 = b.cell(CellKind::Xor2, &[q1, carry]);
+        b.dff_onto(d1, q1, false);
+        b.output_port("q", &[q0, q1]);
+        GateProgram::compile(&b.build()).unwrap()
+    }
+
+    #[test]
+    fn owned_handle_matches_bitpar_and_joins_on_drop() {
+        let prog = Arc::new(counter_prog());
+        let mut bp = prog.simulator();
+        bp.set_coverage(true);
+        let mut owned = OwnedParGateSim::from_arc(Arc::clone(&prog), 2, 1);
+        assert_eq!(owned.lanes(), 1);
+        assert!(Simulation::set_coverage(&mut owned, true));
+        for cycle in 0..12 {
+            let en = Bv::bit(cycle % 3 != 0);
+            bp.set_input("en", en);
+            owned.set_input("en", en);
+            bp.tick();
+            Simulation::step(&mut owned);
+            assert_eq!(
+                bp.output_logic("q"),
+                owned.output_logic_lane("q", 0),
+                "cycle {cycle}"
+            );
+        }
+        assert_eq!(Simulation::cycle(&owned), 12);
+        assert_eq!(owned.gate_stats().cycles, 12);
+        assert_eq!(
+            bp.coverage().map(|c| c.report()),
+            Simulation::coverage(&owned).map(|c| c.report()),
+            "mirrored lane-0 coverage matches the single-host engine"
+        );
+        drop(owned); // joins the host thread; a hang here fails the test
+    }
+
+    #[test]
+    fn owned_handle_speaks_the_trait_protocol() {
+        let prog = Arc::new(counter_prog());
+        let mut owned = OwnedParGateSim::from_arc(prog, 2, 1);
+        assert!(Simulation::has_input(&owned, "en"));
+        assert!(!Simulation::has_input(&owned, "q"));
+        assert!(Simulation::try_poke(&mut owned, "nope", Bv::bit(true)).is_err());
+        Simulation::try_poke(&mut owned, "en", Bv::bit(true)).unwrap();
+        Simulation::step(&mut owned);
+        Simulation::step(&mut owned);
+        assert_eq!(
+            Simulation::try_peek(&owned, "q").unwrap(),
+            Bv::new(2, 2),
+            "counter reaches 2 after two enabled edges"
+        );
+        assert!(Simulation::snapshot(&owned).is_none());
+        assert!(Simulation::reset(&mut owned));
+        assert_eq!(Simulation::try_peek(&owned, "q").unwrap(), Bv::new(0, 2));
+        let m = Simulation::metrics(&owned).unwrap();
+        assert!(m.counter("gate.partitioned.cycles").is_some());
+    }
+}

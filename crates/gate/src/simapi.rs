@@ -12,7 +12,10 @@
 
 use crate::{BitGateSim, FastGateSim, GateSim, ParGateSim};
 use scflow_hwtypes::Bv;
-use scflow_sim_api::{EngineStats, MetricsRegistry, SimError, Simulation, ToggleCoverage};
+use scflow_sim_api::{
+    BatchError, BatchReply, EngineStats, MetricsRegistry, SimError, Simulation, Snapshot,
+    StimulusBatch, ToggleCoverage,
+};
 
 fn gate_metrics(
     stats: EngineStats,
@@ -176,6 +179,89 @@ impl Simulation for BitGateSim<'_> {
             "gate.bitpar",
             BitGateSim::coverage(self),
         ))
+    }
+
+    fn snapshot(&self) -> Option<Snapshot> {
+        Some(self.snapshot_state())
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> bool {
+        self.restore_state(snapshot)
+    }
+
+    /// Item *i* drives stimulus lane *i*; the whole batch runs in one
+    /// engine pass. The batch is validated before any lane is poked, so
+    /// a refused batch leaves the engine untouched. Output bits unknown
+    /// in a lane read as zero, matching [`Simulation::try_peek`].
+    fn step_batch_lanes(&mut self, batch: &StimulusBatch) -> Result<BatchReply, BatchError> {
+        let lanes = BitGateSim::lanes(self);
+        if batch.items.len() > lanes as usize {
+            return Err(BatchError::LanesOverflow {
+                items: batch.items.len(),
+                lanes,
+            });
+        }
+        let cycles = batch.items.first().map_or(0, |it| it.cycles);
+        if batch.items.iter().any(|it| it.cycles != cycles) {
+            return Err(BatchError::LanesMismatch);
+        }
+        for (i, item) in batch.items.iter().enumerate() {
+            for (port, value) in &item.pokes {
+                match self.netlist().input_port(port) {
+                    None => {
+                        return Err(BatchError::Item {
+                            index: Some(i),
+                            message: format!("no input port `{port}`"),
+                        });
+                    }
+                    Some(bits) if bits.len() as u32 != value.width() => {
+                        return Err(BatchError::Item {
+                            index: Some(i),
+                            message: format!(
+                                "port `{port}` is {} bits, value is {}",
+                                bits.len(),
+                                value.width()
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        for port in &batch.read {
+            if self.netlist().output_port(port).is_none() {
+                return Err(BatchError::Item {
+                    index: None,
+                    message: format!("no output port `{port}`"),
+                });
+            }
+        }
+        for (i, item) in batch.items.iter().enumerate() {
+            for (port, value) in &item.pokes {
+                self.set_input_lane(port, i as u32, *value);
+            }
+        }
+        self.run(cycles);
+        let outputs = (0..batch.items.len())
+            .map(|i| {
+                batch
+                    .read
+                    .iter()
+                    .map(|port| {
+                        let lv = self.output_logic_lane(port, i as u32);
+                        let width = lv.width() as u32;
+                        (
+                            port.clone(),
+                            lv.to_bv().unwrap_or_else(|| Bv::zero(width)),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(BatchReply {
+            outputs,
+            cycles: BitGateSim::stats(self).cycles,
+        })
     }
 }
 

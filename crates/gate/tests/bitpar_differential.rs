@@ -241,3 +241,64 @@ fn ppsfp_matches_serial_on_memory_bearing_scan_design() {
     }
     assert!(serial.detected > 0, "patterns detect something");
 }
+
+#[test]
+fn snapshot_forks_resume_identically_across_lanes() {
+    // Warm up, snapshot, run a tail straight through, then restore and
+    // rerun the same tail: per-lane outputs, the lane-0 violation
+    // stream, stats and the coverage report must all be byte-identical.
+    let nl = build_dut();
+    let prog = GateProgram::compile(&nl).expect("acyclic netlist compiles");
+    let mut sim = prog.simulator_lanes(64);
+    sim.set_coverage(true);
+    let mut rng = Rng::new(0x5AF_F0121);
+    let drive = |sim: &mut scflow_gate::BitGateSim<'_>, rng: &mut Rng| {
+        for lane in 0..64u32 {
+            sim.set_input_lane("din", lane, Bv::new(rng.next_u64() & 0xFF, 8));
+            sim.set_input_lane("wen", lane, Bv::new(rng.next_u64() & 1, 1));
+            sim.set_input_lane("waddr", lane, Bv::new(rng.next_u64() & 7, 3));
+            sim.set_input_lane("raddr", lane, Bv::new(rng.next_u64() & 7, 3));
+        }
+        sim.tick();
+    };
+    for _ in 0..40 {
+        drive(&mut sim, &mut rng);
+    }
+    let snap = sim.snapshot_state();
+    let tail_rng = rng.clone();
+    for _ in 0..25 {
+        drive(&mut sim, &mut rng);
+    }
+    let straight: Vec<_> = (0..64)
+        .map(|l| (sim.output_logic_lane("acc", l), sim.output_logic_lane("dout", l)))
+        .collect();
+    let straight_viol = sim.violations().to_vec();
+    let straight_stats = sim.stats();
+    let straight_cov = sim.coverage().expect("coverage enabled").report();
+
+    assert!(sim.restore_state(&snap), "blob restores onto its own design");
+    assert_eq!(sim.stats().cycles, 40, "restore rewinds the cycle count");
+    let mut rng = tail_rng;
+    for _ in 0..25 {
+        drive(&mut sim, &mut rng);
+    }
+    let rerun: Vec<_> = (0..64)
+        .map(|l| (sim.output_logic_lane("acc", l), sim.output_logic_lane("dout", l)))
+        .collect();
+    assert_eq!(rerun, straight, "per-lane outputs identical after fork");
+    assert_eq!(sim.violations(), straight_viol.as_slice());
+    assert_eq!(sim.stats(), straight_stats);
+    assert_eq!(sim.coverage().expect("coverage enabled").report(), straight_cov);
+
+    // A blob from a different design (or lane width) must be refused
+    // without touching state.
+    let mut other = NetlistBuilder::new("other");
+    let a = other.input_port("a", 1)[0];
+    let y = other.cell(CellKind::Inv, &[a]);
+    other.output_port("y", &[y]);
+    let other_prog = GateProgram::compile(&other.build()).unwrap();
+    let other_snap = other_prog.simulator().snapshot_state();
+    let before = sim.stats();
+    assert!(!sim.restore_state(&other_snap), "stale blob refused");
+    assert_eq!(sim.stats(), before, "refused restore leaves state alone");
+}

@@ -183,6 +183,52 @@ impl ToggleCoverage {
         )
     }
 
+    /// The collector's observation state as a flat word vector —
+    /// `samples` followed by the five per-item arrays — for engine
+    /// snapshots. The tracked item list is structure, not state, and is
+    /// not included; [`load_state`](ToggleCoverage::load_state) on a
+    /// collector with the same item list restores the observations
+    /// exactly.
+    #[must_use]
+    pub fn save_state(&self) -> Vec<u64> {
+        let n = self.names.len();
+        let mut out = Vec::with_capacity(1 + 5 * n);
+        out.push(self.samples);
+        out.extend_from_slice(&self.prev_val);
+        out.extend_from_slice(&self.prev_known);
+        out.extend_from_slice(&self.rose);
+        out.extend_from_slice(&self.fell);
+        out.extend_from_slice(&self.flips);
+        out
+    }
+
+    /// Restores observation state captured by
+    /// [`save_state`](ToggleCoverage::save_state) on a collector
+    /// tracking the same item list. Returns `false` (leaving the
+    /// collector untouched) when the word count does not match this
+    /// collector's item list.
+    pub fn load_state(&mut self, words: &[u64]) -> bool {
+        let n = self.names.len();
+        if words.len() != 1 + 5 * n {
+            return false;
+        }
+        self.samples = words[0];
+        if n == 0 {
+            return true;
+        }
+        let mut fields = words[1..].chunks_exact(n);
+        for dst in [
+            &mut self.prev_val,
+            &mut self.prev_known,
+            &mut self.rose,
+            &mut self.fell,
+            &mut self.flips,
+        ] {
+            dst.copy_from_slice(fields.next().expect("five fields"));
+        }
+        true
+    }
+
     /// Registers the aggregates (and per-item flip counts, for item
     /// lists up to 512) under `prefix`. Metric names only depend on the
     /// tracked item list, so for a fixed design they are stable
@@ -235,6 +281,23 @@ mod tests {
         cov.sample_with(|_| (1, 1)); // 0 → 1
         assert_eq!(cov.flips(0), 2);
         assert_eq!(cov.covered_bits(), 1);
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut cov = ToggleCoverage::new([("a".to_owned(), 4), ("b".to_owned(), 2)]);
+        for v in [0u64, 5, 10, 5] {
+            cov.sample_with(|i| (v >> i, u64::MAX));
+        }
+        let words = cov.save_state();
+        let mut twin = ToggleCoverage::new([("a".to_owned(), 4), ("b".to_owned(), 2)]);
+        assert!(twin.load_state(&words));
+        assert_eq!(twin, cov);
+        assert_eq!(twin.report(), cov.report());
+        // A mismatched item list refuses and stays untouched.
+        let mut other = ToggleCoverage::new([("a".to_owned(), 4)]);
+        assert!(!other.load_state(&words));
+        assert_eq!(other.samples(), 0);
     }
 
     #[test]

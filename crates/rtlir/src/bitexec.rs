@@ -1,0 +1,1239 @@
+//! 64-lane bit-parallel executor for compiled RTL programs.
+//!
+//! [`BitRtlSim`] runs the same levelized bytecode as
+//! [`CompiledSim`](crate::CompiledSim) over 64 independent stimulus
+//! lanes at once. Where the gate-level engine transposes single-bit
+//! nets into two-plane `(value, unknown)` words, the RTL bytecode is
+//! two-valued *word* arithmetic — so the profitable transposition here
+//! is lane-major: every slot of the dense u64 array becomes a
+//! contiguous 64-word stripe, `stripe[l]` holding lane *l*'s value, and
+//! each instruction dispatch executes a fixed-length 64-element loop
+//! over the stripes. One decode + bounds-checked dispatch then covers
+//! 64 scenarios (and auto-vectorises), which is where a bytecode
+//! interpreter spends most of its time; an unknown plane would be
+//! permanently zero in this two-valued domain and is deliberately not
+//! materialised.
+//!
+//! Semantics per lane are exactly [`CompiledSim`](crate::CompiledSim)'s:
+//! per-lane register and memory state, shared clock and activity
+//! gating (a cone re-evaluates when *any* lane's fanin changed — a
+//! conservative superset that recomputes identical values on quiet
+//! lanes). The mux-arm memory reads the compiler lowers to branches
+//! can diverge between lanes, so instruction ranges containing jumps
+//! fall back to scalar per-lane execution (lane order 0..64), keeping
+//! branch semantics identical; jump-free ranges — the vast majority —
+//! run lane-parallel. The checking-memory violation stream, toggle
+//! coverage, waveform history and VCD bytes are recorded for **lane 0
+//! only** and are byte-identical to a `CompiledSim` run fed lane 0's
+//! stimulus.
+
+use crate::compile::{CompiledProgram, Inst};
+use crate::module::{MemoryId, NetId};
+use crate::sim::MemViolation;
+use crate::snapstate;
+use scflow_hwtypes::Bv;
+use scflow_obs::ToggleCoverage;
+use scflow_sim_api::snapblob::{SnapshotReader, SnapshotWriter};
+use scflow_sim_api::Snapshot;
+use std::ops::Range;
+
+/// Stimulus lanes per pass — the stripe width of every slot.
+pub const RTL_LANES: u32 = 64;
+
+const L: usize = RTL_LANES as usize;
+
+/// Snapshot blob format version for this engine.
+const SNAP_VERSION: u16 = 1;
+
+/// Branchless low-`w`-bits mask (widths pre-validated as 1..=64).
+#[inline(always)]
+fn mask(w: u32) -> u64 {
+    u64::MAX >> (64 - w)
+}
+
+/// Sign-extends the low `w` bits (`w` in 1..=64).
+#[inline(always)]
+fn sign_extend(raw: u64, w: u32) -> i64 {
+    let shift = 64 - w;
+    ((raw << shift) as i64) >> shift
+}
+
+/// Loads slot `s`'s 64-lane stripe into a register-friendly array.
+#[inline(always)]
+fn ld(slots: &[u64], s: u32) -> [u64; L] {
+    let mut o = [0u64; L];
+    o.copy_from_slice(&slots[s as usize * L..s as usize * L + L]);
+    o
+}
+
+/// Stores a 64-lane stripe into slot `s`.
+#[inline(always)]
+fn st(slots: &mut [u64], s: u32, v: &[u64; L]) {
+    slots[s as usize * L..s as usize * L + L].copy_from_slice(v);
+}
+
+#[inline(always)]
+fn un(slots: &mut [u64], dst: u32, a: u32, f: impl Fn(u64) -> u64) {
+    let av = ld(slots, a);
+    let d = &mut slots[dst as usize * L..dst as usize * L + L];
+    for l in 0..L {
+        d[l] = f(av[l]);
+    }
+}
+
+#[inline(always)]
+fn bin(slots: &mut [u64], dst: u32, a: u32, b: u32, f: impl Fn(u64, u64) -> u64) {
+    let (av, bv) = (ld(slots, a), ld(slots, b));
+    let d = &mut slots[dst as usize * L..dst as usize * L + L];
+    for l in 0..L {
+        d[l] = f(av[l], bv[l]);
+    }
+}
+
+#[inline(always)]
+fn tri(slots: &mut [u64], dst: u32, a: u32, b: u32, c: u32, f: impl Fn(u64, u64, u64) -> u64) {
+    let (av, bv, cv) = (ld(slots, a), ld(slots, b), ld(slots, c));
+    let d = &mut slots[dst as usize * L..dst as usize * L + L];
+    for l in 0..L {
+        d[l] = f(av[l], bv[l], cv[l]);
+    }
+}
+
+#[inline(always)]
+fn quad(
+    slots: &mut [u64],
+    dst: u32,
+    a: u32,
+    b: u32,
+    c: u32,
+    e: u32,
+    f: impl Fn(u64, u64, u64, u64) -> u64,
+) {
+    let (av, bv, cv, ev) = (ld(slots, a), ld(slots, b), ld(slots, c), ld(slots, e));
+    let d = &mut slots[dst as usize * L..dst as usize * L + L];
+    for l in 0..L {
+        d[l] = f(av[l], bv[l], cv[l], ev[l]);
+    }
+}
+
+/// One write port's sampled edge inputs, all lanes. `en` is a lane
+/// bitmask; `addr`/`data` are only meaningful on enabled lanes.
+struct WriteSample {
+    en: u64,
+    addr: [u64; L],
+    data: [u64; L],
+}
+
+/// A 64-lane bit-parallel simulator instance over a
+/// [`CompiledProgram`].
+///
+/// Per-cycle protocol matches [`CompiledSim`](crate::CompiledSim);
+/// broadcast accessors ([`set_input`](BitRtlSim::set_input)) drive all
+/// lanes, the `_lane` accessors address one. Lane 0 carries the
+/// observability contract (violations, coverage, waveforms).
+pub struct BitRtlSim<'p> {
+    prog: &'p CompiledProgram,
+    /// Lane-major stripes: slot `s`, lane `l` at `s * 64 + l`.
+    slots: Vec<u64>,
+    /// Per-memory lane-major words: address `a`, lane `l` at `a * 64 + l`.
+    mems: Vec<Vec<u64>>,
+    comb_pending: Vec<u64>,
+    comb_any: bool,
+    write_pending: bool,
+    force_eval: bool,
+    cycle: u64,
+    /// Lane 0's out-of-range accesses (see `check_addresses`).
+    violations: Vec<MemViolation>,
+    watched: Vec<u32>,
+    history: Vec<(u64, Vec<Bv>)>,
+    samples: Vec<WriteSample>,
+    have_samples: bool,
+    evals: u64,
+    skipped: u64,
+    coverage: Option<Box<ToggleCoverage>>,
+    /// Jump counts before each index of the combinational / sequential
+    /// instruction arrays, so "does this range branch?" is two loads.
+    comb_jumps: Vec<u32>,
+    seq_jumps: Vec<u32>,
+    /// When `false` (the default), out-of-range accesses wrap silently.
+    /// Enabling this also disables activity gating, so lane 0's
+    /// violation stream is identical to the interpreter's and
+    /// [`CompiledSim`](crate::CompiledSim)'s.
+    pub check_addresses: bool,
+}
+
+fn jump_prefix(insts: &[Inst]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(insts.len() + 1);
+    let mut n = 0u32;
+    out.push(0);
+    for inst in insts {
+        if matches!(inst, Inst::Jmp { .. } | Inst::JmpZero { .. }) {
+            n += 1;
+        }
+        out.push(n);
+    }
+    out
+}
+
+impl<'p> BitRtlSim<'p> {
+    /// Creates a 64-lane executor with every lane at the power-on
+    /// image: registers at `init`, inputs at zero, memories at their
+    /// initial contents.
+    pub fn new(prog: &'p CompiledProgram) -> Self {
+        let mut slots = vec![0u64; prog.init.len() * L];
+        for (s, &v) in prog.init.iter().enumerate() {
+            slots[s * L..s * L + L].fill(v);
+        }
+        let mems = prog
+            .mems
+            .iter()
+            .map(|m| {
+                let mut words = vec![0u64; m.init.len() * L];
+                for (a, &v) in m.init.iter().enumerate() {
+                    words[a * L..a * L + L].fill(v);
+                }
+                words
+            })
+            .collect();
+        let mut sim = BitRtlSim {
+            prog,
+            slots,
+            mems,
+            comb_pending: vec![0; prog.cones.len().div_ceil(64)],
+            comb_any: false,
+            write_pending: true,
+            force_eval: true,
+            cycle: 0,
+            violations: Vec::new(),
+            watched: Vec::new(),
+            history: Vec::new(),
+            samples: prog
+                .writes
+                .iter()
+                .map(|_| WriteSample {
+                    en: 0,
+                    addr: [0; L],
+                    data: [0; L],
+                })
+                .collect(),
+            have_samples: false,
+            evals: 0,
+            skipped: 0,
+            coverage: None,
+            comb_jumps: jump_prefix(&prog.insts),
+            seq_jumps: jump_prefix(&prog.seq_insts),
+            check_addresses: false,
+        };
+        sim.settle();
+        sim
+    }
+
+    /// The program this executor runs.
+    pub fn program(&self) -> &'p CompiledProgram {
+        self.prog
+    }
+
+    /// Stimulus lanes (always [`RTL_LANES`]).
+    pub fn lanes(&self) -> u32 {
+        RTL_LANES
+    }
+
+    /// The number of completed clock cycles (shared by all lanes).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Bytecode dispatches executed so far (one vectorised dispatch
+    /// covers all 64 lanes; scalar-fallback ranges count per lane).
+    pub fn instructions_executed(&self) -> u64 {
+        self.evals
+    }
+
+    /// Combinational cones skipped by activity gating so far.
+    pub fn cones_skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    pub(crate) fn port(&self, name: &str) -> Option<&crate::compile::CompiledPort> {
+        self.prog.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Sets an input port on **all** lanes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown ports, non-inputs, or width mismatches.
+    pub fn try_set_input(
+        &mut self,
+        name: &str,
+        value: Bv,
+    ) -> Result<(), scflow_sim_api::SimError> {
+        use scflow_sim_api::SimError;
+        let port = self
+            .port(name)
+            .ok_or_else(|| SimError::UnknownPort(name.to_string()))?;
+        if !port.input {
+            return Err(SimError::NotAnInput(name.to_string()));
+        }
+        if port.width != value.width() {
+            return Err(SimError::WidthMismatch {
+                port: name.to_string(),
+                port_width: port.width,
+                value_width: value.width(),
+            });
+        }
+        self.broadcast(port.slot, value.as_u64());
+        Ok(())
+    }
+
+    /// Sets an input port on all lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input port of that name exists or the width differs.
+    pub fn set_input(&mut self, name: &str, value: Bv) {
+        if let Err(e) = self.try_set_input(name, value) {
+            panic!("{e}");
+        }
+    }
+
+    /// Sets an input port on one lane (callers validate name and width
+    /// first, e.g. through the batch API).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown/non-input ports, width mismatches, or a lane
+    /// out of range.
+    pub fn set_input_lane(&mut self, name: &str, lane: u32, value: Bv) {
+        let port = self
+            .port(name)
+            .unwrap_or_else(|| panic!("no port named `{name}`"));
+        assert!(port.input, "port `{name}` is not an input");
+        assert_eq!(port.width, value.width(), "width mismatch on `{name}`");
+        assert!(lane < RTL_LANES, "lane {lane} out of range");
+        let slot = port.slot;
+        let idx = slot as usize * L + lane as usize;
+        if self.slots[idx] != value.as_u64() {
+            self.slots[idx] = value.as_u64();
+            self.mark(slot);
+        }
+    }
+
+    fn broadcast(&mut self, slot: u32, value: u64) {
+        let stripe = &mut self.slots[slot as usize * L..slot as usize * L + L];
+        if stripe.iter().any(|&v| v != value) {
+            stripe.fill(value);
+            self.mark(slot);
+        }
+    }
+
+    /// Reads an output port's lane-0 value.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown ports or non-outputs.
+    pub fn try_output(&self, name: &str) -> Result<Bv, scflow_sim_api::SimError> {
+        use scflow_sim_api::SimError;
+        let port = self
+            .port(name)
+            .ok_or_else(|| SimError::UnknownPort(name.to_string()))?;
+        if port.input {
+            return Err(SimError::NotAnOutput(name.to_string()));
+        }
+        Ok(Bv::new(self.slots[port.slot as usize * L], port.width))
+    }
+
+    /// Reads an output port's lane-0 value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output port of that name exists.
+    pub fn output(&self, name: &str) -> Bv {
+        match self.try_output(name) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Reads an output port on one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown ports, non-outputs, or a lane out of range.
+    pub fn output_lane(&self, name: &str, lane: u32) -> Bv {
+        let port = self
+            .port(name)
+            .unwrap_or_else(|| panic!("no port named `{name}`"));
+        assert!(!port.input, "port `{name}` is not an output");
+        assert!(lane < RTL_LANES, "lane {lane} out of range");
+        Bv::new(self.slots[port.slot as usize * L + lane as usize], port.width)
+    }
+
+    /// `true` if the design declares an input port of this name.
+    pub fn module_has_input(&self, name: &str) -> bool {
+        self.port(name).is_some_and(|p| p.input)
+    }
+
+    /// Resolves an input port name for handle-based broadcast pokes.
+    pub fn input_index(&self, name: &str) -> Option<u32> {
+        self.prog
+            .ports
+            .iter()
+            .position(|p| p.input && p.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Resolves an output port name for handle-based lane-0 peeks.
+    pub fn output_index(&self, name: &str) -> Option<u32> {
+        self.prog
+            .ports
+            .iter()
+            .position(|p| !p.input && p.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Broadcast poke by resolved index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch or an index not from
+    /// [`input_index`](BitRtlSim::input_index).
+    pub fn set_input_at(&mut self, index: u32, value: Bv) {
+        let port = &self.prog.ports[index as usize];
+        assert!(
+            port.input && port.width == value.width(),
+            "bad handle write to `{}`: input={} width {} vs {}",
+            port.name,
+            port.input,
+            port.width,
+            value.width()
+        );
+        self.broadcast(port.slot, value.as_u64());
+    }
+
+    /// Lane-0 peek by resolved index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn output_at(&self, index: u32) -> Bv {
+        let port = &self.prog.ports[index as usize];
+        Bv::new(self.slots[port.slot as usize * L], port.width)
+    }
+
+    /// Reads any net's lane-0 value (white-box/differential checks).
+    pub fn peek_net(&self, net: NetId) -> Bv {
+        self.peek_net_lane(net, 0)
+    }
+
+    /// Reads any net on one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane is out of range.
+    pub fn peek_net_lane(&self, net: NetId, lane: u32) -> Bv {
+        assert!(lane < RTL_LANES, "lane {lane} out of range");
+        let i = net.0;
+        Bv::new(self.slots[i * L + lane as usize], self.prog.net_widths[i])
+    }
+
+    /// Reads a memory word on one lane (white-box tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn peek_mem_lane(&self, mem: MemoryId, addr: usize, lane: u32) -> Bv {
+        assert!(lane < RTL_LANES, "lane {lane} out of range");
+        Bv::new(
+            self.mems[mem.0][addr * L + lane as usize],
+            self.prog.mems[mem.0].width,
+        )
+    }
+
+    fn mark(&mut self, slot: u32) {
+        let s = slot as usize;
+        let prog = self.prog;
+        let lo = prog.net_sched_off[s] as usize;
+        let hi = prog.net_sched_off[s + 1] as usize;
+        for &(w, m) in &prog.net_sched[lo..hi] {
+            self.comb_pending[w as usize] |= m;
+        }
+        self.comb_any |= hi > lo;
+        self.write_pending |= prog.net_schedules_write[s];
+    }
+
+    fn mark_mem(&mut self, mem: u32) {
+        let m = mem as usize;
+        let prog = self.prog;
+        let lo = prog.mem_sched_off[m] as usize;
+        let hi = prog.mem_sched_off[m + 1] as usize;
+        for &(w, mk) in &prog.mem_sched[lo..hi] {
+            self.comb_pending[w as usize] |= mk;
+        }
+        self.comb_any |= hi > lo;
+        self.write_pending |= prog.mem_schedules_write[m];
+    }
+
+    /// Executes `range` of the combinational (`seq == false`) or
+    /// sequential instruction array: vectorised when jump-free, scalar
+    /// per-lane otherwise. `record0` gates lane-0 violation recording
+    /// (used to suppress reads inside write-port address/data blocks
+    /// whose lane 0 is not enabled, matching the scalar engine's lazy
+    /// evaluation).
+    fn exec(&mut self, seq: bool, range: Range<u32>, record0: bool) {
+        let (insts, jumps) = if seq {
+            (&self.prog.seq_insts[..], &self.seq_jumps)
+        } else {
+            (&self.prog.insts[..], &self.comb_jumps)
+        };
+        let start = range.start as usize;
+        let end = range.end as usize;
+        let check0 = self.check_addresses && record0;
+        let has_jump = jumps[end] > jumps[start];
+        let mems: &mut [Vec<u64>] = &mut self.mems;
+        if has_jump {
+            self.evals += exec_scalar(
+                self.prog,
+                insts,
+                start..end,
+                &mut self.slots,
+                mems,
+                &mut self.violations,
+                check0,
+                self.cycle,
+            );
+        } else {
+            self.evals += exec_vec(
+                self.prog,
+                insts,
+                start..end,
+                &mut self.slots,
+                mems,
+                &mut self.violations,
+                check0,
+                self.cycle,
+            );
+        }
+    }
+
+    /// Propagates combinational logic to a fixed point, event-driven
+    /// unless address checking (or the first pass) forces a full
+    /// re-evaluation — the scalar engine's settle, stripe-wide.
+    pub fn settle(&mut self) {
+        let prog = self.prog;
+        if !self.check_addresses && !self.force_eval {
+            if !self.comb_any {
+                self.skipped += u64::from(prog.n_active_cones);
+                return;
+            }
+            let mut ran = 0u64;
+            for wi in 0..self.comb_pending.len() {
+                loop {
+                    let word = self.comb_pending[wi];
+                    if word == 0 {
+                        break;
+                    }
+                    let bit = word.trailing_zeros();
+                    self.comb_pending[wi] = word & (word - 1);
+                    let ci = wi * 64 + bit as usize;
+                    let cone = prog.cones[ci].clone();
+                    let old = ld(&self.slots, cone.target);
+                    self.exec(false, cone.insts, true);
+                    ran += 1;
+                    if ld(&self.slots, cone.target) != old {
+                        self.mark(cone.target);
+                    }
+                }
+            }
+            self.skipped += u64::from(prog.n_active_cones).saturating_sub(ran);
+            self.comb_any = false;
+        } else {
+            for ci in 0..prog.cones.len() {
+                let cone = prog.cones[ci].clone();
+                if cone.insts.is_empty() {
+                    continue;
+                }
+                let old = ld(&self.slots, cone.target);
+                self.exec(false, cone.insts, true);
+                if ld(&self.slots, cone.target) != old {
+                    self.mark(cone.target);
+                }
+            }
+            if self.comb_any {
+                for w in &mut self.comb_pending {
+                    *w = 0;
+                }
+                self.comb_any = false;
+            }
+        }
+        self.force_eval = false;
+    }
+
+    /// Advances one clock cycle on all lanes: settle, sample register
+    /// and write-port inputs, commit per lane, settle again.
+    pub fn tick(&mut self) {
+        let prog = self.prog;
+        self.settle();
+
+        self.exec(true, prog.reg_sample_insts.clone(), true);
+
+        // Sample memory writes. Address/data blocks evaluate when *any*
+        // lane is enabled; lane-0 violation recording inside them stays
+        // gated on lane 0's own enable, so lane 0's stream is identical
+        // to the scalar engine's lazy evaluation.
+        if self.check_addresses || self.write_pending {
+            for wi in 0..prog.writes.len() {
+                let w = prog.writes[wi].clone();
+                self.exec(true, w.en_insts, true);
+                let en_stripe = ld(&self.slots, w.en_slot);
+                let mut en = 0u64;
+                for (l, &e) in en_stripe.iter().enumerate() {
+                    en |= u64::from(e != 0) << l;
+                }
+                self.samples[wi].en = en;
+                if en != 0 {
+                    let lane0 = en & 1 != 0;
+                    self.exec(true, w.addr_insts, lane0);
+                    self.exec(true, w.data_insts, lane0);
+                    self.samples[wi].addr = ld(&self.slots, w.addr_slot);
+                    self.samples[wi].data = ld(&self.slots, w.data_slot);
+                }
+            }
+            self.write_pending = false;
+            self.have_samples = true;
+        } else {
+            self.have_samples = false;
+        }
+
+        // Commit registers, per lane.
+        for r in &prog.regs {
+            let v = ld(&self.slots, r.src);
+            if ld(&self.slots, r.q) != v {
+                st(&mut self.slots, r.q, &v);
+                self.mark(r.q);
+            }
+        }
+        // Commit memory writes, per lane, ports in declaration order.
+        if self.have_samples {
+            for (wi, w) in prog.writes.iter().enumerate() {
+                let s = &self.samples[wi];
+                if s.en == 0 {
+                    continue;
+                }
+                let mi = w.mem as usize;
+                let words = (self.mems[mi].len() / L) as u64;
+                let mut changed = false;
+                for l in 0..L {
+                    if s.en & (1 << l) == 0 {
+                        continue;
+                    }
+                    let addr = s.addr[l];
+                    let idx = if addr < words {
+                        addr as usize
+                    } else {
+                        if l == 0 && self.check_addresses {
+                            self.violations.push(MemViolation {
+                                cycle: self.cycle,
+                                memory: prog.mems[mi].name.clone(),
+                                address: addr,
+                                write: true,
+                            });
+                        }
+                        (addr % words) as usize
+                    };
+                    let word = &mut self.mems[mi][idx * L + l];
+                    if *word != s.data[l] {
+                        *word = s.data[l];
+                        changed = true;
+                    }
+                }
+                if changed {
+                    self.mark_mem(w.mem);
+                }
+            }
+        }
+
+        self.cycle += 1;
+        self.settle();
+        if !self.watched.is_empty() {
+            let snapshot = self
+                .watched
+                .iter()
+                .map(|&s| Bv::new(self.slots[s as usize * L], prog.net_widths[s as usize]))
+                .collect();
+            self.history.push((self.cycle, snapshot));
+        }
+        if let Some(cov) = self.coverage.as_deref_mut() {
+            let slots = &self.slots;
+            cov.sample_with(|i| (slots[i * L], u64::MAX));
+        }
+    }
+
+    /// Runs `n` clock cycles with the current inputs.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Lane 0's out-of-range accesses (populated while
+    /// [`check_addresses`](BitRtlSim::check_addresses) is enabled).
+    pub fn violations(&self) -> &[MemViolation] {
+        &self.violations
+    }
+
+    /// Toggle-coverage collection over the module's nets, sampled from
+    /// lane 0 — byte-identical maps to the scalar engines on lane 0's
+    /// stimulus.
+    pub fn set_coverage(&mut self, enabled: bool) {
+        if !enabled {
+            self.coverage = None;
+            return;
+        }
+        let prog = self.prog;
+        let mut cov = ToggleCoverage::new(
+            prog.net_names
+                .iter()
+                .zip(&prog.net_widths)
+                .map(|(n, &w)| (n.clone(), w)),
+        );
+        let slots = &self.slots;
+        cov.sample_with(|i| (slots[i * L], u64::MAX));
+        self.coverage = Some(Box::new(cov));
+    }
+
+    /// The lane-0 per-net toggle-coverage map, if collection is enabled.
+    pub fn coverage(&self) -> Option<&ToggleCoverage> {
+        self.coverage.as_deref()
+    }
+
+    /// Adds a net to the (lane-0) waveform watch list.
+    pub fn watch_net(&mut self, net: NetId) {
+        self.watched.push(net.0 as u32);
+    }
+
+    /// Convenience: watch a port by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn watch_port(&mut self, name: &str) {
+        let port = self
+            .port(name)
+            .unwrap_or_else(|| panic!("no port named `{name}`"));
+        self.watched.push(port.slot);
+    }
+
+    /// Renders the watched nets' lane-0 history as a VCD document —
+    /// byte-identical to the scalar engines' for the same watch list
+    /// and lane-0 stimulus.
+    pub fn waveform_vcd(&self, clock_period_ps: u64) -> String {
+        let vars: Vec<(u32, &str)> = self
+            .watched
+            .iter()
+            .map(|&s| {
+                (
+                    self.prog.net_widths[s as usize],
+                    self.prog.net_names[s as usize].as_str(),
+                )
+            })
+            .collect();
+        crate::trace::render_vcd(&vars, &self.history, clock_period_ps)
+    }
+
+    /// Returns every lane to the power-on image and clears all recorded
+    /// run state (cycle count, violations, waveforms, coverage
+    /// observations).
+    pub fn reset(&mut self) {
+        for (s, &v) in self.prog.init.iter().enumerate() {
+            self.slots[s * L..s * L + L].fill(v);
+        }
+        for (mi, m) in self.prog.mems.iter().enumerate() {
+            for (a, &v) in m.init.iter().enumerate() {
+                self.mems[mi][a * L..a * L + L].fill(v);
+            }
+        }
+        for w in &mut self.comb_pending {
+            *w = 0;
+        }
+        self.comb_any = false;
+        self.write_pending = true;
+        self.force_eval = true;
+        self.cycle = 0;
+        self.violations.clear();
+        self.history.clear();
+        self.have_samples = false;
+        self.evals = 0;
+        self.skipped = 0;
+        self.settle();
+        if let Some(cov) = self.coverage.as_deref_mut() {
+            cov.clear();
+            let slots = &self.slots;
+            cov.sample_with(|i| (slots[i * L], u64::MAX));
+        }
+    }
+
+    /// Captures the full 64-lane simulation state as a versioned,
+    /// length-prefixed [`Snapshot`] blob (slots, registers, memories,
+    /// cycle count, violation stream, waveform history, coverage map).
+    pub fn snapshot_state(&self) -> Snapshot {
+        let mut w = SnapshotWriter::new("rtl.bitpar", SNAP_VERSION, self.prog.state_identity());
+        w.u64(u64::from(self.check_addresses));
+        let watched: Vec<u64> = self.watched.iter().map(|&s| u64::from(s)).collect();
+        w.u64s(&watched);
+        w.u64(self.cycle);
+        w.u64s(&self.slots);
+        w.u64(self.mems.len() as u64);
+        for m in &self.mems {
+            w.u64s(m);
+        }
+        w.u64s(&self.comb_pending);
+        w.u64(
+            u64::from(self.comb_any)
+                | u64::from(self.write_pending) << 1
+                | u64::from(self.force_eval) << 2,
+        );
+        w.u64(self.evals);
+        w.u64(self.skipped);
+        snapstate::write_violations(&mut w, &self.violations);
+        snapstate::write_history(&mut w, &self.history);
+        w.u64(u64::from(self.coverage.is_some()));
+        if let Some(cov) = self.coverage.as_deref() {
+            w.u64s(&cov.save_state());
+        }
+        w.finish()
+    }
+
+    /// Restores state captured by
+    /// [`snapshot_state`](BitRtlSim::snapshot_state) on this engine or
+    /// an identically-configured twin (same program, watch list,
+    /// address-checking and coverage configuration). Returns `false` —
+    /// leaving the engine untouched — on any mismatch or corruption.
+    pub fn restore_state(&mut self, snap: &Snapshot) -> bool {
+        let Some(mut r) =
+            SnapshotReader::open(snap, "rtl.bitpar", SNAP_VERSION, self.prog.state_identity())
+        else {
+            return false;
+        };
+        let parsed = (|| {
+            let check = r.u64()? != 0;
+            let watched = r.u64s()?;
+            let cycle = r.u64()?;
+            let slots = r.u64s()?;
+            let n_mems = r.u64()?;
+            let mut mems = Vec::new();
+            for _ in 0..n_mems {
+                mems.push(r.u64s()?);
+            }
+            let comb_pending = r.u64s()?;
+            let flags = r.u64()?;
+            let evals = r.u64()?;
+            let skipped = r.u64()?;
+            let violations = snapstate::read_violations(&mut r)?;
+            let widths: Vec<u32> = self
+                .watched
+                .iter()
+                .map(|&s| self.prog.net_widths[s as usize])
+                .collect();
+            let history = snapstate::read_history(&mut r, &widths)?;
+            let has_cov = r.u64()? != 0;
+            let cov_state = if has_cov { Some(r.u64s()?) } else { None };
+            r.done().then_some((
+                check,
+                watched,
+                cycle,
+                slots,
+                mems,
+                comb_pending,
+                flags,
+                evals,
+                skipped,
+                violations,
+                history,
+                cov_state,
+            ))
+        })();
+        let Some((
+            check,
+            watched,
+            cycle,
+            slots,
+            mems,
+            comb_pending,
+            flags,
+            evals,
+            skipped,
+            violations,
+            history,
+            cov_state,
+        )) = parsed
+        else {
+            return false;
+        };
+        // Configuration must match: a snapshot is engine state, not a
+        // vehicle for changing what the engine records.
+        let my_watched: Vec<u64> = self.watched.iter().map(|&s| u64::from(s)).collect();
+        if check != self.check_addresses
+            || watched != my_watched
+            || slots.len() != self.slots.len()
+            || mems.len() != self.mems.len()
+            || mems.iter().zip(&self.mems).any(|(a, b)| a.len() != b.len())
+            || comb_pending.len() != self.comb_pending.len()
+            || cov_state.is_some() != self.coverage.is_some()
+        {
+            return false;
+        }
+        if let (Some(state), Some(cov)) = (&cov_state, self.coverage.as_deref_mut()) {
+            if !cov.load_state(state) {
+                return false;
+            }
+        }
+        self.cycle = cycle;
+        self.slots = slots;
+        self.mems = mems;
+        self.comb_pending = comb_pending;
+        self.comb_any = flags & 1 != 0;
+        self.write_pending = flags & 2 != 0;
+        self.force_eval = flags & 4 != 0;
+        self.evals = evals;
+        self.skipped = skipped;
+        self.violations = violations;
+        self.history = history;
+        self.have_samples = false;
+        true
+    }
+}
+
+impl std::fmt::Debug for BitRtlSim<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BitRtlSim")
+            .field("program", &self.prog.name)
+            .field("lanes", &RTL_LANES)
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+/// Vectorised execution of a jump-free instruction range: one dispatch
+/// per instruction, a fixed 64-element stripe loop per operand.
+#[allow(clippy::too_many_arguments)]
+fn exec_vec(
+    prog: &CompiledProgram,
+    insts: &[Inst],
+    range: Range<usize>,
+    slots: &mut [u64],
+    mems: &mut [Vec<u64>],
+    violations: &mut Vec<MemViolation>,
+    check0: bool,
+    cycle: u64,
+) -> u64 {
+    let mut executed = 0u64;
+    for pc in range {
+        let inst = insts[pc];
+        executed += 1;
+        match inst {
+            Inst::Copy { dst, a } => {
+                let av = ld(slots, a);
+                st(slots, dst, &av);
+            }
+            Inst::Not { dst, a, w } => un(slots, dst, a, |x| !x & mask(w)),
+            Inst::Neg { dst, a, w } => un(slots, dst, a, |x| x.wrapping_neg() & mask(w)),
+            Inst::RedAnd { dst, a, w } => un(slots, dst, a, |x| u64::from(x == mask(w))),
+            Inst::RedOr { dst, a } => un(slots, dst, a, |x| u64::from(x != 0)),
+            Inst::RedXor { dst, a } => {
+                un(slots, dst, a, |x| u64::from(x.count_ones() % 2 == 1));
+            }
+            Inst::Add { dst, a, b, w } => {
+                bin(slots, dst, a, b, |x, y| x.wrapping_add(y) & mask(w));
+            }
+            Inst::Sub { dst, a, b, w } => {
+                bin(slots, dst, a, b, |x, y| x.wrapping_sub(y) & mask(w));
+            }
+            Inst::Mul { dst, a, b, w } => {
+                bin(slots, dst, a, b, |x, y| x.wrapping_mul(y) & mask(w));
+            }
+            Inst::MulS { dst, a, b, w } => bin(slots, dst, a, b, |x, y| {
+                (sign_extend(x, w).wrapping_mul(sign_extend(y, w)) as u64) & mask(w)
+            }),
+            Inst::And { dst, a, b } => bin(slots, dst, a, b, |x, y| x & y),
+            Inst::Or { dst, a, b } => bin(slots, dst, a, b, |x, y| x | y),
+            Inst::Xor { dst, a, b } => bin(slots, dst, a, b, |x, y| x ^ y),
+            Inst::Shl { dst, a, b, w } => bin(slots, dst, a, b, |x, s| {
+                let amt = s.min(64) as u32;
+                if amt >= 64 {
+                    0
+                } else {
+                    (x << amt) & mask(w)
+                }
+            }),
+            Inst::Shr { dst, a, b } => bin(slots, dst, a, b, |x, s| {
+                let amt = s.min(64) as u32;
+                if amt >= 64 {
+                    0
+                } else {
+                    x >> amt
+                }
+            }),
+            Inst::Sar { dst, a, b, w } => bin(slots, dst, a, b, |x, s| {
+                let amt = s.min(63) as u32;
+                ((sign_extend(x, w) >> amt) as u64) & mask(w)
+            }),
+            Inst::Eq { dst, a, b } => bin(slots, dst, a, b, |x, y| u64::from(x == y)),
+            Inst::Ne { dst, a, b } => bin(slots, dst, a, b, |x, y| u64::from(x != y)),
+            Inst::Ult { dst, a, b } => bin(slots, dst, a, b, |x, y| u64::from(x < y)),
+            Inst::Ule { dst, a, b } => bin(slots, dst, a, b, |x, y| u64::from(x <= y)),
+            Inst::Slt { dst, a, b, w } => bin(slots, dst, a, b, |x, y| {
+                u64::from(sign_extend(x, w) < sign_extend(y, w))
+            }),
+            Inst::Sle { dst, a, b, w } => bin(slots, dst, a, b, |x, y| {
+                u64::from(sign_extend(x, w) <= sign_extend(y, w))
+            }),
+            Inst::Mux { dst, c, t, e } => {
+                tri(slots, dst, c, t, e, |c, t, e| if c != 0 { t } else { e });
+            }
+            Inst::Slice { dst, a, lo, w } => un(slots, dst, a, |x| (x >> lo) & mask(w)),
+            Inst::Concat { dst, a, b, bw } => bin(slots, dst, a, b, |x, y| (x << bw) | y),
+            Inst::Zext { dst, a, w } => un(slots, dst, a, |x| x & mask(w)),
+            Inst::Sext { dst, a, from, to } => un(slots, dst, a, |x| {
+                (sign_extend(x, from) as u64) & mask(to)
+            }),
+            Inst::ReadMem { dst, a, mem, w } => {
+                let av = ld(slots, a);
+                let mi = mem as usize;
+                let words = (mems[mi].len() / L) as u64;
+                let m = &mems[mi];
+                let mut d = [0u64; L];
+                for l in 0..L {
+                    let addr = av[l];
+                    d[l] = if addr < words {
+                        m[addr as usize * L + l]
+                    } else {
+                        m[(addr % words) as usize * L + l] & mask(w)
+                    };
+                }
+                if check0 && av[0] >= words {
+                    violations.push(MemViolation {
+                        cycle,
+                        memory: prog.mems[mi].name.clone(),
+                        address: av[0],
+                        write: false,
+                    });
+                }
+                st(slots, dst, &d);
+            }
+            Inst::EqMux { dst, a, b, t, e } => quad(slots, dst, a, b, t, e, |x, y, t, e| {
+                if x == y {
+                    t
+                } else {
+                    e
+                }
+            }),
+            Inst::NeMux { dst, a, b, t, e } => quad(slots, dst, a, b, t, e, |x, y, t, e| {
+                if x != y {
+                    t
+                } else {
+                    e
+                }
+            }),
+            Inst::UltMux { dst, a, b, t, e } => quad(slots, dst, a, b, t, e, |x, y, t, e| {
+                if x < y {
+                    t
+                } else {
+                    e
+                }
+            }),
+            Inst::AndMux { dst, a, b, t, e } => quad(slots, dst, a, b, t, e, |x, y, t, e| {
+                if x & y != 0 {
+                    t
+                } else {
+                    e
+                }
+            }),
+            Inst::BitMux { dst, a, lo, t, e } => tri(slots, dst, a, t, e, |x, t, e| {
+                if (x >> lo) & 1 != 0 {
+                    t
+                } else {
+                    e
+                }
+            }),
+            Inst::MulSS { dst, a, b, from, w } => bin(slots, dst, a, b, |x, y| {
+                (sign_extend(x, from).wrapping_mul(sign_extend(y, from)) as u64) & mask(w)
+            }),
+            Inst::Jmp { .. } | Inst::JmpZero { .. } => {
+                unreachable!("jump in a range dispatched as jump-free")
+            }
+        }
+    }
+    executed
+}
+
+/// Scalar per-lane execution for ranges containing branches (mux-arm
+/// memory reads): lane 0 first, so its violation stream keeps the
+/// scalar engine's instruction order.
+#[allow(clippy::too_many_arguments)]
+fn exec_scalar(
+    prog: &CompiledProgram,
+    insts: &[Inst],
+    range: Range<usize>,
+    slots: &mut [u64],
+    mems: &mut [Vec<u64>],
+    violations: &mut Vec<MemViolation>,
+    check0: bool,
+    cycle: u64,
+) -> u64 {
+    let mut executed = 0u64;
+    for lane in 0..L {
+        let check = check0 && lane == 0;
+        let mut pc = range.start;
+        while pc < range.end {
+            let inst = insts[pc];
+            pc += 1;
+            executed += 1;
+            let rd = |s: u32| slots[s as usize * L + lane];
+            match inst {
+                Inst::Copy { dst, a } => slots[dst as usize * L + lane] = rd(a),
+                Inst::Not { dst, a, w } => {
+                    slots[dst as usize * L + lane] = !rd(a) & mask(w);
+                }
+                Inst::Neg { dst, a, w } => {
+                    slots[dst as usize * L + lane] = rd(a).wrapping_neg() & mask(w);
+                }
+                Inst::RedAnd { dst, a, w } => {
+                    slots[dst as usize * L + lane] = u64::from(rd(a) == mask(w));
+                }
+                Inst::RedOr { dst, a } => {
+                    slots[dst as usize * L + lane] = u64::from(rd(a) != 0);
+                }
+                Inst::RedXor { dst, a } => {
+                    slots[dst as usize * L + lane] = u64::from(rd(a).count_ones() % 2 == 1);
+                }
+                Inst::Add { dst, a, b, w } => {
+                    slots[dst as usize * L + lane] = rd(a).wrapping_add(rd(b)) & mask(w);
+                }
+                Inst::Sub { dst, a, b, w } => {
+                    slots[dst as usize * L + lane] = rd(a).wrapping_sub(rd(b)) & mask(w);
+                }
+                Inst::Mul { dst, a, b, w } => {
+                    slots[dst as usize * L + lane] = rd(a).wrapping_mul(rd(b)) & mask(w);
+                }
+                Inst::MulS { dst, a, b, w } => {
+                    let x = sign_extend(rd(a), w);
+                    let y = sign_extend(rd(b), w);
+                    slots[dst as usize * L + lane] = (x.wrapping_mul(y) as u64) & mask(w);
+                }
+                Inst::And { dst, a, b } => {
+                    slots[dst as usize * L + lane] = rd(a) & rd(b);
+                }
+                Inst::Or { dst, a, b } => {
+                    slots[dst as usize * L + lane] = rd(a) | rd(b);
+                }
+                Inst::Xor { dst, a, b } => {
+                    slots[dst as usize * L + lane] = rd(a) ^ rd(b);
+                }
+                Inst::Shl { dst, a, b, w } => {
+                    let amt = rd(b).min(64) as u32;
+                    slots[dst as usize * L + lane] = if amt >= 64 {
+                        0
+                    } else {
+                        (rd(a) << amt) & mask(w)
+                    };
+                }
+                Inst::Shr { dst, a, b } => {
+                    let amt = rd(b).min(64) as u32;
+                    slots[dst as usize * L + lane] = if amt >= 64 { 0 } else { rd(a) >> amt };
+                }
+                Inst::Sar { dst, a, b, w } => {
+                    let amt = rd(b).min(63) as u32;
+                    slots[dst as usize * L + lane] =
+                        ((sign_extend(rd(a), w) >> amt) as u64) & mask(w);
+                }
+                Inst::Eq { dst, a, b } => {
+                    slots[dst as usize * L + lane] = u64::from(rd(a) == rd(b));
+                }
+                Inst::Ne { dst, a, b } => {
+                    slots[dst as usize * L + lane] = u64::from(rd(a) != rd(b));
+                }
+                Inst::Ult { dst, a, b } => {
+                    slots[dst as usize * L + lane] = u64::from(rd(a) < rd(b));
+                }
+                Inst::Ule { dst, a, b } => {
+                    slots[dst as usize * L + lane] = u64::from(rd(a) <= rd(b));
+                }
+                Inst::Slt { dst, a, b, w } => {
+                    slots[dst as usize * L + lane] =
+                        u64::from(sign_extend(rd(a), w) < sign_extend(rd(b), w));
+                }
+                Inst::Sle { dst, a, b, w } => {
+                    slots[dst as usize * L + lane] =
+                        u64::from(sign_extend(rd(a), w) <= sign_extend(rd(b), w));
+                }
+                Inst::Mux { dst, c, t, e } => {
+                    slots[dst as usize * L + lane] = if rd(c) != 0 { rd(t) } else { rd(e) };
+                }
+                Inst::Slice { dst, a, lo, w } => {
+                    slots[dst as usize * L + lane] = (rd(a) >> lo) & mask(w);
+                }
+                Inst::Concat { dst, a, b, bw } => {
+                    slots[dst as usize * L + lane] = (rd(a) << bw) | rd(b);
+                }
+                Inst::Zext { dst, a, w } => {
+                    slots[dst as usize * L + lane] = rd(a) & mask(w);
+                }
+                Inst::Sext { dst, a, from, to } => {
+                    slots[dst as usize * L + lane] =
+                        (sign_extend(rd(a), from) as u64) & mask(to);
+                }
+                Inst::ReadMem { dst, a, mem, w } => {
+                    let addr = rd(a);
+                    let mi = mem as usize;
+                    let words = (mems[mi].len() / L) as u64;
+                    let v = if addr < words {
+                        mems[mi][addr as usize * L + lane]
+                    } else {
+                        if check {
+                            violations.push(MemViolation {
+                                cycle,
+                                memory: prog.mems[mi].name.clone(),
+                                address: addr,
+                                write: false,
+                            });
+                        }
+                        mems[mi][(addr % words) as usize * L + lane] & mask(w)
+                    };
+                    slots[dst as usize * L + lane] = v;
+                }
+                Inst::EqMux { dst, a, b, t, e } => {
+                    slots[dst as usize * L + lane] =
+                        if rd(a) == rd(b) { rd(t) } else { rd(e) };
+                }
+                Inst::NeMux { dst, a, b, t, e } => {
+                    slots[dst as usize * L + lane] =
+                        if rd(a) != rd(b) { rd(t) } else { rd(e) };
+                }
+                Inst::UltMux { dst, a, b, t, e } => {
+                    slots[dst as usize * L + lane] = if rd(a) < rd(b) { rd(t) } else { rd(e) };
+                }
+                Inst::AndMux { dst, a, b, t, e } => {
+                    slots[dst as usize * L + lane] =
+                        if rd(a) & rd(b) != 0 { rd(t) } else { rd(e) };
+                }
+                Inst::BitMux { dst, a, lo, t, e } => {
+                    slots[dst as usize * L + lane] =
+                        if (rd(a) >> lo) & 1 != 0 { rd(t) } else { rd(e) };
+                }
+                Inst::MulSS { dst, a, b, from, w } => {
+                    let x = sign_extend(rd(a), from);
+                    let y = sign_extend(rd(b), from);
+                    slots[dst as usize * L + lane] = (x.wrapping_mul(y) as u64) & mask(w);
+                }
+                Inst::Jmp { to } => pc = to as usize,
+                Inst::JmpZero { c, to } => {
+                    if rd(c) == 0 {
+                        pc = to as usize;
+                    }
+                }
+            }
+        }
+    }
+    executed
+}

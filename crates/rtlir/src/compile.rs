@@ -544,6 +544,55 @@ impl CompiledProgram {
     pub fn simulator(&self) -> crate::CompiledSim<'_> {
         crate::CompiledSim::new(self)
     }
+
+    /// Creates a fresh 64-lane bit-parallel executor over this program
+    /// (every lane at the power-on image).
+    pub fn bit_simulator(&self) -> crate::BitRtlSim<'_> {
+        crate::BitRtlSim::new(self)
+    }
+
+    /// A deterministic structural fingerprint of the compiled program —
+    /// the design-identity word snapshot blobs embed, so state captured
+    /// on one program is never restored onto a different one. Folds the
+    /// layout that state depends on (slot count, instruction counts,
+    /// port table, register/write tables, memory geometry) **and** the
+    /// program's content (power-on slot image, memory contents, both
+    /// instruction streams) — two designs that compile to the same
+    /// layout but different constants or opcodes must not collide.
+    pub fn state_identity(&self) -> u64 {
+        let mut h = scflow_hwtypes::Fnv64::new();
+        h.write_str(&self.name);
+        h.write_u64(u64::from(self.n_slots));
+        h.write_u64(self.insts.len() as u64);
+        h.write_u64(self.seq_insts.len() as u64);
+        h.write_u64(self.cones.len() as u64);
+        h.write_u64(self.regs.len() as u64);
+        h.write_u64(self.writes.len() as u64);
+        for p in &self.ports {
+            h.write_str(&p.name);
+            h.write_u64(u64::from(p.input));
+            h.write_u64(u64::from(p.slot));
+            h.write_u64(u64::from(p.width));
+        }
+        for m in &self.mems {
+            h.write_str(&m.name);
+            h.write_u64(u64::from(m.width));
+            h.write_u64(m.init.len() as u64);
+            for v in &m.init {
+                h.write_u64(*v);
+            }
+        }
+        for v in &self.init {
+            h.write_u64(*v);
+        }
+        // Instruction content via the derived Debug form: slot indices,
+        // widths and opcodes all land in the digest without a 40-arm
+        // match; snapshots are rare enough that the formatting cost is
+        // noise next to serialising the state itself.
+        h.write_str(&format!("{:?}", self.insts));
+        h.write_str(&format!("{:?}", self.seq_insts));
+        h.finish()
+    }
 }
 
 /// A compile-time value: either already materialised in a slot, or a

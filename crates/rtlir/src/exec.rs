@@ -16,9 +16,15 @@
 use crate::compile::{CompiledProgram, Inst};
 use crate::module::{MemoryId, NetId};
 use crate::sim::MemViolation;
+use crate::snapstate;
 use scflow_hwtypes::Bv;
 use scflow_obs::ToggleCoverage;
+use scflow_sim_api::snapblob::{SnapshotReader, SnapshotWriter};
+use scflow_sim_api::Snapshot;
 use std::ops::Range;
+
+/// Snapshot blob format version for this engine.
+const SNAP_VERSION: u16 = 1;
 
 /// Branchless low-`w`-bits mask. The compiler has already validated
 /// every width as 1..=64, so unlike [`scflow_hwtypes::mask`] this needs
@@ -521,6 +527,141 @@ impl<'p> CompiledSim<'p> {
             })
             .collect();
         crate::trace::render_vcd(&vars, &self.history, clock_period_ps)
+    }
+
+    /// Captures the full simulation state as a versioned,
+    /// length-prefixed [`Snapshot`] blob: slots (registers and settled
+    /// nets), memories, activity-gating worklist, cycle count,
+    /// violation stream, waveform history and coverage observations.
+    pub fn snapshot_state(&self) -> Snapshot {
+        let mut w =
+            SnapshotWriter::new("rtl.compiled", SNAP_VERSION, self.prog.state_identity());
+        w.u64(u64::from(self.check_addresses));
+        let watched: Vec<u64> = self.watched.iter().map(|&s| u64::from(s)).collect();
+        w.u64s(&watched);
+        w.u64(self.cycle);
+        w.u64s(&self.slots);
+        w.u64(self.mems.len() as u64);
+        for m in &self.mems {
+            w.u64s(m);
+        }
+        w.u64s(&self.comb_pending);
+        w.u64(
+            u64::from(self.comb_any)
+                | u64::from(self.write_pending) << 1
+                | u64::from(self.force_eval) << 2,
+        );
+        w.u64(self.evals);
+        w.u64(self.skipped);
+        snapstate::write_violations(&mut w, &self.violations);
+        snapstate::write_history(&mut w, &self.history);
+        w.u64(u64::from(self.coverage.is_some()));
+        if let Some(cov) = self.coverage.as_deref() {
+            w.u64s(&cov.save_state());
+        }
+        w.finish()
+    }
+
+    /// Restores state captured by
+    /// [`snapshot_state`](CompiledSim::snapshot_state) on this engine or
+    /// an identically-configured twin over the same program (same watch
+    /// list, address-checking and coverage configuration). Returns
+    /// `false` — leaving the engine untouched — when the blob is stale
+    /// (different program or configuration) or corrupt.
+    pub fn restore_state(&mut self, snap: &Snapshot) -> bool {
+        let Some(mut r) = SnapshotReader::open(
+            snap,
+            "rtl.compiled",
+            SNAP_VERSION,
+            self.prog.state_identity(),
+        ) else {
+            return false;
+        };
+        let parsed = (|| {
+            let check = r.u64()? != 0;
+            let watched = r.u64s()?;
+            let cycle = r.u64()?;
+            let slots = r.u64s()?;
+            let n_mems = r.u64()?;
+            let mut mems = Vec::new();
+            for _ in 0..n_mems {
+                mems.push(r.u64s()?);
+            }
+            let comb_pending = r.u64s()?;
+            let flags = r.u64()?;
+            let evals = r.u64()?;
+            let skipped = r.u64()?;
+            let violations = snapstate::read_violations(&mut r)?;
+            let widths: Vec<u32> = self
+                .watched
+                .iter()
+                .map(|&s| self.prog.net_widths[s as usize])
+                .collect();
+            let history = snapstate::read_history(&mut r, &widths)?;
+            let has_cov = r.u64()? != 0;
+            let cov_state = if has_cov { Some(r.u64s()?) } else { None };
+            r.done().then_some((
+                check,
+                watched,
+                cycle,
+                slots,
+                mems,
+                comb_pending,
+                flags,
+                evals,
+                skipped,
+                violations,
+                history,
+                cov_state,
+            ))
+        })();
+        let Some((
+            check,
+            watched,
+            cycle,
+            slots,
+            mems,
+            comb_pending,
+            flags,
+            evals,
+            skipped,
+            violations,
+            history,
+            cov_state,
+        )) = parsed
+        else {
+            return false;
+        };
+        // Configuration must match: a snapshot restores engine state,
+        // it does not reconfigure what the engine records.
+        let my_watched: Vec<u64> = self.watched.iter().map(|&s| u64::from(s)).collect();
+        if check != self.check_addresses
+            || watched != my_watched
+            || slots.len() != self.slots.len()
+            || mems.len() != self.mems.len()
+            || mems.iter().zip(&self.mems).any(|(a, b)| a.len() != b.len())
+            || comb_pending.len() != self.comb_pending.len()
+            || cov_state.is_some() != self.coverage.is_some()
+        {
+            return false;
+        }
+        if let (Some(state), Some(cov)) = (&cov_state, self.coverage.as_deref_mut()) {
+            if !cov.load_state(state) {
+                return false;
+            }
+        }
+        self.cycle = cycle;
+        self.slots = slots;
+        self.mems = mems;
+        self.comb_pending = comb_pending;
+        self.comb_any = flags & 1 != 0;
+        self.write_pending = flags & 2 != 0;
+        self.force_eval = flags & 4 != 0;
+        self.evals = evals;
+        self.skipped = skipped;
+        self.violations = violations;
+        self.history = history;
+        true
     }
 
     fn exec(&mut self, insts: &[Inst], range: Range<u32>) {

@@ -16,6 +16,10 @@
 //!   [`CompiledSim`]) — the "compiled C-model" side of that same gap:
 //!   one-time lowering to flat bytecode over dense value slots with
 //!   constant folding and activity gating, bit-identical to [`RtlSim`],
+//! * a **64-lane bit-parallel executor** ([`BitRtlSim`]) over the same
+//!   bytecode — one instruction dispatch drives 64 independent stimulus
+//!   lanes, for scenario sweeps; lane 0 is byte-identical to
+//!   [`CompiledSim`],
 //! * a **Verilog pretty-printer** ([`Module::to_verilog`]) for the "RTL
 //!   Verilog from SystemC synthesis" artefact.
 //!
@@ -51,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitexec;
 mod builder;
 mod compile;
 mod error;
@@ -59,9 +64,11 @@ mod expr;
 mod module;
 mod sim;
 mod simapi;
+mod snapstate;
 mod trace;
 mod verilog;
 
+pub use bitexec::{BitRtlSim, RTL_LANES};
 pub use builder::ModuleBuilder;
 pub use compile::CompiledProgram;
 pub use error::RtlError;

@@ -1,13 +1,15 @@
-//! [`Simulation`] implementations for the two RTL engines.
+//! [`Simulation`] implementations for the RTL engines.
 //!
-//! Both engines share the per-cycle protocol the trait codifies, so
+//! All three engines share the per-cycle protocol the trait codifies, so
 //! testbench harnesses, co-simulation bridges and benchmarks can swap the
-//! interpreter for the compiled engine without touching driver code.
+//! interpreter for the compiled engine (or the 64-lane bit-parallel one)
+//! without touching driver code.
 
-use crate::{CompiledSim, RtlSim};
+use crate::{BitRtlSim, CompiledSim, RtlSim, RTL_LANES};
 use scflow_hwtypes::Bv;
 use scflow_sim_api::{
-    EngineStats, MetricsRegistry, PortHandle, SimError, Simulation, ToggleCoverage,
+    BatchError, BatchReply, EngineStats, MetricsRegistry, PortHandle, SimError, Simulation,
+    Snapshot, StimulusBatch, ToggleCoverage,
 };
 
 fn rtl_metrics(
@@ -162,5 +164,177 @@ impl Simulation for CompiledSim<'_> {
             "rtl.compiled",
             CompiledSim::coverage(self),
         ))
+    }
+
+    fn snapshot(&self) -> Option<Snapshot> {
+        Some(self.snapshot_state())
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> bool {
+        self.restore_state(snapshot)
+    }
+}
+
+impl Simulation for BitRtlSim<'_> {
+    fn step(&mut self) {
+        self.tick();
+    }
+
+    fn settle(&mut self) {
+        BitRtlSim::settle(self);
+    }
+
+    fn cycle(&self) -> u64 {
+        BitRtlSim::cycle(self)
+    }
+
+    /// Broadcast poke: drives the port on all 64 lanes (lane-specific
+    /// stimulus goes through
+    /// [`step_batch_lanes`](Simulation::step_batch_lanes)).
+    fn try_poke(&mut self, port: &str, value: Bv) -> Result<(), SimError> {
+        self.try_set_input(port, value)
+    }
+
+    /// Lane-0 peek.
+    fn try_peek(&self, port: &str) -> Result<Bv, SimError> {
+        self.try_output(port)
+    }
+
+    fn has_input(&self, port: &str) -> bool {
+        self.module_has_input(port)
+    }
+
+    fn input_handle(&self, port: &str) -> Option<PortHandle> {
+        self.input_index(port).map(PortHandle::new)
+    }
+
+    fn output_handle(&self, port: &str) -> Option<PortHandle> {
+        self.output_index(port).map(PortHandle::new)
+    }
+
+    fn poke_handle(&mut self, handle: PortHandle, value: Bv) {
+        self.set_input_at(handle.index(), value);
+    }
+
+    fn peek_handle(&self, handle: PortHandle) -> Bv {
+        self.output_at(handle.index())
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            cycles: BitRtlSim::cycle(self),
+            evals: self.instructions_executed(),
+            skipped: self.cones_skipped(),
+            events: 0,
+        }
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the port does not exist (same as
+    /// [`BitRtlSim::watch_port`]).
+    fn watch(&mut self, port: &str) {
+        self.watch_port(port);
+    }
+
+    fn trace(&self, clock_period_ps: u64) -> Option<String> {
+        Some(self.waveform_vcd(clock_period_ps))
+    }
+
+    fn set_coverage(&mut self, enabled: bool) -> bool {
+        BitRtlSim::set_coverage(self, enabled);
+        true
+    }
+
+    fn coverage(&self) -> Option<&ToggleCoverage> {
+        BitRtlSim::coverage(self)
+    }
+
+    fn metrics(&self) -> Option<MetricsRegistry> {
+        Some(rtl_metrics(
+            Simulation::stats(self),
+            "rtl.bitpar",
+            BitRtlSim::coverage(self),
+        ))
+    }
+
+    fn reset(&mut self) -> bool {
+        BitRtlSim::reset(self);
+        true
+    }
+
+    fn snapshot(&self) -> Option<Snapshot> {
+        Some(self.snapshot_state())
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> bool {
+        self.restore_state(snapshot)
+    }
+
+    /// Item *i* drives stimulus lane *i*; the whole batch runs in one
+    /// engine pass. The batch is validated before any lane is poked, so
+    /// a refused batch leaves the engine untouched.
+    fn step_batch_lanes(&mut self, batch: &StimulusBatch) -> Result<BatchReply, BatchError> {
+        if batch.items.len() > RTL_LANES as usize {
+            return Err(BatchError::LanesOverflow {
+                items: batch.items.len(),
+                lanes: RTL_LANES,
+            });
+        }
+        let cycles = batch.items.first().map_or(0, |it| it.cycles);
+        if batch.items.iter().any(|it| it.cycles != cycles) {
+            return Err(BatchError::LanesMismatch);
+        }
+        for (i, item) in batch.items.iter().enumerate() {
+            for (port, value) in &item.pokes {
+                match self.port(port) {
+                    Some(p) if p.input => {
+                        if p.width != value.width() {
+                            return Err(BatchError::Item {
+                                index: Some(i),
+                                message: format!(
+                                    "port `{port}` is {} bits, value is {}",
+                                    p.width,
+                                    value.width()
+                                ),
+                            });
+                        }
+                    }
+                    _ => {
+                        return Err(BatchError::Item {
+                            index: Some(i),
+                            message: format!("no input port `{port}`"),
+                        });
+                    }
+                }
+            }
+        }
+        for port in &batch.read {
+            if !self.port(port).is_some_and(|p| !p.input) {
+                return Err(BatchError::Item {
+                    index: None,
+                    message: format!("no output port `{port}`"),
+                });
+            }
+        }
+        for (i, item) in batch.items.iter().enumerate() {
+            for (port, value) in &item.pokes {
+                self.set_input_lane(port, i as u32, *value);
+            }
+        }
+        self.run(cycles);
+        let outputs = (0..batch.items.len())
+            .map(|i| {
+                batch
+                    .read
+                    .iter()
+                    .map(|port| (port.clone(), self.output_lane(port, i as u32)))
+                    .collect()
+            })
+            .collect();
+        Ok(BatchReply {
+            outputs,
+            cycles: BitRtlSim::cycle(self),
+        })
     }
 }

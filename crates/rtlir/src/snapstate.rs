@@ -1,0 +1,79 @@
+//! Shared snapshot-blob field codecs for the compiled RTL engines.
+//!
+//! [`CompiledSim`](crate::CompiledSim) and
+//! [`BitRtlSim`](crate::BitRtlSim) carry the same auxiliary run state —
+//! a violation stream and a watched-net waveform history — so both
+//! engines serialise those through one pair of codecs, keeping the two
+//! blob layouts field-compatible where the state is.
+
+use crate::sim::MemViolation;
+use scflow_hwtypes::Bv;
+use scflow_sim_api::snapblob::{SnapshotReader, SnapshotWriter};
+
+pub(crate) fn write_violations(w: &mut SnapshotWriter, violations: &[MemViolation]) {
+    w.u64(violations.len() as u64);
+    for v in violations {
+        w.u64(v.cycle);
+        w.bytes(v.memory.as_bytes());
+        w.u64(v.address);
+        w.u64(u64::from(v.write));
+    }
+}
+
+pub(crate) fn read_violations(r: &mut SnapshotReader<'_>) -> Option<Vec<MemViolation>> {
+    let n = usize::try_from(r.u64()?).ok()?;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let cycle = r.u64()?;
+        let memory = String::from_utf8(r.bytes()?.to_vec()).ok()?;
+        let address = r.u64()?;
+        let write = match r.u64()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        out.push(MemViolation {
+            cycle,
+            memory,
+            address,
+            write,
+        });
+    }
+    Some(out)
+}
+
+/// Writes the waveform history; widths are not stored — they are
+/// implied by the watch list, which the restorer validates separately.
+pub(crate) fn write_history(w: &mut SnapshotWriter, history: &[(u64, Vec<Bv>)]) {
+    w.u64(history.len() as u64);
+    for (cycle, values) in history {
+        w.u64(*cycle);
+        let words: Vec<u64> = values.iter().map(|v| v.as_u64()).collect();
+        w.u64s(&words);
+    }
+}
+
+/// Reads the waveform history back; `widths[i]` is watched net *i*'s
+/// width. Entries whose value count does not match the watch list are
+/// stale.
+pub(crate) fn read_history(
+    r: &mut SnapshotReader<'_>,
+    widths: &[u32],
+) -> Option<Vec<(u64, Vec<Bv>)>> {
+    let n = usize::try_from(r.u64()?).ok()?;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let cycle = r.u64()?;
+        let words = r.u64s()?;
+        if words.len() != widths.len() {
+            return None;
+        }
+        let values = words
+            .iter()
+            .zip(widths)
+            .map(|(&v, &w)| Bv::new(v, w))
+            .collect();
+        out.push((cycle, values));
+    }
+    Some(out)
+}

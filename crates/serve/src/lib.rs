@@ -7,10 +7,14 @@
 //! simulation engine on a dedicated worker thread; compiled designs are
 //! shared across sessions through a content-addressed cache, so the
 //! compile cost of a design is paid once no matter how many sessions
-//! open it. Batched stimulus (`step_batch`) amortises protocol
-//! round-trips, and on a `gate.bitpar` session a lanes-mode batch
-//! drives up to 64 independent stimulus tuples through one bit-parallel
-//! engine pass.
+//! open it. Batched stimulus (`step_batch`) goes through the
+//! [`Simulation`](scflow_sim_api::Simulation) trait's batch API:
+//! every engine runs sequential batches, and the bit-parallel engines
+//! (`gate.bitpar`, `rtl.bitpar`) additionally accept lanes-mode
+//! batches driving up to 64 independent stimulus tuples through one
+//! engine pass. Snapshot-capable engines (`rtl.compiled`,
+//! `rtl.bitpar`, `gate.bitpar`) expose `snapshot`/`restore` requests
+//! so a client can fork a warmed-up state across scenario sweeps.
 //!
 //! Determinism contract: a session's replies depend only on its own
 //! request sequence. Concurrent sessions on the same design produce
@@ -35,11 +39,11 @@ use std::time::Instant;
 use scflow::prelude::ServeOptions;
 use scflow_hwtypes::Bv;
 use scflow_obs::{Histogram, MetricValue, MetricsRegistry};
-use scflow_sim_api::SimError;
+use scflow_sim_api::{SimError, Snapshot, StimulusBatch, StimulusItem};
 
 use cache::CompileCache;
 use json::{obj, Json};
-use session::{BatchItem, Req, Resp, SessionMgr};
+use session::{Req, Resp, SessionMgr};
 
 /// Protocol version reported by `ping`. Additive changes (new ops, new
 /// optional fields) keep the version; anything that changes the meaning
@@ -137,6 +141,8 @@ impl Server {
             "step" => self.op_step(id, &req),
             "settle" => self.op_no_arg(id, &req, Req::Settle),
             "step_batch" => self.op_step_batch(id, &req),
+            "snapshot" => self.op_no_arg(id, &req, Req::Snapshot),
+            "restore" => self.op_restore(id, &req),
             "coverage" => self.op_no_arg(id, &req, Req::Coverage),
             "metrics" => self.op_no_arg(id, &req, Req::Metrics),
             "reset" => self.op_no_arg(id, &req, Req::Reset),
@@ -304,7 +310,7 @@ impl Server {
                     }
                 }
             }
-            items.push(BatchItem { pokes, cycles });
+            items.push(StimulusItem { pokes, cycles });
         }
         let read: Vec<String> = match req.get("read") {
             None => Vec::new(),
@@ -333,7 +339,26 @@ impl Server {
                 );
             }
         };
-        self.finish(id, self.mgr.request(sid, Req::StepBatch { items, read, lanes }))
+        let batch = StimulusBatch { items, read };
+        self.finish(id, self.mgr.request(sid, Req::StepBatch { batch, lanes }))
+    }
+
+    fn op_restore(&self, id: Json, req: &Json) -> Json {
+        let sid = match self.session_id(req) {
+            Ok(s) => s,
+            Err(m) => return self.err(id, "bad_request", m),
+        };
+        let Some(hex) = req.get("snapshot").and_then(Json::as_str) else {
+            return self.err(id, "bad_request", "missing string field `snapshot`");
+        };
+        let blob = match blob_from_hex(hex) {
+            Ok(b) => b,
+            Err(m) => return self.err(id, "bad_value", &m),
+        };
+        self.finish(
+            id,
+            self.mgr.request(sid, Req::Restore(Snapshot::from_blob(blob))),
+        )
     }
 
     fn op_server_metrics(&self, id: Json, req: &Json) -> Json {
@@ -417,6 +442,7 @@ impl Server {
                     ("report", Json::Str(report)),
                 ],
             ),
+            Resp::Snapshot(snap) => ok(id, [("snapshot", Json::Str(blob_to_hex(snap.blob())))]),
             Resp::Metrics(Some(reg)) => ok(id, [("metrics", registry_to_json(&reg))]),
             Resp::Metrics(None) => {
                 self.err(id, "unsupported_op", "this engine exports no metrics")
@@ -519,6 +545,33 @@ fn num_u64(v: u64) -> Json {
     // Counts that fit JSON integers stay numeric; anything wider would
     // have to travel as a hex string like port values do.
     i64::try_from(v).map_or_else(|_| Json::Str(format!("0x{v:x}")), Json::Num)
+}
+
+/// Renders a snapshot blob as lowercase hex (JSON strings cannot carry
+/// raw bytes; hex keeps the transcript line-oriented and diffable).
+fn blob_to_hex(blob: &[u8]) -> String {
+    let mut s = String::with_capacity(blob.len() * 2);
+    for b in blob {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Parses a hex snapshot blob from a `restore` request.
+fn blob_from_hex(hex: &str) -> Result<Vec<u8>, String> {
+    if hex.len() % 2 != 0 {
+        return Err("`snapshot` hex must have even length".to_owned());
+    }
+    let bytes = hex.as_bytes();
+    let mut out = Vec::with_capacity(hex.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let s = std::str::from_utf8(pair).map_err(|_| "non-ASCII in `snapshot`".to_owned())?;
+        out.push(
+            u8::from_str_radix(s, 16)
+                .map_err(|_| format!("bad hex `{s}` in `snapshot`"))?,
+        );
+    }
+    Ok(out)
 }
 
 fn value_fields(v: &Bv) -> [(&'static str, Json); 2] {

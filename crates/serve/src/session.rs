@@ -28,18 +28,18 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use scflow::prelude::ServeOptions;
-use scflow_gate::{BitGateSim, CellLibrary, FastGateSim, GateSim};
+use scflow_gate::{sim_threads, CellLibrary, FastGateSim, GateSim, OwnedParGateSim};
 use scflow_hwtypes::Bv;
 use scflow_obs::MetricsRegistry;
 use scflow_rtl::{Module, RtlSim};
-use scflow_sim_api::{SimError, Simulation};
+use scflow_sim_api::{SimError, Simulation, Snapshot, StimulusBatch};
 use scflow_synth::{synthesize, SynthOptions};
 
 use crate::cache::{Artifact, CompileCache};
 use crate::designs::build_design;
 
-/// Number of stimulus lanes the bit-parallel engine is built with — the
-/// width of one `step_batch` lanes-mode dispatch.
+/// Number of stimulus lanes the bit-parallel engines are built with —
+/// the width of one `step_batch` lanes-mode dispatch.
 pub const BATCH_LANES: u32 = 64;
 
 /// The engines a session can run.
@@ -50,31 +50,33 @@ pub enum EngineKind {
     RtlInterp,
     /// Compiled levelized RTL bytecode (cached).
     RtlCompiled,
+    /// 64-lane bit-parallel executor over the compiled RTL bytecode
+    /// (cached program; accepts lanes-mode batches and snapshots).
+    RtlBitpar,
     /// Event-driven four-valued gate simulator (cached netlist).
     GateEvent,
     /// Zero-delay levelized gate engine (cached netlist).
     GateFast,
     /// Compiled bit-parallel gate engine on [`BATCH_LANES`] lanes
-    /// (cached program; the only engine accepting lanes-mode batches).
+    /// (cached program; accepts lanes-mode batches and snapshots).
     GateBitpar,
+    /// Partitioned multi-threaded gate engine behind its owning handle
+    /// ([`OwnedParGateSim`]) on [`sim_threads`] workers (cached
+    /// program; single-pattern, byte-identical to the serial engines).
+    GatePartitioned,
 }
 
 impl EngineKind {
-    /// Parses a protocol engine name. `gate.partitioned` is recognised
-    /// but refused: the partitioned engine's scoped-thread lifecycle
-    /// (workers live only inside [`scflow_gate::ParGateSim::with`])
-    /// cannot outlive a request, so it cannot back a long-lived session.
+    /// Parses a protocol engine name.
     pub fn parse(name: &str) -> Result<Self, &'static str> {
         match name {
             "rtl.interpreted" => Ok(EngineKind::RtlInterp),
             "rtl.compiled" => Ok(EngineKind::RtlCompiled),
+            "rtl.bitpar" => Ok(EngineKind::RtlBitpar),
             "gate.event" => Ok(EngineKind::GateEvent),
             "gate.fast" => Ok(EngineKind::GateFast),
             "gate.bitpar" => Ok(EngineKind::GateBitpar),
-            "gate.partitioned" => Err(
-                "gate.partitioned runs workers in a thread scope and cannot back a session; \
-                 use gate.bitpar",
-            ),
+            "gate.partitioned" => Ok(EngineKind::GatePartitioned),
             _ => Err("unknown engine"),
         }
     }
@@ -84,27 +86,23 @@ impl EngineKind {
         match self {
             EngineKind::RtlInterp => "rtl.interpreted",
             EngineKind::RtlCompiled => "rtl.compiled",
+            EngineKind::RtlBitpar => "rtl.bitpar",
             EngineKind::GateEvent => "gate.event",
             EngineKind::GateFast => "gate.fast",
             EngineKind::GateBitpar => "gate.bitpar",
+            EngineKind::GatePartitioned => "gate.partitioned",
         }
     }
 
     fn needs_gate_artifact(self) -> bool {
         matches!(
             self,
-            EngineKind::GateEvent | EngineKind::GateFast | EngineKind::GateBitpar
+            EngineKind::GateEvent
+                | EngineKind::GateFast
+                | EngineKind::GateBitpar
+                | EngineKind::GatePartitioned
         )
     }
-}
-
-/// One `(poke-set, cycles)` tuple of a `step_batch` request.
-#[derive(Clone, Debug)]
-pub struct BatchItem {
-    /// Input pokes applied before stepping.
-    pub pokes: Vec<(String, Bv)>,
-    /// Clock cycles to run after the pokes.
-    pub cycles: u64,
 }
 
 /// A request to a session worker.
@@ -120,13 +118,16 @@ pub enum Req {
     Settle,
     /// Dispatch a batch of stimulus tuples in one pass.
     StepBatch {
-        /// The tuples.
-        items: Vec<BatchItem>,
-        /// Output ports read after each item.
-        read: Vec<String>,
+        /// The stimulus tuples and batch-wide read list.
+        batch: StimulusBatch,
         /// Lanes mode: drive item *i* into bit-parallel lane *i*.
         lanes: bool,
     },
+    /// Capture the engine's full simulation state.
+    Snapshot,
+    /// Restore state captured by an earlier snapshot of this engine
+    /// kind and design.
+    Restore(Snapshot),
     /// Read the toggle-coverage map.
     Coverage,
     /// Snapshot the engine's metrics registry.
@@ -153,6 +154,8 @@ pub enum Resp {
         /// Total completed cycles after the batch.
         cycles: u64,
     },
+    /// The engine's state blob.
+    Snapshot(Snapshot),
     /// The coverage map.
     Coverage {
         /// Bits that both rose and fell.
@@ -296,7 +299,7 @@ impl SessionMgr {
 
         let (artifact, outcome, content_hash) = match kind {
             EngineKind::RtlInterp => (None, CacheOutcome::Uncached, module_hash),
-            EngineKind::RtlCompiled => {
+            EngineKind::RtlCompiled | EngineKind::RtlBitpar => {
                 let key = level_key("rtl", module_hash);
                 let (art, hit) = self
                     .cache
@@ -442,73 +445,72 @@ fn worker(
         EngineKind::RtlInterp => {
             let module = module.expect("interpreter module");
             let mut sim = RtlSim::new(&module);
-            serve_loop(Eng::Sim(&mut sim), coverage, &rx);
+            serve_loop(&mut sim, coverage, &rx);
         }
         EngineKind::RtlCompiled => {
             let artifact = artifact.expect("rtl artifact");
             let prog = artifact.rtl().expect("rtl artifact");
             let mut sim = prog.simulator();
-            serve_loop(Eng::Sim(&mut sim), coverage, &rx);
+            serve_loop(&mut sim, coverage, &rx);
+        }
+        EngineKind::RtlBitpar => {
+            let artifact = artifact.expect("rtl artifact");
+            let prog = artifact.rtl().expect("rtl artifact");
+            let mut sim = prog.bit_simulator();
+            serve_loop(&mut sim, coverage, &rx);
         }
         EngineKind::GateEvent => {
             let artifact = artifact.expect("gate artifact");
             let prog = artifact.gate().expect("gate artifact");
             let lib = CellLibrary::generic_025u();
             let mut sim = GateSim::new(prog.netlist(), &lib);
-            serve_loop(Eng::Sim(&mut sim), coverage, &rx);
+            serve_loop(&mut sim, coverage, &rx);
         }
         EngineKind::GateFast => {
             let artifact = artifact.expect("gate artifact");
             let prog = artifact.gate().expect("gate artifact");
             let mut sim = FastGateSim::new(prog.netlist()).expect("levelizable netlist");
-            serve_loop(Eng::Sim(&mut sim), coverage, &rx);
+            serve_loop(&mut sim, coverage, &rx);
         }
         EngineKind::GateBitpar => {
             let artifact = artifact.expect("gate artifact");
             let prog = artifact.gate().expect("gate artifact");
             let mut sim = prog.simulator_lanes(BATCH_LANES);
-            serve_loop(Eng::Bitpar(&mut sim), coverage, &rx);
+            serve_loop(&mut sim, coverage, &rx);
+        }
+        EngineKind::GatePartitioned => {
+            // The owning handle moves the shared artefact onto its host
+            // thread, which pins the cache entry just like the stack of
+            // the other workers does.
+            let artifact = artifact.expect("gate artifact");
+            let mut sim = OwnedParGateSim::spawn(
+                artifact,
+                |a| a.gate().expect("gate artifact"),
+                sim_threads(),
+                1,
+            );
+            serve_loop(&mut sim, coverage, &rx);
         }
     }
 }
 
-/// The engine as the worker sees it: every engine through the unified
-/// trait, plus direct access to the bit-parallel engine for lanes-mode
-/// batches (per-lane stimulus is not part of the `Simulation` trait).
-enum Eng<'a, 'p> {
-    Sim(&'a mut dyn Simulation),
-    Bitpar(&'a mut BitGateSim<'p>),
-}
-
-impl Eng<'_, '_> {
-    fn sim(&mut self) -> &mut dyn Simulation {
-        match self {
-            Eng::Sim(s) => &mut **s,
-            Eng::Bitpar(b) => &mut **b,
-        }
-    }
-}
-
-fn serve_loop(mut eng: Eng<'_, '_>, coverage: bool, rx: &mpsc::Receiver<ReqEnvelope>) {
-    {
-        // Synthesized netlists are scan-stitched; hold the scan chain
-        // inactive so functional behaviour matches the RTL (the cosim
-        // lockstep driver does the same before clocking a gate DUT).
-        let sim = eng.sim();
-        if sim.has_input("scan_en") {
-            let _ = sim.try_poke("scan_en", Bv::zero(1));
-            let _ = sim.try_poke("scan_in", Bv::zero(1));
-        }
+fn serve_loop(sim: &mut dyn Simulation, coverage: bool, rx: &mpsc::Receiver<ReqEnvelope>) {
+    // Synthesized netlists are scan-stitched; hold the scan chain
+    // inactive so functional behaviour matches the RTL (the cosim
+    // lockstep driver does the same before clocking a gate DUT).
+    if sim.has_input("scan_en") {
+        let _ = sim.try_poke("scan_en", Bv::zero(1));
+        let _ = sim.try_poke("scan_in", Bv::zero(1));
     }
     if coverage {
-        eng.sim().set_coverage(true);
+        sim.set_coverage(true);
     }
     while let Ok((req, reply)) = rx.recv() {
         let closing = matches!(req, Req::Close);
         // The engines are all safe code, but a client must never be
         // able to take the whole server down: panics (e.g. a lane index
         // assert) become structured error replies.
-        let resp = catch_unwind(AssertUnwindSafe(|| handle(&mut eng, req)))
+        let resp = catch_unwind(AssertUnwindSafe(|| handle(sim, req)))
             .unwrap_or_else(|p| Resp::Failed("engine_panic", panic_message(&*p)));
         let _ = reply.send(resp);
         if closing {
@@ -517,38 +519,66 @@ fn serve_loop(mut eng: Eng<'_, '_>, coverage: bool, rx: &mpsc::Receiver<ReqEnvel
     }
 }
 
-fn handle(eng: &mut Eng<'_, '_>, req: Req) -> Resp {
+fn handle(sim: &mut dyn Simulation, req: Req) -> Resp {
     match req {
-        Req::Poke(port, value) => match eng.sim().try_poke(&port, value) {
+        Req::Poke(port, value) => match sim.try_poke(&port, value) {
             Ok(()) => Resp::Done,
             Err(e) => Resp::Sim(e),
         },
-        Req::Peek(port) => match eng.sim().try_peek(&port) {
+        Req::Peek(port) => match sim.try_peek(&port) {
             Ok(v) => Resp::Value(v),
             Err(e) => Resp::Sim(e),
         },
         Req::Step(n) => {
-            eng.sim().run_cycles(n);
-            Resp::Cycles(eng.sim().cycle())
+            sim.run_cycles(n);
+            Resp::Cycles(sim.cycle())
         }
         Req::Settle => {
-            eng.sim().settle();
+            sim.settle();
             Resp::Done
         }
-        Req::StepBatch { items, read, lanes } => {
-            if lanes {
-                match eng {
-                    Eng::Bitpar(b) => lane_batch(b, &items, &read),
-                    Eng::Sim(_) => Resp::Failed(
-                        "lanes_unsupported",
-                        "lanes mode needs a gate.bitpar session".to_owned(),
-                    ),
-                }
+        // Both batch shapes go through the redesigned `Simulation`
+        // batch API: the portable sequential default (or an engine's
+        // fused override) and the lane-parallel dispatch of the
+        // bit-parallel engines. The trait's `BatchError` carries the
+        // protocol code and wire message.
+        Req::StepBatch { batch, lanes } => {
+            let result = if lanes {
+                sim.step_batch_lanes(&batch)
             } else {
-                sequential_batch(eng.sim(), items, &read)
+                sim.step_batch(&batch)
+            };
+            match result {
+                Ok(reply) => Resp::Batch {
+                    outputs: reply.outputs,
+                    cycles: reply.cycles,
+                },
+                Err(e) => Resp::Failed(e.code(), e.to_string()),
             }
         }
-        Req::Coverage => match eng.sim().coverage() {
+        Req::Snapshot => match sim.snapshot() {
+            Some(snap) => Resp::Snapshot(snap),
+            None => Resp::Failed(
+                "snapshot_unsupported",
+                "this engine does not support snapshots".to_owned(),
+            ),
+        },
+        Req::Restore(snap) => {
+            if sim.restore(&snap) {
+                Resp::Done
+            } else if sim.snapshot().is_none() {
+                Resp::Failed(
+                    "snapshot_unsupported",
+                    "this engine does not support snapshots".to_owned(),
+                )
+            } else {
+                Resp::Failed(
+                    "stale_snapshot",
+                    "snapshot does not match this session's engine and design".to_owned(),
+                )
+            }
+        }
+        Req::Coverage => match sim.coverage() {
             Some(c) => Resp::Coverage {
                 covered_bits: c.covered_bits(),
                 total_bits: c.total_bits(),
@@ -562,9 +592,9 @@ fn handle(eng: &mut Eng<'_, '_>, req: Req) -> Resp {
                 "session was opened without coverage".to_owned(),
             ),
         },
-        Req::Metrics => Resp::Metrics(eng.sim().metrics()),
+        Req::Metrics => Resp::Metrics(sim.metrics()),
         Req::Reset => {
-            if eng.sim().reset() {
+            if sim.reset() {
                 Resp::Done
             } else {
                 Resp::Failed(
@@ -574,100 +604,5 @@ fn handle(eng: &mut Eng<'_, '_>, req: Req) -> Resp {
             }
         }
         Req::Close => Resp::Done,
-    }
-}
-
-/// Sequential batch: each tuple is poked and stepped in order, on one
-/// engine pass — one protocol round-trip instead of
-/// `items × (pokes + 1)`.
-fn sequential_batch(sim: &mut dyn Simulation, items: Vec<BatchItem>, read: &[String]) -> Resp {
-    let mut outputs = Vec::with_capacity(items.len());
-    for (i, item) in items.into_iter().enumerate() {
-        for (port, value) in item.pokes {
-            if let Err(e) = sim.try_poke(&port, value) {
-                return Resp::Failed("bad_batch_item", format!("item {i}: {e}"));
-            }
-        }
-        sim.run_cycles(item.cycles);
-        let mut reads = Vec::with_capacity(read.len());
-        for port in read {
-            match sim.try_peek(port) {
-                Ok(v) => reads.push((port.clone(), v)),
-                Err(e) => return Resp::Failed("bad_batch_item", format!("item {i}: {e}")),
-            }
-        }
-        outputs.push(reads);
-    }
-    let cycles = sim.cycle();
-    Resp::Batch { outputs, cycles }
-}
-
-/// Lanes-mode batch: item *i*'s pokes drive bit-parallel lane *i*, the
-/// engine runs the (shared) cycle count once, and item *i*'s outputs
-/// are read back from lane *i* — up to [`BATCH_LANES`] independent
-/// stimulus tuples for one engine pass.
-fn lane_batch(b: &mut BitGateSim<'_>, items: &[BatchItem], read: &[String]) -> Resp {
-    if items.len() > BATCH_LANES as usize {
-        return Resp::Failed(
-            "lanes_overflow",
-            format!("{} items exceed {BATCH_LANES} lanes", items.len()),
-        );
-    }
-    let cycles = items.first().map_or(0, |it| it.cycles);
-    if items.iter().any(|it| it.cycles != cycles) {
-        return Resp::Failed(
-            "lanes_mismatch",
-            "lanes mode requires every item to run the same cycle count".to_owned(),
-        );
-    }
-    // Validate all ports before touching any lane, so a bad item leaves
-    // the engine untouched instead of half-poked.
-    for (i, item) in items.iter().enumerate() {
-        for (port, value) in &item.pokes {
-            match b.netlist().input_port(port) {
-                None => {
-                    return Resp::Failed(
-                        "bad_batch_item",
-                        format!("item {i}: no input port `{port}`"),
-                    );
-                }
-                Some(bits) if bits.len() as u32 != value.width() => {
-                    return Resp::Failed(
-                        "bad_batch_item",
-                        format!(
-                            "item {i}: port `{port}` is {} bits, value is {}",
-                            bits.len(),
-                            value.width()
-                        ),
-                    );
-                }
-                Some(_) => {}
-            }
-        }
-    }
-    for port in read {
-        if b.netlist().output_port(port).is_none() {
-            return Resp::Failed("bad_batch_item", format!("no output port `{port}`"));
-        }
-    }
-    for (i, item) in items.iter().enumerate() {
-        for (port, value) in &item.pokes {
-            b.set_input_lane(port, i as u32, *value);
-        }
-    }
-    b.run(cycles);
-    let mut outputs = Vec::with_capacity(items.len());
-    for i in 0..items.len() {
-        let mut reads = Vec::with_capacity(read.len());
-        for port in read {
-            let lv = b.output_logic_lane(port, i as u32);
-            let width = lv.width() as u32;
-            reads.push((port.clone(), lv.to_bv().unwrap_or_else(|| Bv::zero(width))));
-        }
-        outputs.push(reads);
-    }
-    Resp::Batch {
-        outputs,
-        cycles: BitGateSim::stats(b).cycles,
     }
 }

@@ -60,10 +60,6 @@ fn every_documented_error_code_is_reachable() {
         r#"{"id":1,"op":"open_session","design":"rtl_opt","engine":"rtl.jit"}"#,
         "unknown_engine",
     );
-    check(
-        r#"{"id":1,"op":"open_session","design":"rtl_opt","engine":"gate.partitioned"}"#,
-        "unsupported_engine",
-    );
     check(r#"{"id":1,"op":"peek","session":"s99","port":"out_sample"}"#, "unknown_session");
 
     let sid = open(&s, "rtl_opt", "rtl.compiled", false);
@@ -119,6 +115,38 @@ fn every_documented_error_code_is_reachable() {
         ),
         "lanes_mismatch",
     );
+
+    // Snapshot error codes: the interpreter has no snapshot support,
+    // restoring a blob onto a different design is stale, and a
+    // non-hex blob is refused before it reaches the engine.
+    let interp = open(&s, "rtl_opt", "rtl.interpreted", false);
+    check(
+        &format!(r#"{{"id":1,"op":"snapshot","session":"{interp}"}}"#),
+        "snapshot_unsupported",
+    );
+    check(
+        &format!(r#"{{"id":1,"op":"restore","session":"{interp}","snapshot":"00"}}"#),
+        "snapshot_unsupported",
+    );
+    let snap_reply = s.handle_line(&format!(r#"{{"id":1,"op":"snapshot","session":"{sid}"}}"#));
+    assert!(snap_reply.contains(r#""ok":true"#), "{snap_reply}");
+    let tag = r#""snapshot":""#;
+    let ss = snap_reply.find(tag).unwrap() + tag.len();
+    let se = snap_reply[ss..].find('"').unwrap() + ss;
+    let blob = &snap_reply[ss..se];
+    let other = open(&s, "rtl_unopt", "rtl.compiled", false);
+    check(
+        &format!(r#"{{"id":1,"op":"restore","session":"{other}","snapshot":"{blob}"}}"#),
+        "stale_snapshot",
+    );
+    check(
+        &format!(r#"{{"id":1,"op":"restore","session":"{sid}","snapshot":"zz"}}"#),
+        "bad_value",
+    );
+    let r = s.handle_line(&format!(
+        r#"{{"id":1,"op":"restore","session":"{sid}","snapshot":"{blob}"}}"#
+    ));
+    assert!(r.contains(r#""ok":true"#), "own blob restores: {r}");
 
     // Closing twice: the second close sees no session.
     let r = s.handle_line(&format!(r#"{{"id":1,"op":"close","session":"{sid}"}}"#));
@@ -241,4 +269,67 @@ fn server_busy_when_the_pool_is_full() {
         r#"{"id":1,"op":"open_session","design":"rtl_opt","engine":"rtl.compiled"}"#,
     );
     assert_eq!(error_code(&r), Some("server_busy"));
+}
+
+#[test]
+fn snapshot_fork_replays_identically_on_every_capable_engine() {
+    // Warm up, snapshot, run a tail, then restore the blob and rerun
+    // the same tail: the peek replies must be byte-identical on every
+    // snapshot-capable engine.
+    let s = server();
+    for engine in ["rtl.compiled", "rtl.bitpar", "gate.bitpar"] {
+        let sid = open(&s, "rtl_opt", engine, false);
+        let drive = |v: u64, cycles: u64| {
+            for (port, val, w) in [
+                ("in_sample", v, 16u32),
+                ("in_sample_valid", 1, 1),
+                ("out_sample_ready", 1, 1),
+            ] {
+                let r = s.handle_line(&format!(
+                    r#"{{"id":1,"op":"poke","session":"{sid}","port":"{port}","value":"0x{val:x}","width":{w}}}"#
+                ));
+                assert!(r.contains(r#""ok":true"#), "{r}");
+            }
+            let r = s.handle_line(&format!(
+                r#"{{"id":1,"op":"step","session":"{sid}","cycles":{cycles}}}"#
+            ));
+            assert!(r.contains(r#""ok":true"#), "{r}");
+        };
+        let tail_peeks = |label: &str| -> Vec<String> {
+            ["out_sample", "out_sample_valid", "dbg_state"]
+                .iter()
+                .map(|port| {
+                    let r = s.handle_line(&format!(
+                        r#"{{"id":1,"op":"peek","session":"{sid}","port":"{port}"}}"#
+                    ));
+                    assert!(r.contains(r#""ok":true"#), "{label}: {r}");
+                    r
+                })
+                .collect()
+        };
+        for i in 0..10u64 {
+            drive(i * 0x213, 2);
+        }
+        let snap = s.handle_line(&format!(r#"{{"id":1,"op":"snapshot","session":"{sid}"}}"#));
+        assert!(snap.contains(r#""ok":true"#), "{engine}: {snap}");
+        let tag = r#""snapshot":""#;
+        let ss = snap.find(tag).unwrap() + tag.len();
+        let se = snap[ss..].find('"').unwrap() + ss;
+        let blob = snap[ss..se].to_owned();
+
+        for i in 0..7u64 {
+            drive(0x8000 | (i * 0x777), 3);
+        }
+        let straight = tail_peeks("straight");
+
+        let r = s.handle_line(&format!(
+            r#"{{"id":1,"op":"restore","session":"{sid}","snapshot":"{blob}"}}"#
+        ));
+        assert!(r.contains(r#""ok":true"#), "{engine}: restore failed: {r}");
+        for i in 0..7u64 {
+            drive(0x8000 | (i * 0x777), 3);
+        }
+        let rerun = tail_peeks("rerun");
+        assert_eq!(straight, rerun, "{engine}: forked rerun diverged");
+    }
 }

@@ -127,11 +127,12 @@ impl EngineStats {
 /// An opaque engine-encoded state snapshot (see
 /// [`Simulation::snapshot`]).
 ///
-/// The payload is a private byte blob only meaningful to the engine
-/// instance (or an identically-configured twin) that produced it. The
-/// simulation service will use snapshots to migrate sessions between
-/// pooled workers; no engine implements them yet, so today this type
-/// only pins down the API shape.
+/// The payload is a versioned, length-prefixed byte blob only
+/// meaningful to the engine kind (and compiled design) that produced
+/// it — restoring onto a different engine, design or format version
+/// fails cleanly instead of corrupting state. Engines build and parse
+/// blobs through [`snapblob::SnapshotWriter`] /
+/// [`snapblob::SnapshotReader`], which pin the common header layout.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Snapshot {
     blob: Vec<u8>,
@@ -150,6 +151,254 @@ impl Snapshot {
         &self.blob
     }
 }
+
+/// The common [`Snapshot`] blob encoding.
+///
+/// Every engine snapshot starts with the same header — magic, format
+/// version, engine tag, a design-identity word — followed by
+/// engine-chosen fields written through the typed helpers. All
+/// variable-length fields are length-prefixed, so a truncated or
+/// mismatched blob is detected (reads return `None`) rather than
+/// misinterpreted. Integers are little-endian.
+pub mod snapblob {
+    use super::Snapshot;
+
+    const MAGIC: &[u8; 4] = b"SCSN";
+
+    /// Serialises one snapshot: header first, then typed fields in the
+    /// order the matching reader will consume them.
+    pub struct SnapshotWriter {
+        buf: Vec<u8>,
+    }
+
+    impl SnapshotWriter {
+        /// Starts a blob for `engine` (the protocol engine tag), a
+        /// format `version` the engine bumps on layout changes, and an
+        /// `identity` word tying the blob to one compiled design (a
+        /// content hash or equivalent structural fingerprint).
+        #[must_use]
+        pub fn new(engine: &str, version: u16, identity: u64) -> Self {
+            let mut w = SnapshotWriter { buf: Vec::new() };
+            w.buf.extend_from_slice(MAGIC);
+            w.buf.extend_from_slice(&version.to_le_bytes());
+            w.bytes(engine.as_bytes());
+            w.u64(identity);
+            w
+        }
+
+        /// Appends one u64.
+        pub fn u64(&mut self, v: u64) {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+
+        /// Appends a length-prefixed u64 slice.
+        pub fn u64s(&mut self, vs: &[u64]) {
+            self.u64(vs.len() as u64);
+            for &v in vs {
+                self.u64(v);
+            }
+        }
+
+        /// Appends a length-prefixed byte string.
+        pub fn bytes(&mut self, b: &[u8]) {
+            self.buf.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            self.buf.extend_from_slice(b);
+        }
+
+        /// Finishes the blob.
+        #[must_use]
+        pub fn finish(self) -> Snapshot {
+            Snapshot::from_blob(self.buf)
+        }
+    }
+
+    /// Parses a snapshot written by [`SnapshotWriter`]. Construction
+    /// validates the header; every read returns `None` on truncation,
+    /// so engines can treat any `None` as "stale blob" and refuse the
+    /// restore without having touched their state.
+    pub struct SnapshotReader<'a> {
+        rest: &'a [u8],
+    }
+
+    impl<'a> SnapshotReader<'a> {
+        /// Opens `snap` and checks magic, `version`, `engine` tag and
+        /// design `identity`; `None` on any mismatch.
+        #[must_use]
+        pub fn open(snap: &'a Snapshot, engine: &str, version: u16, identity: u64) -> Option<Self> {
+            let blob = snap.blob();
+            let mut r = SnapshotReader {
+                rest: blob.strip_prefix(MAGIC.as_slice())?,
+            };
+            let mut ver = [0u8; 2];
+            ver.copy_from_slice(r.take(2)?);
+            if u16::from_le_bytes(ver) != version {
+                return None;
+            }
+            if r.bytes()? != engine.as_bytes() {
+                return None;
+            }
+            if r.u64()? != identity {
+                return None;
+            }
+            Some(r)
+        }
+
+        fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+            if self.rest.len() < n {
+                return None;
+            }
+            let (head, tail) = self.rest.split_at(n);
+            self.rest = tail;
+            Some(head)
+        }
+
+        /// Reads one u64.
+        #[must_use]
+        pub fn u64(&mut self) -> Option<u64> {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(self.take(8)?);
+            Some(u64::from_le_bytes(b))
+        }
+
+        /// Reads a length-prefixed u64 slice.
+        #[must_use]
+        pub fn u64s(&mut self) -> Option<Vec<u64>> {
+            let n = usize::try_from(self.u64()?).ok()?;
+            // The prefix cannot promise more words than bytes remain.
+            if n > self.rest.len() / 8 {
+                return None;
+            }
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(self.u64()?);
+            }
+            Some(out)
+        }
+
+        /// Reads a length-prefixed byte string.
+        #[must_use]
+        pub fn bytes(&mut self) -> Option<&'a [u8]> {
+            let mut len = [0u8; 4];
+            len.copy_from_slice(self.take(4)?);
+            self.take(u32::from_le_bytes(len) as usize)
+        }
+
+        /// `true` once the whole blob has been consumed — engines check
+        /// this last so a trailing-garbage blob is refused too.
+        #[must_use]
+        pub fn done(&self) -> bool {
+            self.rest.is_empty()
+        }
+    }
+}
+
+/// One `(poke-set, cycles)` stimulus tuple of a [`StimulusBatch`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StimulusItem {
+    /// Input pokes applied before stepping.
+    pub pokes: Vec<(String, Bv)>,
+    /// Clock cycles to run after the pokes.
+    pub cycles: u64,
+}
+
+/// A batch of stimulus tuples dispatched through
+/// [`Simulation::step_batch`] /
+/// [`Simulation::step_batch_lanes`] in one engine pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StimulusBatch {
+    /// The stimulus tuples, in dispatch order.
+    pub items: Vec<StimulusItem>,
+    /// Output ports read after each item.
+    pub read: Vec<String>,
+}
+
+/// Per-item output reads of a batch, plus the engine's total completed
+/// cycle count after it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchReply {
+    /// `outputs[i]` are item *i*'s `(port, value)` reads, in the order
+    /// of the batch's `read` list.
+    pub outputs: Vec<Vec<(String, Bv)>>,
+    /// Total completed cycles after the batch.
+    pub cycles: u64,
+}
+
+/// Why a batch dispatch was refused. Each variant maps onto one
+/// protocol error code in the simulation service; [`fmt::Display`]
+/// renders the wire message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchError {
+    /// One item's poke or output read failed. `index` names the item
+    /// for per-item failures; a bad port in the batch-wide read list
+    /// reports without one.
+    Item {
+        /// Index of the offending item, if the failure is per-item.
+        index: Option<usize>,
+        /// The port-level failure, already rendered.
+        message: String,
+    },
+    /// Lanes mode on an engine without lane-parallel stimulus.
+    LanesUnsupported,
+    /// More items than the engine has lanes.
+    LanesOverflow {
+        /// Items in the batch.
+        items: usize,
+        /// Lanes the engine was built with.
+        lanes: u32,
+    },
+    /// Differing per-item cycle counts in lanes mode (all lanes share
+    /// one clock).
+    LanesMismatch,
+}
+
+impl BatchError {
+    /// Wraps a [`SimError`] raised by item `index`.
+    #[must_use]
+    pub fn item(index: usize, error: &SimError) -> Self {
+        BatchError::Item {
+            index: Some(index),
+            message: error.to_string(),
+        }
+    }
+
+    /// The simulation service's stable error code for this failure.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            BatchError::Item { .. } => "bad_batch_item",
+            BatchError::LanesUnsupported => "lanes_unsupported",
+            BatchError::LanesOverflow { .. } => "lanes_overflow",
+            BatchError::LanesMismatch => "lanes_mismatch",
+        }
+    }
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Item {
+                index: Some(i),
+                message,
+            } => write!(f, "item {i}: {message}"),
+            BatchError::Item {
+                index: None,
+                message,
+            } => write!(f, "{message}"),
+            BatchError::LanesUnsupported => write!(
+                f,
+                "lanes mode needs a lane-parallel session (gate.bitpar or rtl.bitpar)"
+            ),
+            BatchError::LanesOverflow { items, lanes } => {
+                write!(f, "{items} items exceed {lanes} lanes")
+            }
+            BatchError::LanesMismatch => {
+                write!(f, "lanes mode requires every item to run the same cycle count")
+            }
+        }
+    }
+}
+
+impl Error for BatchError {}
 
 /// A cycle-driven simulation of a single-clock design.
 ///
@@ -312,17 +561,79 @@ pub trait Simulation {
 
     /// Captures the engine's full simulation state as an opaque
     /// [`Snapshot`], if the engine supports it. The default supports
-    /// nothing and returns `None`. Reserved for session migration in
-    /// the simulation service; no engine implements it yet.
+    /// nothing and returns `None`. The compiled RTL engines and the
+    /// bit-parallel gate engine implement it; the fork-style sweep
+    /// helpers (warm up once, snapshot, restore per scenario) and the
+    /// simulation service's `snapshot`/`restore` requests build on it.
     fn snapshot(&self) -> Option<Snapshot> {
         None
     }
 
     /// Restores state captured by [`snapshot`](Simulation::snapshot) on
     /// this engine (or an identically-configured twin). Returns `true`
-    /// when the restore took effect; the default returns `false`.
+    /// when the restore took effect; `false` either because the engine
+    /// does not implement snapshots or because the blob is stale —
+    /// produced by a different engine, design or format version. A
+    /// failed restore leaves the engine's state untouched.
     fn restore(&mut self, _snapshot: &Snapshot) -> bool {
         false
+    }
+
+    /// Dispatches a batch of stimulus tuples sequentially: each item's
+    /// pokes are applied, its cycle count run, and the batch's read
+    /// list peeked, before the next item starts. Every engine inherits
+    /// this default — it is exactly a fused loop of
+    /// [`try_poke`](Simulation::try_poke) /
+    /// [`run_cycles`](Simulation::run_cycles) /
+    /// [`try_peek`](Simulation::try_peek), amortising dispatch overhead
+    /// (one call instead of `items × (pokes + 1)`) without changing
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::Item`] on the first failing poke or read; items
+    /// before the failing one have already executed (the failing item's
+    /// earlier pokes may also have landed), exactly like issuing the
+    /// calls by hand.
+    fn step_batch(&mut self, batch: &StimulusBatch) -> Result<BatchReply, BatchError> {
+        let mut outputs = Vec::with_capacity(batch.items.len());
+        for (i, item) in batch.items.iter().enumerate() {
+            for (port, value) in &item.pokes {
+                self.try_poke(port, *value)
+                    .map_err(|e| BatchError::item(i, &e))?;
+            }
+            self.run_cycles(item.cycles);
+            let mut reads = Vec::with_capacity(batch.read.len());
+            for port in &batch.read {
+                let v = self.try_peek(port).map_err(|e| BatchError::item(i, &e))?;
+                reads.push((port.clone(), v));
+            }
+            outputs.push(reads);
+        }
+        Ok(BatchReply {
+            outputs,
+            cycles: self.cycle(),
+        })
+    }
+
+    /// Dispatches a batch lane-parallel: item *i*'s pokes drive
+    /// stimulus lane *i*, the engine runs the (shared) cycle count
+    /// once, and item *i*'s outputs are read back from lane *i* — up to
+    /// the engine's lane count of independent scenarios per pass. Only
+    /// lane-parallel engines override this; the default refuses with
+    /// [`BatchError::LanesUnsupported`].
+    ///
+    /// Overrides validate the whole batch *before* touching any lane,
+    /// so a refused batch leaves the engine untouched instead of
+    /// half-poked. Output bits unknown in four-valued engines read as
+    /// zero, matching [`try_peek`](Simulation::try_peek).
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError`] on unknown/mis-sized ports, more items than
+    /// lanes, or differing per-item cycle counts.
+    fn step_batch_lanes(&mut self, _batch: &StimulusBatch) -> Result<BatchReply, BatchError> {
+        Err(BatchError::LanesUnsupported)
     }
 }
 
@@ -390,6 +701,12 @@ impl<S: Simulation + ?Sized> Simulation for &mut S {
     fn restore(&mut self, snapshot: &Snapshot) -> bool {
         (**self).restore(snapshot)
     }
+    fn step_batch(&mut self, batch: &StimulusBatch) -> Result<BatchReply, BatchError> {
+        (**self).step_batch(batch)
+    }
+    fn step_batch_lanes(&mut self, batch: &StimulusBatch) -> Result<BatchReply, BatchError> {
+        (**self).step_batch_lanes(batch)
+    }
 }
 
 impl<S: Simulation + ?Sized> Simulation for Box<S> {
@@ -449,6 +766,12 @@ impl<S: Simulation + ?Sized> Simulation for Box<S> {
     }
     fn restore(&mut self, snapshot: &Snapshot) -> bool {
         (**self).restore(snapshot)
+    }
+    fn step_batch(&mut self, batch: &StimulusBatch) -> Result<BatchReply, BatchError> {
+        (**self).step_batch(batch)
+    }
+    fn step_batch_lanes(&mut self, batch: &StimulusBatch) -> Result<BatchReply, BatchError> {
+        (**self).step_batch_lanes(batch)
     }
 }
 
@@ -537,10 +860,25 @@ mod tests {
         b.step();
         assert_eq!(b.cycle(), 1);
         assert_eq!(b.peek("q").as_u64(), 2);
-        // The snapshot hook is a stub: no engine implements it yet.
+        // The toy engine opts out of snapshots: the defaults refuse.
         assert_eq!(b.snapshot(), None);
         assert!(!b.restore(&Snapshot::from_blob(vec![1, 2])));
         assert_eq!(Snapshot::from_blob(vec![1, 2]).blob(), &[1, 2]);
+        // Batch dispatch forwards through the box too.
+        let batch = StimulusBatch {
+            items: vec![StimulusItem {
+                pokes: vec![("d".into(), Bv::new(7, 8))],
+                cycles: 2,
+            }],
+            read: vec!["q".into()],
+        };
+        let reply = b.step_batch(&batch).expect("sequential batch");
+        assert_eq!(reply.outputs, vec![vec![("q".to_owned(), Bv::new(9, 8))]]);
+        assert_eq!(reply.cycles, 3);
+        assert_eq!(
+            b.step_batch_lanes(&batch),
+            Err(BatchError::LanesUnsupported)
+        );
     }
 
     #[test]
@@ -552,5 +890,90 @@ mod tests {
         let r: &mut dyn Simulation = &mut t;
         r.step();
         assert_eq!(r.cycle(), 1);
+    }
+
+    #[test]
+    fn sequential_batch_reports_failing_item() {
+        let mut t = Toy {
+            cycles: 0,
+            value: Bv::zero(8),
+        };
+        let batch = StimulusBatch {
+            items: vec![
+                StimulusItem {
+                    pokes: vec![("d".into(), Bv::new(1, 8))],
+                    cycles: 1,
+                },
+                StimulusItem {
+                    pokes: vec![("nope".into(), Bv::bit(false))],
+                    cycles: 1,
+                },
+            ],
+            read: vec![],
+        };
+        let err = t.step_batch(&batch).unwrap_err();
+        assert_eq!(err.code(), "bad_batch_item");
+        assert_eq!(err.to_string(), "item 1: no port named `nope`");
+        // Item 0 executed before item 1 refused, like hand-issued calls.
+        assert_eq!(t.cycle(), 1);
+    }
+
+    #[test]
+    fn batch_errors_render_wire_messages() {
+        assert_eq!(
+            BatchError::LanesUnsupported.to_string(),
+            "lanes mode needs a lane-parallel session (gate.bitpar or rtl.bitpar)"
+        );
+        assert_eq!(
+            BatchError::LanesOverflow { items: 65, lanes: 64 }.to_string(),
+            "65 items exceed 64 lanes"
+        );
+        assert_eq!(
+            BatchError::LanesMismatch.to_string(),
+            "lanes mode requires every item to run the same cycle count"
+        );
+        assert_eq!(BatchError::LanesMismatch.code(), "lanes_mismatch");
+        assert_eq!(
+            BatchError::Item {
+                index: None,
+                message: "no output port `x`".into()
+            }
+            .to_string(),
+            "no output port `x`"
+        );
+    }
+
+    #[test]
+    fn snapblob_round_trips_and_refuses_stale() {
+        let mut w = snapblob::SnapshotWriter::new("toy", 3, 0xFEED);
+        w.u64(42);
+        w.u64s(&[1, 2, 3]);
+        w.bytes(b"tail");
+        let snap = w.finish();
+
+        let mut r = snapblob::SnapshotReader::open(&snap, "toy", 3, 0xFEED).expect("header");
+        assert_eq!(r.u64(), Some(42));
+        assert_eq!(r.u64s().as_deref(), Some(&[1, 2, 3][..]));
+        assert_eq!(r.bytes(), Some(&b"tail"[..]));
+        assert!(r.done());
+
+        // Wrong engine, version or identity: refused at open.
+        assert!(snapblob::SnapshotReader::open(&snap, "other", 3, 0xFEED).is_none());
+        assert!(snapblob::SnapshotReader::open(&snap, "toy", 4, 0xFEED).is_none());
+        assert!(snapblob::SnapshotReader::open(&snap, "toy", 3, 0xBEEF).is_none());
+
+        // Truncated blob: the typed reads refuse instead of panicking.
+        let cut = Snapshot::from_blob(snap.blob()[..snap.blob().len() - 2].to_vec());
+        let mut r = snapblob::SnapshotReader::open(&cut, "toy", 3, 0xFEED).expect("header");
+        assert_eq!(r.u64(), Some(42));
+        assert_eq!(r.u64s().as_deref(), Some(&[1, 2, 3][..]));
+        assert_eq!(r.bytes(), None);
+
+        // A length prefix promising more words than bytes remain.
+        let mut w = snapblob::SnapshotWriter::new("toy", 1, 0);
+        w.u64(u64::MAX);
+        let bad = w.finish();
+        let mut r = snapblob::SnapshotReader::open(&bad, "toy", 1, 0).expect("header");
+        assert_eq!(r.u64s(), None);
     }
 }

@@ -104,6 +104,27 @@ echo "== serve concurrency: single-flight cache + 4-session determinism =="
 cargo test --release -q --offline -p scflow-serve --test cache_share
 cargo test --release -q --offline -p scflow-serve --test determinism
 
+echo "== snapshot determinism: forked replays vs straight runs =="
+# `--check-snapshot` runs every scenario twice on both compiled RTL
+# engines — once from a fresh warmed simulator, once by restoring a
+# warmup checkpoint — and writes both artifact dumps (outputs,
+# violations, coverage maps, VCD bytes, metrics JSON). The dumps must
+# be byte-identical: a restore that loses any state shows up here.
+SCFLOW_BENCH_DIR="$covdir" \
+    cargo run --release --offline -p scflow-bench --bin tables -- --check-snapshot
+cmp "$covdir/SNAPSHOT_straight.txt" "$covdir/SNAPSHOT_forked.txt"
+echo "ok: snapshot-forked replays byte-identical to straight runs"
+
+echo "== scenario-sweep bench (BENCH_sweep.json) =="
+# Sequential CompiledSim vs snapshot-forked scalar vs the 64-lane
+# bit-parallel sweep; exits non-zero if the lane sweep's per-scenario
+# throughput falls under SCFLOW_SWEEP_MIN (default 8x) of the naive
+# fresh-simulator loop.
+SCFLOW_BENCH_DIR="$covdir" \
+    cargo bench --offline -q -p scflow-bench --bench rtl_sweep
+test -s "$covdir/BENCH_sweep.json"
+echo "ok: BENCH_sweep.json emitted"
+
 echo "== serve throughput bench (BENCH_serve.json) =="
 SCFLOW_BENCH_DIR="$covdir" \
     cargo bench --offline -q -p scflow-bench --bench serve_throughput
