@@ -7,7 +7,7 @@
 
 use scflow::SrcConfig;
 
-const KNOWN_FLAGS: [&str; 19] = [
+const KNOWN_FLAGS: [&str; 21] = [
     "--down",
     "--all",
     "--verify",
@@ -24,6 +24,8 @@ const KNOWN_FLAGS: [&str; 19] = [
     "--check-engines",
     "--check-gate",
     "--check-snapshot",
+    "--check-opt",
+    "--netlist-stats",
     "--profile",
     "--coverage",
     "--help",
@@ -49,7 +51,8 @@ fn main() {
             "usage: tables [--down] [--all] [--verify] [--fig7] [--fig8] [--fig9] \
              [--fig10] [--timing] [--fault] [--ablation-sched] [--ablation-regs] \
              [--ablation-share] [--ablation-pack] [--check-engines] [--check-gate] \
-             [--check-snapshot] [--profile] [--coverage]"
+             [--check-snapshot] [--check-opt] [--netlist-stats] [--profile] \
+             [--coverage]"
         );
         std::process::exit(2);
     }
@@ -259,14 +262,63 @@ fn main() {
         }
     }
 
-    // Observability subcommands: both feed the same METRICS.json, so
-    // `--all` (or SCFLOW_METRICS plus SCFLOW_PROFILE) writes one
-    // combined artefact. The metrics object stays deterministic; only
-    // the optional profile section carries wall-clock numbers.
+    // Observability sinks, declared ahead of the sections that feed
+    // them: everything merges into one METRICS.json.
     let mut metrics_out = scflow_obs::MetricsRegistry::new();
     let mut profile_out: Option<scflow_obs::Profiler> = None;
     let mut emit_metrics = false;
 
+    if has("--check-opt") {
+        println!("=== Pass-pipeline check: passes off vs level 2, every compiled engine ===\n");
+        println!("{:<18} {:>14} {:>14} {:>9}", "engine", "off cyc/s", "opt2 cyc/s", "speedup");
+        let rows = scflow_bench::check_opt(&cfg, 60);
+        let mut slower = Vec::new();
+        for r in &rows {
+            println!(
+                "{:<18} {:>14.0} {:>14.0} {:>8.2}x",
+                r.engine,
+                r.off_cps,
+                r.on_cps,
+                r.speedup()
+            );
+            if r.speedup() < 0.5 {
+                slower.push(r.engine);
+            }
+        }
+        println!("\nall engines bit-accurate against the golden model at both levels\n");
+        // The generated-circuit floor lives in the opt_scaling bench;
+        // here only a gross regression (passes *halving* throughput on
+        // the small SRC) fails the check.
+        if !slower.is_empty() {
+            eprintln!("FAILED: pass pipeline halves throughput on: {slower:?}");
+            std::process::exit(1);
+        }
+    }
+
+    if has("--netlist-stats") {
+        println!("=== Netlist statistics (before / after the level-2 passes) ===\n");
+        println!(
+            "{:<14} {:>8} {:>7} {:>8} {:>5} {:>7} {:>11} {:>6}",
+            "netlist", "gates", "flops", "nets", "mems", "levels", "max fanout", "cut"
+        );
+        let (rows, stats_metrics) = scflow_bench::netlist_stats(&cfg);
+        for (name, s) in &rows {
+            println!(
+                "{name:<14} {:>8} {:>7} {:>8} {:>5} {:>7} {:>11} {:>6}",
+                s.gates, s.flops, s.nets, s.mems, s.levels, s.max_fanout, s.cut
+            );
+        }
+        println!();
+        if scflow_obs::metrics_enabled() {
+            metrics_out.merge_from(&stats_metrics);
+            emit_metrics = true;
+        }
+    }
+
+    // Observability subcommands: both feed the same METRICS.json, so
+    // `--all` (or SCFLOW_METRICS plus SCFLOW_PROFILE) writes one
+    // combined artefact. The metrics object stays deterministic; only
+    // the optional profile section carries wall-clock numbers.
     if has("--coverage") {
         println!("=== Toggle coverage across all simulation engines ===\n");
         let rep = scflow_bench::measure_coverage(&cfg);

@@ -501,6 +501,137 @@ pub fn check_gate_engines(cfg: &SrcConfig, n_inputs: usize) -> GateEngineCheck {
     }
 }
 
+/// One engine row of `tables --check-opt`: the same golden-model run
+/// with the pass pipeline off and at level 2.
+#[derive(Clone, Debug)]
+pub struct OptCheckRow {
+    /// Engine name.
+    pub engine: &'static str,
+    /// Throughput with passes off, simulated cycles per wall second.
+    pub off_cps: f64,
+    /// Throughput at pass level 2.
+    pub on_cps: f64,
+}
+
+impl OptCheckRow {
+    /// Passes-on over passes-off throughput.
+    pub fn speedup(&self) -> f64 {
+        self.on_cps / self.off_cps.max(1e-12)
+    }
+}
+
+/// Re-runs the golden-model comparison on every compiled engine with
+/// the pass pipeline off and at level 2. Both variants must reproduce
+/// the golden outputs bit-for-bit (asserted), which pins the passes as
+/// semantics-preserving on the flow's own design; the returned rows
+/// carry the throughput pair per engine. Used by `tables --check-opt`
+/// and `scripts/verify.sh`.
+pub fn check_opt(cfg: &SrcConfig, n_inputs: usize) -> Vec<OptCheckRow> {
+    let lib = CellLibrary::generic_025u();
+    let passes = scflow_hwtypes::PassConfig::for_level(2);
+    let input = stimulus::sine(n_inputs, 1000.0, f64::from(cfg.in_rate), 9000.0);
+    let golden = GoldenVectors::generate(cfg, input);
+    let budget = 10_000_000;
+    let module = build_rtl_src(cfg, RtlVariant::Optimised).expect("rtl");
+    let netlist = synthesize(&module, &lib, &SynthOptions::default())
+        .expect("synth rtl")
+        .netlist;
+    let opt_nl = scflow_gate::optimize(&netlist, &passes)
+        .expect("gate passes run")
+        .netlist;
+
+    let mut rows: Vec<OptCheckRow> = Vec::new();
+    let mut measure = |engine: &'static str, run: &mut dyn FnMut(bool) -> CosimRun| {
+        let mut cps = [0.0f64; 2];
+        for (i, on) in [false, true].into_iter().enumerate() {
+            let t0 = Instant::now();
+            let r = run(on);
+            cps[i] = r.cycles as f64 / t0.elapsed().as_secs_f64().max(1e-12);
+            assert_eq!(
+                r.outputs, golden.output,
+                "{engine} (passes {}) diverged from golden",
+                if on { "on" } else { "off" }
+            );
+            assert_eq!(r.testbench_errors, 0, "{engine} raised testbench errors");
+        }
+        rows.push(OptCheckRow {
+            engine,
+            off_cps: cps[0],
+            on_cps: cps[1],
+        });
+    };
+
+    let p0 = CompiledProgram::compile(&module).expect("rtl compiles");
+    let p2 =
+        CompiledProgram::compile_with(&module, &passes).expect("rtl compiles with passes");
+    measure("rtl.compiled", &mut |on| {
+        let mut sim = if on { p2.simulator() } else { p0.simulator() };
+        run_native_hdl(&mut sim, &golden, budget)
+    });
+    measure("rtl.bitpar", &mut |on| {
+        let mut sim = if on {
+            p2.bit_simulator()
+        } else {
+            p0.bit_simulator()
+        };
+        run_native_hdl(&mut sim, &golden, budget)
+    });
+    measure("gate.fast", &mut |on| {
+        let nl = if on { &opt_nl } else { &netlist };
+        let mut sim = FastGateSim::new(nl).expect("levelizes");
+        run_native_hdl(&mut sim, &golden, budget)
+    });
+    let g0 = GateProgram::compile(&netlist).expect("gate compiles");
+    let g2 = GateProgram::compile(&opt_nl).expect("optimized gate compiles");
+    measure("gate.bitpar", &mut |on| {
+        let prog = if on { &g2 } else { &g0 };
+        let mut sim = prog.simulator();
+        run_native_hdl(&mut sim, &golden, budget)
+    });
+    measure("gate.partitioned", &mut |on| {
+        let prog = if on { &g2 } else { &g0 };
+        ParGateSim::with(prog, sim_threads(), 1, |sim| {
+            run_native_hdl(sim, &golden, budget)
+        })
+    });
+    rows
+}
+
+/// Netlist statistics rows for `tables --netlist-stats`: the
+/// synthesized SRC netlist and a generated 10^4-gate pipeline, each
+/// before and after the level-2 pass pipeline. The registry carries
+/// the same numbers under stable `netlist.<design>.*` metric names.
+pub fn netlist_stats(
+    cfg: &SrcConfig,
+) -> (
+    Vec<(String, scflow_gate::NetlistStats)>,
+    scflow_obs::MetricsRegistry,
+) {
+    let lib = CellLibrary::generic_025u();
+    let passes = scflow_hwtypes::PassConfig::for_level(2);
+    let module = build_rtl_src(cfg, RtlVariant::Optimised).expect("rtl");
+    let src_nl = synthesize(&module, &lib, &SynthOptions::default())
+        .expect("synth rtl")
+        .netlist;
+    let pipe_nl = scflow_gate::gen::generate(&scflow_gate::gen::GenParams::sized(
+        scflow_gate::gen::GenKind::Pipeline,
+        10_000,
+        7,
+    ));
+
+    let mut rows = Vec::new();
+    let mut reg = scflow_obs::MetricsRegistry::new();
+    for (name, nl) in [("src", &src_nl), ("pipe10k", &pipe_nl)] {
+        let opt = scflow_gate::optimize(nl, &passes).expect("passes run").netlist;
+        for (variant, n) in [("", nl), (".opt2", &opt)] {
+            let stats = scflow_gate::NetlistStats::compute(n).expect("stats");
+            stats.register_into(&mut reg, &format!("netlist.{name}{variant}"));
+            rows.push((format!("{name}{variant}"), stats));
+        }
+    }
+    (rows, reg)
+}
+
 /// Regenerates the Figure 10 area table.
 pub fn measure_fig10(cfg: &SrcConfig) -> scflow::flow::AreaFigure {
     let lib = CellLibrary::generic_025u();

@@ -25,6 +25,7 @@ use scflow_gate::{
     fault, sim_threads, CellLibrary, FastGateSim, GateNetlist, GateProgram, GateSim, ParGateSim,
 };
 use scflow_obs::{MetricsRegistry, Profiler};
+use scflow_hwtypes::PassConfig;
 use scflow_rtl::{CompiledProgram, Module, RtlSim};
 use scflow_synth::rtl::{synthesize, SynthOptions, SynthResult};
 use std::fmt;
@@ -332,18 +333,23 @@ pub fn validate_module_with(
     golden: &GoldenVectors,
     fixed_mode: bool,
 ) -> Result<(), ScflowError> {
+    // The compile-pass pipeline is a flow-level knob (`SCFLOW_OPT`):
+    // passes are semantics-preserving, so the level only affects
+    // throughput, never the validation verdict. The interpreter has no
+    // compile step and therefore no passes.
+    let passes = PassConfig::from_env();
     match engine {
         SimEngine::Interpreted => {
             let mut sim = RtlSim::new(module);
             run_and_compare(&mut sim, design, golden, fixed_mode)
         }
         SimEngine::Compiled => {
-            let program = CompiledProgram::compile(module)?;
+            let program = CompiledProgram::compile_with(module, &passes)?;
             let mut sim = program.simulator();
             run_and_compare(&mut sim, design, golden, fixed_mode)
         }
         SimEngine::BitParallel => {
-            let program = CompiledProgram::compile(module)?;
+            let program = CompiledProgram::compile_with(module, &passes)?;
             let mut sim = program.bit_simulator();
             run_and_compare(&mut sim, design, golden, fixed_mode)
         }
@@ -541,6 +547,19 @@ pub fn validate_gate_level_with(
     lib: &CellLibrary,
     golden: &GoldenVectors,
 ) -> Result<(), ScflowError> {
+    // Same `SCFLOW_OPT` knob as the RTL path: optimize the netlist
+    // before handing it to any engine. The passes keep every observed
+    // output and the scan chain, so the verdict cannot change. (The
+    // fault flow never optimizes — collapsed cells would hide fault
+    // sites.)
+    let passes = PassConfig::from_env();
+    let optimized;
+    let netlist = if passes.any() {
+        optimized = scflow_gate::optimize(netlist, &passes)?.netlist;
+        &optimized
+    } else {
+        netlist
+    };
     match engine {
         GateEngine::EventDriven => {
             let mut sim = GateSim::new(netlist, lib);

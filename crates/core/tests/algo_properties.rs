@@ -261,13 +261,13 @@ fn coefficient_rom_is_pinned() {
     let rom = scflow::CoefficientRom::design(&SrcConfig::cd_to_dvd());
     let words = rom.words();
     assert_eq!(words.len(), 256);
-    // FNV-1a over the raw words.
-    let mut h: u64 = 0xcbf29ce484222325;
+    // FNV-1a over the raw words via the workspace-wide hasher.
+    let mut fnv = scflow_hwtypes::Fnv64::new();
     for &w in words {
-        h ^= (w as u16) as u64;
-        h = h.wrapping_mul(0x100000001b3);
+        fnv.write_u64((w as u16) as u64);
     }
-    let expected = 0x97a2_8f7a_0c79_6903u64;
+    let h = fnv.finish();
+    let expected = 0x6b0c_70d9_c29d_b208u64;
     assert_eq!(
         h, expected,
         "coefficient design changed (new hash {h:#018x}); if intentional, \

@@ -52,11 +52,13 @@ mod cov;
 mod error;
 pub mod fault;
 mod fastsim;
+pub mod gen;
 mod gsim;
 mod netlist;
 mod parhandle;
 mod parsim;
 mod partition;
+pub mod passes;
 mod scan;
 mod simapi;
 mod timing;
@@ -73,6 +75,7 @@ pub use netlist::{GNetId, GateMemory, GateNetlist, Instance, NetlistBuilder};
 pub use parhandle::OwnedParGateSim;
 pub use parsim::{sim_threads, ParGateSim};
 pub use partition::Partition;
+pub use passes::{optimize, NetlistStats, OptimizedNetlist, PassStats};
 // The unified engine interface both simulators implement.
 pub use scflow_sim_api::{EngineStats, SimError, Simulation};
 pub use scan::insert_scan_chain;

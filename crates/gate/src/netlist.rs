@@ -203,6 +203,21 @@ impl GateNetlist {
         h.finish()
     }
 
+    /// [`stable_hash`](Self::stable_hash) extended with the pass
+    /// configuration the netlist will be optimized under (see
+    /// [`crate::passes::optimize`]). Two sessions running the same
+    /// design at different optimization levels must not share compiled
+    /// programs or exchange snapshots, so the simulation service keys
+    /// its caches on this hash rather than the bare structural one.
+    pub fn stable_hash_with(&self, passes: &scflow_hwtypes::PassConfig) -> u64 {
+        use scflow_hwtypes::Fnv64;
+        let mut h = Fnv64::new();
+        h.write_str("gate-netlist-passes-v1");
+        h.write_u64(self.stable_hash());
+        h.write_u64(passes.stable_tag());
+        h.finish()
+    }
+
     /// Looks up an input port.
     pub fn input_port(&self, name: &str) -> Option<&[GNetId]> {
         self.inputs

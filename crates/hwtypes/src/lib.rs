@@ -34,6 +34,7 @@ mod bv;
 mod fixed;
 mod fnv;
 mod logic;
+mod passcfg;
 mod sint;
 mod uint;
 
@@ -41,6 +42,7 @@ pub use bv::Bv;
 pub use fixed::SFixed;
 pub use fnv::Fnv64;
 pub use logic::{Logic, LogicVec};
+pub use passcfg::PassConfig;
 pub use sint::SInt;
 pub use uint::UInt;
 

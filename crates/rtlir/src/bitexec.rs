@@ -665,7 +665,8 @@ impl<'p> BitRtlSim<'p> {
         }
         if let Some(cov) = self.coverage.as_deref_mut() {
             let slots = &self.slots;
-            cov.sample_with(|i| (slots[i * L], u64::MAX));
+            let retained = &prog.retained_nets;
+            cov.sample_with(|i| (slots[i * L], if retained[i] { u64::MAX } else { 0 }));
         }
     }
 
@@ -698,7 +699,8 @@ impl<'p> BitRtlSim<'p> {
                 .map(|(n, &w)| (n.clone(), w)),
         );
         let slots = &self.slots;
-        cov.sample_with(|i| (slots[i * L], u64::MAX));
+        let retained = &prog.retained_nets;
+        cov.sample_with(|i| (slots[i * L], if retained[i] { u64::MAX } else { 0 }));
         self.coverage = Some(Box::new(cov));
     }
 
@@ -769,7 +771,8 @@ impl<'p> BitRtlSim<'p> {
         if let Some(cov) = self.coverage.as_deref_mut() {
             cov.clear();
             let slots = &self.slots;
-            cov.sample_with(|i| (slots[i * L], u64::MAX));
+            let retained = &self.prog.retained_nets;
+            cov.sample_with(|i| (slots[i * L], if retained[i] { u64::MAX } else { 0 }));
         }
     }
 

@@ -32,7 +32,7 @@ use std::ops::Range;
 /// `(word, mask)` scheduling pairs: marking key `k` ORs each pair's mask
 /// into the executor's pending-bitmask word — one operation schedules up
 /// to 64 dependent cones. `off[k]..off[k + 1]` indexes key `k`'s pairs.
-fn flatten_sched(lists: Vec<Vec<u32>>) -> (Vec<u32>, Vec<(u32, u64)>) {
+pub(crate) fn flatten_sched(lists: Vec<Vec<u32>>) -> (Vec<u32>, Vec<(u32, u64)>) {
     let mut off = Vec::with_capacity(lists.len() + 1);
     let mut flat: Vec<(u32, u64)> = Vec::new();
     off.push(0);
@@ -61,7 +61,7 @@ fn flatten_sched(lists: Vec<Vec<u32>>) -> (Vec<u32>, Vec<(u32, u64)>) {
 /// `dst`/`a`/`b`/`c` are slot indices; `w` is the result width where the
 /// operation needs masking or a signed view. Jump targets are absolute
 /// indices into the owning instruction array.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub(crate) enum Inst {
     Copy { dst: u32, a: u32 },
     Not { dst: u32, a: u32, w: u32 },
@@ -343,6 +343,15 @@ pub struct CompiledProgram {
     pub(crate) regs: Vec<CompiledReg>,
     pub(crate) writes: Vec<CompiledWrite>,
     pub(crate) mems: Vec<CompiledMem>,
+    /// Tag of the [`PassConfig`] this program was optimized under
+    /// (folded into [`state_identity`](CompiledProgram::state_identity)
+    /// so snapshots never cross pass configurations, even when the
+    /// optimizer happened to change nothing).
+    pub(crate) pass_tag: u64,
+    /// Per-net flag: `false` for nets whose driving cone was removed by
+    /// dead-cone elimination. Such a slot keeps its power-on value
+    /// forever; coverage collection masks it out.
+    pub(crate) retained_nets: Vec<bool>,
 }
 
 impl CompiledProgram {
@@ -354,6 +363,21 @@ impl CompiledProgram {
     /// invariant. Modules produced by [`crate::ModuleBuilder`] always
     /// compile; the `Result` shields against hand-constructed IR.
     pub fn compile(module: &Module) -> Result<CompiledProgram, RtlError> {
+        CompiledProgram::compile_with(module, &scflow_hwtypes::PassConfig::off())
+    }
+
+    /// Compiles a validated module and then runs the configured
+    /// optimization passes ([`crate::opt`]) over the bytecode. With
+    /// `passes` all-off this is exactly [`compile`](CompiledProgram::compile).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError`] if the module violates a compile-time
+    /// invariant (the passes themselves never fail).
+    pub fn compile_with(
+        module: &Module,
+        passes: &scflow_hwtypes::PassConfig,
+    ) -> Result<CompiledProgram, RtlError> {
         for m in &module.mems {
             if m.init.is_empty() {
                 return Err(RtlError::WidthMismatch(format!(
@@ -492,7 +516,7 @@ impl CompiledProgram {
         // inputs only on change, and port lookup is a linear scan.
         ports.sort_by_key(|p| p.input);
 
-        Ok(CompiledProgram {
+        let mut prog = CompiledProgram {
             name: module.name.clone(),
             n_slots: c.n_slots,
             init: c.init,
@@ -521,7 +545,11 @@ impl CompiledProgram {
                     init: m.init.iter().map(|v| v.as_u64()).collect(),
                 })
                 .collect(),
-        })
+            pass_tag: scflow_hwtypes::PassConfig::off().stable_tag(),
+            retained_nets: vec![true; n_nets as usize],
+        };
+        crate::opt::optimize_program(&mut prog, passes);
+        Ok(prog)
     }
 
     /// The compiled module's name.
@@ -537,6 +565,19 @@ impl CompiledProgram {
     /// Slots in the value array (nets, temporaries, interned constants).
     pub fn slot_count(&self) -> usize {
         self.n_slots as usize
+    }
+
+    /// The [`scflow_hwtypes::PassConfig::stable_tag`] of the pass
+    /// configuration this program was compiled under.
+    pub fn pass_tag(&self) -> u64 {
+        self.pass_tag
+    }
+
+    /// Per-net retention flags: `false` for nets whose driving cone was
+    /// removed by dead-cone elimination (the slot keeps its power-on
+    /// value; coverage collection masks it out). Index = net id.
+    pub fn retained_nets(&self) -> &[bool] {
+        &self.retained_nets
     }
 
     /// Creates a fresh executor over this program (registers at `init`,
@@ -562,6 +603,7 @@ impl CompiledProgram {
     pub fn state_identity(&self) -> u64 {
         let mut h = scflow_hwtypes::Fnv64::new();
         h.write_str(&self.name);
+        h.write_u64(self.pass_tag);
         h.write_u64(u64::from(self.n_slots));
         h.write_u64(self.insts.len() as u64);
         h.write_u64(self.seq_insts.len() as u64);

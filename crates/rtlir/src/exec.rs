@@ -448,7 +448,8 @@ impl<'p> CompiledSim<'p> {
         }
         if let Some(cov) = self.coverage.as_deref_mut() {
             let slots = &self.slots;
-            cov.sample_with(|i| (slots[i], u64::MAX));
+            let retained = &prog.retained_nets;
+            cov.sample_with(|i| (slots[i], if retained[i] { u64::MAX } else { 0 }));
         }
     }
 
@@ -469,8 +470,11 @@ impl<'p> CompiledSim<'p> {
     /// the module's nets (slots `0..n_nets` map 1:1 onto module net
     /// ids; compiler temporaries are excluded). Samples the same
     /// settled per-cycle values as the interpreter, so both engines
-    /// produce byte-identical maps. With collection off,
-    /// [`tick`](CompiledSim::tick) pays one branch for this feature.
+    /// produce byte-identical maps. Nets whose driving cone was removed
+    /// by dead-cone elimination ([`CompiledProgram::retained_nets`]) are
+    /// masked out of the observation (they keep their power-on value).
+    /// With collection off, [`tick`](CompiledSim::tick) pays one branch
+    /// for this feature.
     pub fn set_coverage(&mut self, enabled: bool) {
         if !enabled {
             self.coverage = None;
@@ -484,7 +488,8 @@ impl<'p> CompiledSim<'p> {
                 .map(|(n, &w)| (n.clone(), w)),
         );
         let slots = &self.slots;
-        cov.sample_with(|i| (slots[i], u64::MAX));
+        let retained = &prog.retained_nets;
+        cov.sample_with(|i| (slots[i], if retained[i] { u64::MAX } else { 0 }));
         self.coverage = Some(Box::new(cov));
     }
 

@@ -62,6 +62,7 @@ mod error;
 mod exec;
 mod expr;
 mod module;
+mod opt;
 mod sim;
 mod simapi;
 mod snapstate;
@@ -77,6 +78,8 @@ pub use expr::{BinOp, Expr, UnaryOp};
 pub use module::{
     Memory, MemoryId, Module, Net, NetId, Port, PortDir, Register, RtlStats, WritePort,
 };
+// The pass-pipeline configuration accepted by [`CompiledProgram::compile_with`].
+pub use scflow_hwtypes::PassConfig;
 // The unified engine interface both simulators implement.
 pub use scflow_sim_api::{EngineStats, SimError, Simulation};
 pub use sim::{MemViolation, RtlSim};

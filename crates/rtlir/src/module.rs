@@ -227,6 +227,21 @@ impl Module {
         h.finish()
     }
 
+    /// [`stable_hash`](Self::stable_hash) extended with the pass
+    /// configuration the module will be compiled under. Two sessions
+    /// running the same design at different optimization levels must
+    /// not share compiled programs or exchange snapshots, so the
+    /// simulation service keys its caches on this hash rather than the
+    /// bare structural one.
+    pub fn stable_hash_with(&self, passes: &scflow_hwtypes::PassConfig) -> u64 {
+        use scflow_hwtypes::Fnv64;
+        let mut h = Fnv64::new();
+        h.write_str("rtl-module-passes-v1");
+        h.write_u64(self.stable_hash());
+        h.write_u64(passes.stable_tag());
+        h.finish()
+    }
+
     /// The width of a net.
     ///
     /// # Panics

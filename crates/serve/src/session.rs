@@ -29,7 +29,7 @@ use std::thread::JoinHandle;
 
 use scflow::prelude::ServeOptions;
 use scflow_gate::{sim_threads, CellLibrary, FastGateSim, GateSim, OwnedParGateSim};
-use scflow_hwtypes::Bv;
+use scflow_hwtypes::{Bv, PassConfig};
 use scflow_obs::MetricsRegistry;
 use scflow_rtl::{Module, RtlSim};
 use scflow_sim_api::{SimError, Simulation, Snapshot, StimulusBatch};
@@ -274,6 +274,7 @@ impl SessionMgr {
         design: &str,
         engine: &str,
         coverage: bool,
+        passes: &PassConfig,
     ) -> Result<(String, CacheOutcome, u64), (&'static str, String)> {
         let kind = EngineKind::parse(engine).map_err(|msg| {
             if msg.starts_with("unknown") {
@@ -285,7 +286,12 @@ impl SessionMgr {
         let module = build_design(design)
             .ok_or_else(|| ("unknown_design", format!("unknown design `{design}`")))?
             .map_err(|e| ("compile_error", e))?;
-        let module_hash = module.stable_hash();
+        // Content addresses incorporate the pass configuration: two
+        // sessions at different optimization levels must neither share
+        // a compiled artefact nor accept each other's snapshots (the
+        // engines enforce the latter through the program's
+        // `state_identity`; distinct cache keys keep it honest here).
+        let module_hash = module.stable_hash_with(passes);
 
         // Refuse early when the pool is already full — before paying
         // for a compile the session could not use anyway.
@@ -304,7 +310,7 @@ impl SessionMgr {
                 let (art, hit) = self
                     .cache
                     .get_or_compile(key, || {
-                        scflow_rtl::CompiledProgram::compile(&module)
+                        scflow_rtl::CompiledProgram::compile_with(&module, passes)
                             .map(Artifact::Rtl)
                             .map_err(|e| e.to_string())
                     })
@@ -318,9 +324,14 @@ impl SessionMgr {
                     .cache
                     .get_or_compile(key, || {
                         let lib = CellLibrary::generic_025u();
-                        let netlist = synthesize(&module, &lib, &SynthOptions::default())
+                        let mut netlist = synthesize(&module, &lib, &SynthOptions::default())
                             .map_err(|e| e.to_string())?
                             .netlist;
+                        if passes.any() {
+                            netlist = scflow_gate::optimize(&netlist, passes)
+                                .map_err(|e| e.to_string())?
+                                .netlist;
+                        }
                         scflow_gate::GateProgram::compile(&netlist)
                             .map(Artifact::Gate)
                             .map_err(|e| e.to_string())

@@ -161,6 +161,86 @@ fn rtl_and_gate_artifacts_do_not_collide() {
 }
 
 #[test]
+fn pass_levels_do_not_share_artifacts_or_snapshots() {
+    // The same design opened at different `opt` levels is two distinct
+    // content addresses: two compiles in the cache, mutually stale
+    // snapshots — but byte-identical observable outputs.
+    let server = Server::new(&ServeOptions::default());
+    let open_opt = |opt: u8| {
+        server.handle_line(&format!(
+            r#"{{"id":0,"op":"open_session","design":"rtl_opt","engine":"rtl.compiled","opt":{opt}}}"#
+        ))
+    };
+    let plain = open_opt(0);
+    let optimized = open_opt(2);
+    assert_eq!(cache_field(&plain), "miss");
+    assert_eq!(
+        cache_field(&optimized),
+        "miss",
+        "levels must not share a compile: {optimized}"
+    );
+    assert_eq!(server.cache().stats().compiles, 2);
+    let sid_plain = session_of(&plain);
+    let sid_opt = session_of(&optimized);
+
+    // Same stimulus, same replies — the passes may not change anything
+    // a client can observe.
+    for (a, b) in [(&sid_plain, &sid_opt)] {
+        for sid in [a, b] {
+            let r = server.handle_line(&format!(
+                r#"{{"id":1,"op":"poke","session":"{sid}","port":"in_sample","value":"0x1234","width":16}}"#
+            ));
+            assert!(r.contains(r#""ok":true"#), "{r}");
+        }
+        for _ in 0..4 {
+            let ra = server.handle_line(&format!(
+                r#"{{"id":1,"op":"step","session":"{a}","cycles":3}}"#
+            ));
+            let rb = server.handle_line(&format!(
+                r#"{{"id":1,"op":"step","session":"{b}","cycles":3}}"#
+            ));
+            assert_eq!(ra, rb);
+            let pa = server.handle_line(&format!(
+                r#"{{"id":1,"op":"peek","session":"{a}","port":"out_sample"}}"#
+            ));
+            let pb = server.handle_line(&format!(
+                r#"{{"id":1,"op":"peek","session":"{b}","port":"out_sample"}}"#
+            ));
+            assert_eq!(pa, pb);
+        }
+    }
+
+    // An optimized blob is refused by the unoptimized session…
+    let snap = server.handle_line(&format!(r#"{{"id":1,"op":"snapshot","session":"{sid_opt}"}}"#));
+    assert!(snap.contains(r#""ok":true"#), "{snap}");
+    let tag = r#""snapshot":""#;
+    let ss = snap.find(tag).unwrap() + tag.len();
+    let se = snap[ss..].find('"').unwrap() + ss;
+    let blob = &snap[ss..se];
+    let r = server.handle_line(&format!(
+        r#"{{"id":1,"op":"restore","session":"{sid_plain}","snapshot":"{blob}"}}"#
+    ));
+    assert!(
+        r.contains("stale_snapshot"),
+        "optimized blob must be stale for the plain session: {r}"
+    );
+    // …while a same-level twin (a cache hit, shared program) accepts it.
+    let twin = open_opt(2);
+    assert_eq!(cache_field(&twin), "hit");
+    let r = server.handle_line(&format!(
+        r#"{{"id":1,"op":"restore","session":"{}","snapshot":"{blob}"}}"#,
+        session_of(&twin)
+    ));
+    assert!(r.contains(r#""ok":true"#), "twin must accept the blob: {r}");
+
+    // Out-of-range levels are refused at the protocol boundary.
+    let r = server.handle_line(
+        r#"{"id":1,"op":"open_session","design":"rtl_opt","engine":"rtl.compiled","opt":3}"#,
+    );
+    assert!(r.contains("bad_request"), "{r}");
+}
+
+#[test]
 fn one_gate_artifact_serves_all_gate_engines() {
     // gate.event, gate.fast and gate.bitpar all run the same compiled
     // gate program: three opens, one compile.

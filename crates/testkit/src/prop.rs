@@ -484,15 +484,11 @@ fn eval<V>(prop: &impl Fn(&V) -> TestResult, v: &V) -> TestResult {
     }
 }
 
-/// FNV-1a, used to salt the default seed per property name so different
-/// properties explore independent streams.
+/// FNV-1a (the workspace-wide [`scflow_hwtypes::Fnv64`], byte-identical
+/// to the loop this replaced), used to salt the default seed per
+/// property name so different properties explore independent streams.
 fn fnv1a(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    scflow_hwtypes::Fnv64::hash_bytes(s.as_bytes())
 }
 
 /// Runs the property over `cfg.cases` generated values and returns the

@@ -131,6 +131,34 @@ SCFLOW_BENCH_DIR="$covdir" \
 test -s "$covdir/BENCH_serve.json"
 echo "ok: BENCH_serve.json emitted"
 
+echo "== pass-pipeline differential (pinned seeds, byte compare) =="
+# The compile passes must be invisible to every observer. The two
+# dedicated suites lockstep raw-vs-optimized netlists/modules across
+# all engines (outputs, violation streams, VCD bytes, via
+# first_divergence); --check-opt then replays the golden-model
+# testbench on all five engines at opt0 and opt2 and fails on any
+# output mismatch or gross (>2x) slowdown. On top of that, an opt0 and
+# an opt2 run of the optimized netlist-stats table must byte-match:
+# the report reflects the netlist it is given, never ambient state.
+cargo test --release -q --offline -p scflow-gate --test passes_differential
+cargo test --release -q --offline -p scflow --test opt_differential
+cargo run --release --offline -p scflow-bench --bin tables -- --check-opt
+SCFLOW_OPT=0 cargo run --release --offline -p scflow-bench --bin tables -- \
+    --netlist-stats > "$covdir/stats_opt0.txt"
+SCFLOW_OPT=2 cargo run --release --offline -p scflow-bench --bin tables -- \
+    --netlist-stats > "$covdir/stats_opt2.txt"
+cmp "$covdir/stats_opt0.txt" "$covdir/stats_opt2.txt"
+echo "ok: passes byte-invisible; netlist-stats report deterministic"
+
+echo "== pass-scaling bench (BENCH_opt.json) =="
+# Generated circuits at 10^3..10^5 gates, gate engines with passes off
+# vs on; the bench itself enforces the throughput floor (default
+# SCFLOW_OPT_MIN=1.15x for level-2 gate.bitpar at the largest size).
+SCFLOW_BENCH_DIR="$covdir" \
+    cargo bench --offline -q -p scflow-bench --bench opt_scaling
+test -s "$covdir/BENCH_opt.json"
+echo "ok: BENCH_opt.json emitted (floor enforced by the bench)"
+
 echo "== metrics overhead guard =="
 # With metrics disabled the engines pay one branch per cycle for the
 # observability layer; a fresh fig8 rtl_compiled measurement must stay
