@@ -7,7 +7,7 @@
 
 use scflow::SrcConfig;
 
-const KNOWN_FLAGS: [&str; 21] = [
+const KNOWN_FLAGS: [&str; 23] = [
     "--down",
     "--all",
     "--verify",
@@ -17,6 +17,8 @@ const KNOWN_FLAGS: [&str; 21] = [
     "--fig10",
     "--timing",
     "--fault",
+    "--atpg",
+    "--check-atpg",
     "--ablation-sched",
     "--ablation-regs",
     "--ablation-share",
@@ -49,8 +51,9 @@ fn main() {
     if args.is_empty() && !has("--coverage") && !has("--profile") || has("--help") {
         eprintln!(
             "usage: tables [--down] [--all] [--verify] [--fig7] [--fig8] [--fig9] \
-             [--fig10] [--timing] [--fault] [--ablation-sched] [--ablation-regs] \
-             [--ablation-share] [--ablation-pack] [--check-engines] [--check-gate] \
+             [--fig10] [--timing] [--fault] [--atpg] [--check-atpg] \
+             [--ablation-sched] [--ablation-regs] [--ablation-share] \
+             [--ablation-pack] [--check-engines] [--check-gate] \
              [--check-snapshot] [--check-opt] [--netlist-stats] [--profile] \
              [--coverage]"
         );
@@ -312,6 +315,94 @@ fn main() {
         if scflow_obs::metrics_enabled() {
             metrics_out.merge_from(&stats_metrics);
             emit_metrics = true;
+        }
+    }
+
+    if has("--atpg") {
+        println!("=== ATPG: staged random + PODEM test generation (SCFLOW_ATPG_* knobs) ===\n");
+        let lib = scflow_gate::CellLibrary::generic_025u();
+        let opts = scflow_gate::AtpgOptions::from_env();
+        match scflow::flow::run_atpg_flow(&cfg, &lib, &opts) {
+            Ok((report, result)) => {
+                println!("{report}");
+                // Always emitted (like --coverage): verify.sh cmp's the
+                // METRICS.json of two runs at different thread counts,
+                // which pins the whole result — patterns, classes,
+                // curve — as thread-schedule independent.
+                let mut reg = scflow_obs::MetricsRegistry::new();
+                result.stats.register_into(&mut reg, "atpg");
+                reg.set_counter("atpg.faults", report.faults as u64);
+                reg.set_counter("atpg.uncollapsed", report.uncollapsed as u64);
+                reg.set_counter("atpg.detected", report.detected as u64);
+                reg.set_counter("atpg.untestable", report.untestable as u64);
+                reg.set_counter("atpg.aborted", report.aborted as u64);
+                reg.set_counter("atpg.patterns", report.patterns as u64);
+                reg.set_counter(
+                    "atpg.coverage_pct_x10",
+                    (report.coverage_pct * 10.0).round() as u64,
+                );
+                metrics_out.merge_from(&reg);
+                emit_metrics = true;
+                // Optional floor assert for CI: SCFLOW_ATPG_MIN=95 fails
+                // the run below that collapsed stuck-at coverage.
+                if let Ok(min) = std::env::var("SCFLOW_ATPG_MIN") {
+                    let min: f64 = min.parse().unwrap_or(0.0);
+                    if report.coverage_pct < min {
+                        eprintln!(
+                            "FAILED: ATPG coverage {:.1}% below SCFLOW_ATPG_MIN={min}%",
+                            report.coverage_pct
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if has("--check-atpg") {
+        println!("=== ATPG check: directed stage smoke run (tiny budget) ===\n");
+        let lib = scflow_gate::CellLibrary::generic_025u();
+        let opts = scflow_gate::AtpgOptions {
+            random: false,
+            directed: true,
+            budget: 32,
+            compact: false,
+            ..scflow_gate::AtpgOptions::default()
+        };
+        match scflow::flow::run_atpg_flow(&cfg, &lib, &opts) {
+            Ok((report, result)) => {
+                println!(
+                    "directed-only on {}: {}/{} detected, {} untestable, {} aborted, \
+                     {} patterns",
+                    report.design,
+                    report.detected,
+                    report.faults,
+                    report.untestable,
+                    report.aborted,
+                    report.patterns
+                );
+                // Every emitted pattern must have come out of a verified
+                // detection; classes must partition the fault list.
+                let classified = report.detected + report.untestable + report.aborted
+                    + result
+                        .classes
+                        .iter()
+                        .filter(|c| matches!(c, scflow_gate::FaultClass::Undetected))
+                        .count();
+                if classified != report.faults || report.detected == 0 {
+                    eprintln!("FAILED: directed stage produced an inconsistent classification");
+                    std::process::exit(1);
+                }
+                println!("directed stage classification consistent\n");
+            }
+            Err(e) => {
+                eprintln!("FAILED: {e}");
+                std::process::exit(1);
+            }
         }
     }
 

@@ -525,7 +525,7 @@ pub fn run_forked_scenarios<S: scflow_sim_api::Simulation + ?Sized>(
 /// functionally under the plain handshake testbench.
 fn tie_off_scan(sim: &mut (impl scflow_sim_api::Simulation + ?Sized)) {
     use scflow_hwtypes::Bv;
-    for port in ["scan_en", "scan_in"] {
+    for port in ["scan_en", "scan_in", "test_mode"] {
         if sim.has_input(port) {
             sim.poke(port, Bv::zero(1));
         }
@@ -588,13 +588,21 @@ pub fn validate_gate_level_with(
 }
 
 /// The result of the scan-test fault-coverage flow.
+///
+/// Coverage is reported over *collapsed* fault classes
+/// ([`fault::collapse_faults`]): structurally equivalent faults share
+/// every detecting pattern, so counting each class once is both cheaper
+/// to simulate and the honest denominator. `uncollapsed` records the raw
+/// two-per-cell-output list size for comparison with the paper's counts.
 #[derive(Clone, Debug)]
 pub struct FaultReport {
     /// Design name.
     pub design: String,
-    /// Faults simulated (two per cell output).
+    /// Collapsed fault classes simulated.
     pub faults: usize,
-    /// Faults detected by the pattern set.
+    /// Raw fault-site count before collapsing (two per cell output).
+    pub uncollapsed: usize,
+    /// Fault classes detected by the pattern set.
     pub detected: usize,
     /// Detected / total, percent.
     pub coverage_pct: f64,
@@ -608,13 +616,19 @@ impl fmt::Display for FaultReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<12} {:>8} {:>9} {:>10} {:>9} {:>8}",
-            "design", "faults", "detected", "coverage", "patterns", "threads"
+            "{:<12} {:>8} {:>6} {:>9} {:>10} {:>9} {:>8}",
+            "design", "faults", "(raw)", "detected", "coverage", "patterns", "threads"
         )?;
         writeln!(
             f,
-            "{:<12} {:>8} {:>9} {:>9.1}% {:>9} {:>8}",
-            self.design, self.faults, self.detected, self.coverage_pct, self.patterns, self.threads
+            "{:<12} {:>8} {:>6} {:>9} {:>9.1}% {:>9} {:>8}",
+            self.design,
+            self.faults,
+            self.uncollapsed,
+            self.detected,
+            self.coverage_pct,
+            self.patterns,
+            self.threads
         )
     }
 }
@@ -651,20 +665,121 @@ pub fn run_fault_flow_instrumented(
 ) -> Result<(FaultReport, fault::FaultSimStats), ScflowError> {
     let module = build_rtl_src(cfg, RtlVariant::Optimised)?;
     let netlist = synthesize(&module, lib, &SynthOptions::default())?.netlist;
-    let faults = fault::all_fault_sites(&netlist);
+    let all = fault::all_fault_sites(&netlist);
+    let collapsed = fault::collapse_faults(&netlist, &all);
     let patterns = fault::random_patterns(&netlist, n_patterns, seed);
     let threads = fault::fault_threads();
-    let (result, stats) =
-        fault::fault_coverage_instrumented_with_threads(&netlist, lib, &faults, &patterns, threads);
+    let (result, stats) = fault::fault_coverage_instrumented_with_threads(
+        &netlist,
+        lib,
+        &collapsed.faults,
+        &patterns,
+        threads,
+    );
     let report = FaultReport {
         design: "RTL opt".to_owned(),
         faults: result.total,
+        uncollapsed: all.len(),
         detected: result.detected,
         coverage_pct: result.coverage_pct(),
         threads,
         patterns: patterns.len(),
     };
     Ok((report, stats))
+}
+
+/// The result of the ATPG flow: staged pattern generation
+/// ([`scflow_gate::generate_tests`]) against the collapsed stuck-at
+/// fault list of the synthesized optimised RTL SRC.
+#[derive(Clone, Debug)]
+pub struct AtpgReport {
+    /// Design name.
+    pub design: String,
+    /// Collapsed fault classes targeted.
+    pub faults: usize,
+    /// Raw fault-site count before collapsing.
+    pub uncollapsed: usize,
+    /// Classes with a simulation-verified detecting pattern.
+    pub detected: usize,
+    /// Classes proven untestable by exhausted PODEM search.
+    pub untestable: usize,
+    /// Classes given up (budget, or unsound-to-prove).
+    pub aborted: usize,
+    /// Detected / total, percent (stuck-at fault coverage).
+    pub coverage_pct: f64,
+    /// Detected / (total − untestable), percent.
+    pub test_coverage_pct: f64,
+    /// Patterns in the final (compacted) test set.
+    pub patterns: usize,
+    /// PPSFP worker threads used for simulation stages.
+    pub threads: usize,
+    /// Coverage-vs-pattern-count checkpoints per stage.
+    pub curve: Vec<scflow_gate::CurvePoint>,
+}
+
+impl fmt::Display for AtpgReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>7} {:>6} {:>9} {:>11} {:>8} {:>9} {:>9} {:>8}",
+            "design", "faults", "(raw)", "detected", "untestable", "aborted", "coverage",
+            "patterns", "threads"
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>7} {:>6} {:>9} {:>11} {:>8} {:>8.1}% {:>9} {:>8}",
+            self.design,
+            self.faults,
+            self.uncollapsed,
+            self.detected,
+            self.untestable,
+            self.aborted,
+            self.coverage_pct,
+            self.patterns,
+            self.threads
+        )?;
+        writeln!(f, "\ncoverage curve (stage, patterns, detected):")?;
+        for p in &self.curve {
+            writeln!(f, "  {:<9} {:>6} {:>7}", p.stage, p.patterns, p.detected)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the ATPG flow on the optimised RTL SRC: synthesise (scan
+/// stitched in by default), collapse the stuck-at fault list, and run
+/// the staged generator (random rounds with fault dropping, directed
+/// PODEM for the remainder, reverse-order compaction). Returns the
+/// summary report plus the full [`scflow_gate::AtpgResult`] (patterns,
+/// per-fault classes, deterministic stats).
+///
+/// # Errors
+///
+/// Propagates construction and synthesis errors.
+pub fn run_atpg_flow(
+    cfg: &SrcConfig,
+    lib: &CellLibrary,
+    opts: &scflow_gate::AtpgOptions,
+) -> Result<(AtpgReport, scflow_gate::AtpgResult), ScflowError> {
+    let module = build_rtl_src(cfg, RtlVariant::Optimised)?;
+    let netlist = synthesize(&module, lib, &SynthOptions::default())?.netlist;
+    let all = fault::all_fault_sites(&netlist);
+    let collapsed = fault::collapse_faults(&netlist, &all);
+    let result = scflow_gate::generate_tests(&netlist, lib, &collapsed.faults, opts);
+    let report = AtpgReport {
+        design: "RTL opt".to_owned(),
+        faults: collapsed.faults.len(),
+        uncollapsed: all.len(),
+        detected: result.detected(),
+        untestable: result.untestable(),
+        aborted: result.aborted(),
+        coverage_pct: result.coverage_pct(),
+        test_coverage_pct: result.test_coverage_pct(),
+        patterns: result.patterns.len(),
+        threads: fault::fault_threads(),
+        curve: result.stats.curve.clone(),
+    };
+    Ok((report, result))
 }
 
 /// A profiled end-to-end flow run: wall-clock phase spans plus the

@@ -49,6 +49,9 @@ fn tie_off_scan(sim: &mut (impl Simulation + ?Sized)) {
         sim.poke("scan_en", Bv::zero(1));
         sim.poke("scan_in", Bv::zero(1));
     }
+    if sim.has_input("test_mode") {
+        sim.poke("test_mode", Bv::zero(1));
+    }
 }
 
 /// A harness-side port reference: a resolved [`PortHandle`] when the

@@ -19,7 +19,7 @@ use scflow_testkit::Rng;
 /// coverage enabled (scan tied off), asserts bit accuracy, and returns
 /// the coverage map plus its bit-coverage percentage.
 fn covered_run(sim: &mut dyn Simulation, golden: &GoldenVectors) -> (String, f64, u64) {
-    for port in ["scan_en", "scan_in"] {
+    for port in ["scan_en", "scan_in", "test_mode"] {
         if sim.has_input(port) {
             sim.poke(port, Bv::zero(1));
         }

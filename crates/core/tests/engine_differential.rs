@@ -177,7 +177,7 @@ fn partitioned_gate_engine_is_thread_count_deterministic() {
     for threads in THREAD_LADDER {
         let artifacts = ParGateSim::with(&prog, threads, 1, |sim| {
             sim.set_coverage(true);
-            for port in ["scan_en", "scan_in"] {
+            for port in ["scan_en", "scan_in", "test_mode"] {
                 if Simulation::has_input(sim, port) {
                     Simulation::poke(sim, port, Bv::zero(1));
                 }

@@ -62,7 +62,7 @@ fn variants(cfg: &SrcConfig) -> Vec<(&'static str, Module, bool)> {
 /// Holds the scan interface inactive for a functional run.
 fn tie_off_scan(sim: &mut (impl Simulation + ?Sized)) {
     use scflow_hwtypes::Bv;
-    for port in ["scan_en", "scan_in"] {
+    for port in ["scan_en", "scan_in", "test_mode"] {
         if sim.has_input(port) {
             sim.poke(port, Bv::zero(1));
         }

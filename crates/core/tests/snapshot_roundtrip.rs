@@ -25,7 +25,7 @@ const DRIVE_PORTS: [(&str, u32); 3] = [
 
 /// Ties off the scan chain if the netlist has one (gate-level sims).
 fn tie_off(sim: &mut (impl Simulation + ?Sized)) {
-    for port in ["scan_en", "scan_in"] {
+    for port in ["scan_en", "scan_in", "test_mode"] {
         if sim.has_input(port) {
             sim.poke(port, Bv::zero(1));
         }

@@ -83,9 +83,17 @@ fn scan_insertion_does_not_break_timing() {
     )
     .expect("synth");
     assert!(with_scan.timing.meets(CLOCK_PS));
-    // The scan mux only changes clk->Q, never the combinational paths.
+    // The scan mux only changes clk->Q; the only combinational cost is
+    // the RAM read bypass (one Mux2 on each read-data path), so the
+    // critical path may grow by at most one mux delay.
+    use scflow_gate::CellKind;
+    let bypass = lib.delay(CellKind::Mux2);
     assert!(
-        with_scan.timing.critical_path_ps <= without.timing.critical_path_ps + 100,
-        "scan insertion distorted the data path"
+        with_scan.timing.critical_path_ps
+            <= without.timing.critical_path_ps + bypass + 100,
+        "scan insertion distorted the data path beyond the read-bypass mux: \
+         {} ps with scan vs {} ps without",
+        with_scan.timing.critical_path_ps,
+        without.timing.critical_path_ps
     );
 }

@@ -141,6 +141,9 @@ fn tie_off_scan(dut: &mut (impl Simulation + ?Sized)) {
         dut.poke("scan_en", Bv::zero(1));
         dut.poke("scan_in", Bv::zero(1));
     }
+    if dut.has_input("test_mode") {
+        dut.poke("test_mode", Bv::zero(1));
+    }
 }
 
 /// Native HDL simulation: the interpreted testbench drives the DUT,

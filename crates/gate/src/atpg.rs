@@ -1,0 +1,860 @@
+//! Automatic test-pattern generation: staged random + PODEM search.
+//!
+//! [`generate_tests`] closes the fault-coverage loop the scan chain
+//! opened: instead of only *measuring* coverage of a fixed random pattern
+//! set, it grows a compact pattern set until the stuck-at fault list is
+//! covered:
+//!
+//! 1. **Random stage** — 64-pattern rounds simulated with the PPSFP
+//!    machinery ([`crate::fault`]) and fault dropping; rounds whose
+//!    marginal yield is zero are discarded, and the stage stops after
+//!    [`AtpgOptions::random_stall`] consecutive dry rounds (random
+//!    patterns find the easy faults at a fraction of a directed search's
+//!    cost).
+//! 2. **Directed stage** — a PODEM-style branch-and-bound per remaining
+//!    fault on the capture-frame model ([`implic::Frame`]): objective
+//!    selection, backtrace to an unassigned primary/scan input, full
+//!    forward four-valued implication of both circuit planes, and
+//!    chronological backtracking bounded by [`AtpgOptions::budget`].
+//!    Exhausting the search space on a memory-free netlist **proves** the
+//!    fault untestable; running out of budget (or any verdict the frame
+//!    cannot make sound — flop-output faults, memory-bearing netlists)
+//!    classifies it [`FaultClass::Aborted`]. Generated patterns buffer
+//!    into 64-lane batches and are *verified by simulation* before any
+//!    fault is marked detected — the frame never gets the final word.
+//! 3. **Compaction** — reverse-order pattern pruning: patterns are
+//!    re-simulated newest-first with fault dropping and a pattern is kept
+//!    only if it detects a fault nothing newer detects.
+//!
+//! Every quantity here is deterministic: pattern content derives from
+//! [`AtpgOptions::seed`] and fault identity alone, faults are processed
+//! in ascending order, and per-fault detection is independent of thread
+//! sharding (patterns are applied to a freshly reset circuit, exactly as
+//! in PPSFP), so the result is byte-identical at any
+//! `SCFLOW_FAULT_THREADS` / `SCFLOW_FAULT_PARTITIONED` setting.
+
+mod implic;
+
+use crate::celllib::CellLibrary;
+use crate::compile::GateProgram;
+use crate::fault::{
+    apply_pattern_batch_on, fault_partitioned, fault_threads, FaultSite, ScanPattern, ScanSim,
+};
+use crate::netlist::GateNetlist;
+use crate::parsim::ParGateSim;
+use implic::{Frame, FrameInput};
+use scflow_hwtypes::Bv;
+
+/// Knobs for the staged generator. [`AtpgOptions::from_env`] reads the
+/// `SCFLOW_ATPG_*` environment; [`Default`] is the documented baseline.
+#[derive(Clone, Debug)]
+pub struct AtpgOptions {
+    /// Run the random stage (`SCFLOW_ATPG_STAGES` contains `random`).
+    pub random: bool,
+    /// Run the directed PODEM stage (`SCFLOW_ATPG_STAGES` contains
+    /// `directed`).
+    pub directed: bool,
+    /// Maximum 64-pattern random rounds (`SCFLOW_ATPG_RANDOM_MAX`).
+    pub random_max: usize,
+    /// Stop the random stage after this many consecutive rounds that
+    /// detect nothing new.
+    pub random_stall: usize,
+    /// PODEM backtrack budget per fault (`SCFLOW_ATPG_BUDGET`); on
+    /// exhaustion the fault is [`FaultClass::Aborted`].
+    pub budget: usize,
+    /// Stop once detected/total coverage reaches this percentage
+    /// (`SCFLOW_ATPG_TARGET`).
+    pub target_pct: f64,
+    /// Base seed for random rounds and pattern fill (`SCFLOW_ATPG_SEED`).
+    pub seed: u64,
+    /// Reverse-order compaction of the final pattern set.
+    pub compact: bool,
+}
+
+impl Default for AtpgOptions {
+    fn default() -> Self {
+        AtpgOptions {
+            random: true,
+            directed: true,
+            random_max: 64,
+            random_stall: 3,
+            budget: 200,
+            target_pct: 100.0,
+            seed: 0xA7BC_5EED,
+            compact: true,
+        }
+    }
+}
+
+impl AtpgOptions {
+    /// Reads `SCFLOW_ATPG_BUDGET`, `SCFLOW_ATPG_STAGES` (a list
+    /// containing `random` and/or `directed`; `all` means both),
+    /// `SCFLOW_ATPG_TARGET`, `SCFLOW_ATPG_RANDOM_MAX` and
+    /// `SCFLOW_ATPG_SEED`, falling back to [`Default`] per knob.
+    pub fn from_env() -> Self {
+        let mut o = AtpgOptions::default();
+        let get = |k: &str| std::env::var(k).ok().map(|s| s.trim().to_string());
+        if let Some(v) = get("SCFLOW_ATPG_BUDGET").and_then(|s| s.parse().ok()) {
+            o.budget = v;
+        }
+        if let Some(v) = get("SCFLOW_ATPG_RANDOM_MAX").and_then(|s| s.parse().ok()) {
+            o.random_max = v;
+        }
+        if let Some(v) = get("SCFLOW_ATPG_TARGET").and_then(|s| s.parse().ok()) {
+            o.target_pct = v;
+        }
+        if let Some(v) = get("SCFLOW_ATPG_SEED").and_then(|s| parse_seed(&s)) {
+            o.seed = v;
+        }
+        if let Some(s) = get("SCFLOW_ATPG_STAGES") {
+            let s = s.to_ascii_lowercase();
+            if s != "all" && !s.is_empty() {
+                o.random = s.contains("random");
+                o.directed = s.contains("directed");
+            }
+        }
+        o
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Final classification of one targeted fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultClass {
+    /// Detected by `patterns[pattern]` (verified by simulation).
+    Detected {
+        /// Index of a detecting pattern in [`AtpgResult::patterns`].
+        pattern: u32,
+    },
+    /// Proven untestable: the PODEM search space was exhausted on a
+    /// memory-free netlist, so *no* scan pattern can ever detect it.
+    Untestable,
+    /// Given up: backtrack budget exhausted, a generated pattern failed
+    /// simulation, or a verdict the frame cannot make sound.
+    Aborted,
+    /// Never targeted (stage disabled or target coverage reached first).
+    Undetected,
+}
+
+/// One checkpoint of the coverage-vs-pattern-count curve.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CurvePoint {
+    /// Stage that produced the checkpoint: `random`, `directed` or
+    /// `compact`.
+    pub stage: &'static str,
+    /// Patterns held after the checkpoint.
+    pub patterns: usize,
+    /// Faults detected after the checkpoint.
+    pub detected: usize,
+}
+
+/// Deterministic instrumentation of one [`generate_tests`] run.
+#[derive(Clone, Debug, Default)]
+pub struct AtpgStats {
+    /// Random rounds simulated (kept or not).
+    pub random_rounds: usize,
+    /// Faults first detected by the random stage.
+    pub random_detected: usize,
+    /// Faults first detected by the directed stage (its own patterns or
+    /// cross-dropping within a verification batch).
+    pub directed_detected: usize,
+    /// PODEM decisions taken across all targeted faults.
+    pub decisions: u64,
+    /// PODEM backtracks across all targeted faults.
+    pub backtracks: u64,
+    /// Pattern count before reverse-order compaction.
+    pub patterns_before_compaction: usize,
+    /// Coverage checkpoints, in stage order.
+    pub curve: Vec<CurvePoint>,
+}
+
+impl AtpgStats {
+    /// Registers the deterministic quantities under `prefix` (e.g.
+    /// `atpg`): stage yields, search effort and the coverage curve.
+    pub fn register_into(&self, reg: &mut scflow_obs::MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.random_rounds"), self.random_rounds as u64);
+        reg.set_counter(&format!("{prefix}.random_detected"), self.random_detected as u64);
+        reg.set_counter(
+            &format!("{prefix}.directed_detected"),
+            self.directed_detected as u64,
+        );
+        reg.set_counter(&format!("{prefix}.decisions"), self.decisions);
+        reg.set_counter(&format!("{prefix}.backtracks"), self.backtracks);
+        reg.set_counter(
+            &format!("{prefix}.patterns_before_compaction"),
+            self.patterns_before_compaction as u64,
+        );
+        for (i, p) in self.curve.iter().enumerate() {
+            reg.set_counter(
+                &format!("{prefix}.curve.c{i:03}.{}.patterns", p.stage),
+                p.patterns as u64,
+            );
+            reg.set_counter(
+                &format!("{prefix}.curve.c{i:03}.{}.detected", p.stage),
+                p.detected as u64,
+            );
+        }
+    }
+}
+
+/// The output of [`generate_tests`].
+#[derive(Clone, Debug)]
+pub struct AtpgResult {
+    /// The generated (and compacted) pattern set.
+    pub patterns: Vec<ScanPattern>,
+    /// Per-fault classification, parallel to the input fault list.
+    pub classes: Vec<FaultClass>,
+    /// Deterministic run instrumentation.
+    pub stats: AtpgStats,
+}
+
+impl AtpgResult {
+    /// Detected faults.
+    pub fn detected(&self) -> usize {
+        self.classes
+            .iter()
+            .filter(|c| matches!(c, FaultClass::Detected { .. }))
+            .count()
+    }
+
+    /// Untestable faults (proven).
+    pub fn untestable(&self) -> usize {
+        self.classes
+            .iter()
+            .filter(|c| matches!(c, FaultClass::Untestable))
+            .count()
+    }
+
+    /// Aborted faults.
+    pub fn aborted(&self) -> usize {
+        self.classes
+            .iter()
+            .filter(|c| matches!(c, FaultClass::Aborted))
+            .count()
+    }
+
+    /// Detected / total, in percent (the paper's fault-coverage figure).
+    pub fn coverage_pct(&self) -> f64 {
+        if self.classes.is_empty() {
+            100.0
+        } else {
+            100.0 * self.detected() as f64 / self.classes.len() as f64
+        }
+    }
+
+    /// Detected / (total − untestable), in percent: coverage of the
+    /// faults a test could conceivably catch.
+    pub fn test_coverage_pct(&self) -> f64 {
+        let testable = self.classes.len() - self.untestable();
+        if testable == 0 {
+            100.0
+        } else {
+            100.0 * self.detected() as f64 / testable as f64
+        }
+    }
+}
+
+/// Runs the staged generator against `faults` (pass the collapsed
+/// representatives from [`crate::fault::collapse_faults`] — equivalent
+/// faults share detection, so targeting one per class is both cheaper
+/// and the honest denominator).
+///
+/// The netlist must have a scan chain and be levelizable; netlists the
+/// levelizer rejects (combinational loops) return with every fault
+/// [`FaultClass::Undetected`] and no patterns — the event-driven
+/// fallback can measure such designs but no capture-frame model exists
+/// to search.
+///
+/// # Panics
+///
+/// Panics if the netlist has no scan chain.
+pub fn generate_tests(
+    nl: &GateNetlist,
+    _lib: &CellLibrary,
+    faults: &[FaultSite],
+    opts: &AtpgOptions,
+) -> AtpgResult {
+    let Ok(prog) = GateProgram::compile(nl) else {
+        return AtpgResult {
+            patterns: Vec::new(),
+            classes: vec![FaultClass::Undetected; faults.len()],
+            stats: AtpgStats::default(),
+        };
+    };
+    let frame = Frame::new(&prog);
+    let threads = fault_threads();
+    let par = fault_partitioned();
+    let mut classes = vec![FaultClass::Undetected; faults.len()];
+    let mut patterns: Vec<ScanPattern> = Vec::new();
+    let mut stats = AtpgStats::default();
+
+    let detected = |classes: &[FaultClass]| {
+        classes
+            .iter()
+            .filter(|c| matches!(c, FaultClass::Detected { .. }))
+            .count()
+    };
+    let target_met = |classes: &[FaultClass]| {
+        !faults.is_empty()
+            && 100.0 * detected(classes) as f64 / faults.len() as f64 >= opts.target_pct
+    };
+
+    // Stage 1: random rounds with fault dropping.
+    if opts.random {
+        let mut stall = 0;
+        for round in 0..opts.random_max {
+            if stall >= opts.random_stall || target_met(&classes) || faults.is_empty() {
+                break;
+            }
+            let seed = opts
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(round as u64 + 1));
+            let batch = crate::fault::random_patterns(nl, 64, seed);
+            stats.random_rounds += 1;
+            let alive: Vec<usize> = (0..faults.len())
+                .filter(|&i| classes[i] == FaultClass::Undetected)
+                .collect();
+            let targets: Vec<FaultSite> = alive.iter().map(|&i| faults[i]).collect();
+            let masks = detection_masks(&prog, &targets, &batch, threads, par);
+            let mut yield_ = 0;
+            for (&i, &m) in alive.iter().zip(&masks) {
+                if m != 0 {
+                    classes[i] = FaultClass::Detected {
+                        pattern: (patterns.len() + m.trailing_zeros() as usize) as u32,
+                    };
+                    yield_ += 1;
+                }
+            }
+            if yield_ == 0 {
+                stall += 1;
+                continue; // dry round: patterns discarded
+            }
+            stall = 0;
+            stats.random_detected += yield_;
+            patterns.extend_from_slice(&batch);
+            stats.curve.push(CurvePoint {
+                stage: "random",
+                patterns: patterns.len(),
+                detected: detected(&classes),
+            });
+        }
+    }
+
+    // Stage 2: directed PODEM for the random-resistant remainder, with
+    // 64-pattern verification batches that also fault-drop.
+    if opts.directed {
+        let mut buffer: Vec<(usize, ScanPattern)> = Vec::new();
+        let flush = |buffer: &mut Vec<(usize, ScanPattern)>,
+                         classes: &mut Vec<FaultClass>,
+                         patterns: &mut Vec<ScanPattern>,
+                         stats: &mut AtpgStats| {
+            if buffer.is_empty() {
+                return;
+            }
+            let batch: Vec<ScanPattern> = buffer.iter().map(|(_, p)| p.clone()).collect();
+            let alive: Vec<usize> = (0..classes.len())
+                .filter(|&i| classes[i] == FaultClass::Undetected)
+                .collect();
+            let targets: Vec<FaultSite> = alive.iter().map(|&i| faults[i]).collect();
+            let masks = detection_masks(&prog, &targets, &batch, threads, par);
+            let mut yield_ = 0;
+            for (&i, &m) in alive.iter().zip(&masks) {
+                if m != 0 {
+                    classes[i] = FaultClass::Detected {
+                        pattern: (patterns.len() + m.trailing_zeros() as usize) as u32,
+                    };
+                    yield_ += 1;
+                }
+            }
+            stats.directed_detected += yield_;
+            // Targets the batch failed to confirm: the frame predicted a
+            // detection the simulators do not reproduce — give up on
+            // them rather than trust the model over the engines.
+            for (i, _) in buffer.iter() {
+                if classes[*i] == FaultClass::Undetected {
+                    classes[*i] = FaultClass::Aborted;
+                }
+            }
+            patterns.extend(batch);
+            stats.curve.push(CurvePoint {
+                stage: "directed",
+                patterns: patterns.len(),
+                detected: detected(classes),
+            });
+            buffer.clear();
+        };
+
+        for i in 0..faults.len() {
+            if classes[i] != FaultClass::Undetected {
+                continue;
+            }
+            if target_met(&classes) {
+                break;
+            }
+            match podem(&frame, faults[i], opts.budget, &mut stats) {
+                Podem::Test(assigns) => {
+                    let fill = opts
+                        .seed
+                        .wrapping_add((faults[i].instance as u64) << 1)
+                        .wrapping_add(faults[i].stuck_at as u64)
+                        .wrapping_mul(0x2545_F491_4F6C_DD1D);
+                    buffer.push((i, pattern_from_assigns(&frame, nl, &assigns, fill)));
+                    if buffer.len() == 64 {
+                        flush(&mut buffer, &mut classes, &mut patterns, &mut stats);
+                    }
+                }
+                Podem::Untestable => classes[i] = FaultClass::Untestable,
+                Podem::Aborted => classes[i] = FaultClass::Aborted,
+            }
+        }
+        flush(&mut buffer, &mut classes, &mut patterns, &mut stats);
+    }
+
+    // Stage 3: reverse-order compaction.
+    stats.patterns_before_compaction = patterns.len();
+    if opts.compact && !patterns.is_empty() {
+        compact(&prog, faults, &mut classes, &mut patterns, threads, par);
+        stats.curve.push(CurvePoint {
+            stage: "compact",
+            patterns: patterns.len(),
+            detected: detected(&classes),
+        });
+    }
+
+    AtpgResult {
+        patterns,
+        classes,
+        stats,
+    }
+}
+
+enum Podem {
+    Test(Vec<(u32, bool)>),
+    Untestable,
+    Aborted,
+}
+
+/// The bounded PODEM search for one fault: branch on backtraced input
+/// assignments, imply forward, prune dead branches, flip-and-pop on
+/// failure. Complete over the reachable assignment space, so exhausting
+/// it on a memory-free netlist is an untestability proof; flop-output
+/// faults only ever abort (their shift-out masking makes a frame-level
+/// "no test exists" claim unsound).
+fn podem(frame: &Frame<'_>, fault: FaultSite, budget: usize, stats: &mut AtpgStats) -> Podem {
+    let mut decisions: Vec<(u32, bool, bool)> = Vec::new();
+    let mut backtracks = 0usize;
+    loop {
+        let assigns: Vec<(u32, bool)> = decisions.iter().map(|&(i, v, _)| (i, v)).collect();
+        let state = frame.eval(fault, &assigns);
+        if frame.detected(fault, &state) {
+            return Podem::Test(assigns);
+        }
+        let next = if frame.dead(fault, &state) || !frame.xpath(fault, &state) {
+            None
+        } else {
+            frame
+                .objective(fault, &state)
+                .and_then(|(net, val)| frame.backtrace(&state, net, val))
+        };
+        match next {
+            Some((idx, val)) => {
+                stats.decisions += 1;
+                decisions.push((idx, val, false));
+            }
+            None => {
+                backtracks += 1;
+                stats.backtracks += 1;
+                if backtracks > budget {
+                    return Podem::Aborted;
+                }
+                loop {
+                    match decisions.pop() {
+                        Some((i, v, false)) => {
+                            decisions.push((i, !v, true));
+                            break;
+                        }
+                        Some((_, _, true)) => continue,
+                        None => {
+                            return if frame.has_rams
+                                || frame.fault_chain_pos(fault).is_some()
+                            {
+                                Podem::Aborted
+                            } else {
+                                Podem::Untestable
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Completes a partial PODEM assignment into a full [`ScanPattern`]:
+/// assigned bits verbatim, everything else filled from a per-fault
+/// xorshift stream (known frame values survive the fill — four-valued
+/// evaluation is monotone under X-refinement).
+fn pattern_from_assigns(
+    frame: &Frame<'_>,
+    nl: &GateNetlist,
+    assigns: &[(u32, bool)],
+    fill_seed: u64,
+) -> ScanPattern {
+    let mut state = fill_seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut chain_bits: Vec<bool> = (0..nl.flop_count()).map(|_| next() & 1 == 1).collect();
+    let mut words: Vec<u64> = Vec::new();
+    let mut port_slot: Vec<Option<usize>> = vec![None; nl.inputs().len()];
+    let mut inputs: Vec<(String, u32)> = Vec::new();
+    for (pi, (name, bits)) in nl.inputs().iter().enumerate() {
+        if name == "scan_in" || name == "scan_en" {
+            continue;
+        }
+        port_slot[pi] = Some(words.len());
+        words.push(next());
+        inputs.push((name.clone(), bits.len() as u32));
+    }
+    for &(idx, v) in assigns {
+        match frame.inputs[idx as usize] {
+            FrameInput::Chain { pos, .. } => chain_bits[pos] = v,
+            FrameInput::Port { port, bit, .. } => {
+                let w = &mut words[port_slot[port].expect("scan controls are unassignable")];
+                *w = (*w & !(1u64 << bit)) | ((v as u64) << bit);
+            }
+        }
+    }
+    ScanPattern {
+        chain_bits,
+        inputs: inputs
+            .into_iter()
+            .zip(words)
+            .map(|((name, width), w)| (name, Bv::new(w, width)))
+            .collect(),
+    }
+}
+
+/// Simulates one ≤64-pattern batch against each fault and returns the
+/// lane mask of detecting patterns (same signature-difference criterion
+/// as PPSFP, same engines, sharded the same way — per-fault masks are
+/// independent of sharding and thread count).
+fn detection_masks(
+    prog: &GateProgram,
+    faults: &[FaultSite],
+    batch: &[ScanPattern],
+    threads: usize,
+    par: Option<usize>,
+) -> Vec<u64> {
+    if faults.is_empty() || batch.is_empty() {
+        return vec![0; faults.len()];
+    }
+    let nl = prog.netlist();
+    let lane_mask = if batch.len() == 64 {
+        !0u64
+    } else {
+        (1u64 << batch.len()) - 1
+    };
+    let golden: Vec<(u64, u64)> = {
+        let mut sim = prog.simulator_lanes(64);
+        sim.reset();
+        apply_pattern_batch_on(&mut sim, nl, batch)
+    };
+    let run = |shard: &[FaultSite], out: &mut [u64]| match par {
+        Some(st) => ParGateSim::with(prog, st, 64, |sim| {
+            mask_pass(sim, nl, shard, out, batch, &golden, lane_mask)
+        }),
+        None => {
+            let mut sim = prog.simulator_lanes(64);
+            mask_pass(&mut sim, nl, shard, out, batch, &golden, lane_mask);
+        }
+    };
+    let threads = threads.clamp(1, faults.len());
+    let mut masks = vec![0u64; faults.len()];
+    if threads == 1 {
+        run(faults, &mut masks);
+    } else {
+        let chunk = faults.len().div_ceil(threads);
+        let run = &run;
+        std::thread::scope(|s| {
+            for (shard, out) in faults.chunks(chunk).zip(masks.chunks_mut(chunk)) {
+                s.spawn(move || run(shard, out));
+            }
+        });
+    }
+    masks
+}
+
+/// One shard of a detection-mask pass, generic over the lane engines
+/// (mirrors `fault::shard_pass`, but records the full lane mask instead
+/// of the first differing batch).
+#[allow(clippy::too_many_arguments)]
+fn mask_pass<S: ScanSim>(
+    sim: &mut S,
+    nl: &GateNetlist,
+    shard: &[FaultSite],
+    out: &mut [u64],
+    batch: &[ScanPattern],
+    golden: &[(u64, u64)],
+    lane_mask: u64,
+) {
+    for (fault, slot) in shard.iter().zip(out.iter_mut()) {
+        sim.reset();
+        sim.inject_stuck_at(fault.instance, fault.stuck_at);
+        let sig = apply_pattern_batch_on(sim, nl, batch);
+        let mut mask = 0u64;
+        for (s, g) in sig.iter().zip(golden) {
+            mask |= (s.0 ^ g.0) | (s.1 ^ g.1);
+        }
+        *slot = mask & lane_mask;
+    }
+}
+
+/// Reverse-order compaction: walk the pattern set newest-first, keep a
+/// pattern only if it detects a fault no kept (newer) pattern detects,
+/// then rewrite `classes` against the surviving set.
+fn compact(
+    prog: &GateProgram,
+    faults: &[FaultSite],
+    classes: &mut [FaultClass],
+    patterns: &mut Vec<ScanPattern>,
+    threads: usize,
+    par: Option<usize>,
+) {
+    let mut alive: Vec<usize> = (0..faults.len())
+        .filter(|&i| matches!(classes[i], FaultClass::Detected { .. }))
+        .collect();
+    let mut keep = vec![false; patterns.len()];
+    // Chunk boundaries aligned to the original batch grid so golden
+    // signatures stay shared per chunk.
+    let n_chunks = patterns.len().div_ceil(64);
+    for chunk in (0..n_chunks).rev() {
+        if alive.is_empty() {
+            break;
+        }
+        let lo = chunk * 64;
+        let hi = (lo + 64).min(patterns.len());
+        let batch = &patterns[lo..hi];
+        let targets: Vec<FaultSite> = alive.iter().map(|&i| faults[i]).collect();
+        let masks = detection_masks(prog, &targets, batch, threads, par);
+        let mut covered = vec![false; alive.len()];
+        for lane in (0..batch.len()).rev() {
+            let bit = 1u64 << lane;
+            let mut covered_any = false;
+            for (pos, &fi) in alive.iter().enumerate() {
+                if !covered[pos] && masks[pos] & bit != 0 {
+                    classes[fi] = FaultClass::Detected {
+                        pattern: (lo + lane) as u32,
+                    };
+                    covered[pos] = true;
+                    covered_any = true;
+                }
+            }
+            if covered_any {
+                keep[lo + lane] = true;
+            }
+        }
+        let mut pos = 0;
+        alive.retain(|_| {
+            pos += 1;
+            !covered[pos - 1]
+        });
+    }
+    debug_assert!(
+        alive.is_empty(),
+        "every detected fault must be re-covered during compaction"
+    );
+    // Rewrite pattern indices to the compacted list.
+    let mut new_index = vec![u32::MAX; patterns.len()];
+    let mut kept: Vec<ScanPattern> = Vec::new();
+    for (i, p) in patterns.iter().enumerate() {
+        if keep[i] {
+            new_index[i] = kept.len() as u32;
+            kept.push(p.clone());
+        }
+    }
+    for c in classes.iter_mut() {
+        if let FaultClass::Detected { pattern } = c {
+            *c = FaultClass::Detected {
+                pattern: new_index[*pattern as usize],
+            };
+        }
+    }
+    *patterns = kept;
+}
+
+/// Ground truth for small frames: exhaustively enumerates every full
+/// assignment of the capture frame's inputs and reports whether *any*
+/// detects the fault. `None` when the frame has more than `max_inputs`
+/// inputs, the netlist has a RAM (contents the frame cannot prove stay
+/// at `init` make the answer unsound), or it cannot be levelized. Used
+/// by the property suite to cross-check `Untestable` verdicts.
+pub fn exhaustive_frame_detectable(
+    nl: &GateNetlist,
+    fault: FaultSite,
+    max_inputs: u32,
+) -> Option<bool> {
+    let prog = GateProgram::compile(nl).ok()?;
+    let frame = Frame::new(&prog);
+    if frame.has_rams || frame.inputs.len() > max_inputs as usize {
+        return None;
+    }
+    let k = frame.inputs.len();
+    for word in 0u64..(1u64 << k) {
+        let assigns: Vec<(u32, bool)> =
+            (0..k).map(|b| (b as u32, word >> b & 1 == 1)).collect();
+        let state = frame.eval(fault, &assigns);
+        if frame.detected(fault, &state) {
+            return Some(true);
+        }
+    }
+    Some(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::celllib::CellKind;
+    use crate::fault::{all_fault_sites, collapse_faults, fault_coverage_with_threads};
+    use crate::netlist::NetlistBuilder;
+    use crate::scan::insert_scan_chain;
+
+    fn small_design() -> GateNetlist {
+        let mut b = NetlistBuilder::new("dut");
+        let din = b.input_port("din", 1)[0];
+        let q0w = b.net("q0w".into());
+        let q1w = b.net("q1w".into());
+        let fb = b.cell(CellKind::Xor2, &[q1w, din]);
+        b.dff_onto(fb, q0w, false);
+        b.dff_onto(q0w, q1w, false);
+        let out = b.cell(CellKind::And2, &[q0w, q1w]);
+        b.output_port("y", &[out]);
+        insert_scan_chain(&b.build())
+    }
+
+    #[test]
+    fn full_coverage_on_small_design() {
+        let nl = small_design();
+        let lib = CellLibrary::generic_025u();
+        let faults = all_fault_sites(&nl);
+        let collapsed = collapse_faults(&nl, &faults);
+        let r = generate_tests(&nl, &lib, &collapsed.faults, &AtpgOptions::default());
+        assert_eq!(
+            r.detected() + r.untestable(),
+            collapsed.faults.len(),
+            "classes: {:?}",
+            r.classes
+        );
+        assert_eq!(r.test_coverage_pct(), 100.0);
+        // Every recorded detection must replay through the PPSFP engine.
+        let cov = fault_coverage_with_threads(&nl, &lib, &collapsed.faults, &r.patterns, 1);
+        for (i, c) in r.classes.iter().enumerate() {
+            if matches!(c, FaultClass::Detected { .. }) {
+                assert!(cov.detected_mask[i], "fault {i} not re-detected");
+            }
+        }
+    }
+
+    #[test]
+    fn directed_only_still_covers() {
+        let nl = small_design();
+        let lib = CellLibrary::generic_025u();
+        let faults = all_fault_sites(&nl);
+        let collapsed = collapse_faults(&nl, &faults);
+        let opts = AtpgOptions {
+            random: false,
+            ..AtpgOptions::default()
+        };
+        let r = generate_tests(&nl, &lib, &collapsed.faults, &opts);
+        assert!(r.stats.random_rounds == 0);
+        assert_eq!(r.detected() + r.untestable(), collapsed.faults.len());
+    }
+
+    #[test]
+    fn untestable_redundancy_is_proven() {
+        // y = OR(a, INV(a)) is constant 1: the OR output s-a-1 can never
+        // be observed, and exhaustive enumeration agrees.
+        let mut b = NetlistBuilder::new("redundant");
+        let a = b.input_port("a", 1)[0];
+        let na = b.cell(CellKind::Inv, &[a]);
+        let o = b.cell(CellKind::Or2, &[a, na]);
+        let q = b.net("q".into());
+        b.dff_onto(o, q, false);
+        let y = b.cell(CellKind::Buf, &[q]);
+        b.output_port("y", &[y]);
+        let nl = insert_scan_chain(&b.build());
+        let lib = CellLibrary::generic_025u();
+        let or_idx = nl
+            .instances()
+            .iter()
+            .position(|i| i.kind == CellKind::Or2)
+            .unwrap();
+        let fault = FaultSite {
+            instance: or_idx,
+            stuck_at: true,
+        };
+        let r = generate_tests(&nl, &lib, &[fault], &AtpgOptions::default());
+        assert_eq!(r.classes[0], FaultClass::Untestable);
+        assert_eq!(exhaustive_frame_detectable(&nl, fault, 16), Some(false));
+        // The opposite polarity is detectable and the verdicts agree.
+        let sa0 = FaultSite {
+            instance: or_idx,
+            stuck_at: false,
+        };
+        let r0 = generate_tests(&nl, &lib, &[sa0], &AtpgOptions::default());
+        assert!(matches!(r0.classes[0], FaultClass::Detected { .. }));
+        assert_eq!(exhaustive_frame_detectable(&nl, sa0, 16), Some(true));
+    }
+
+    #[test]
+    fn compaction_keeps_detection_valid() {
+        let nl = small_design();
+        let lib = CellLibrary::generic_025u();
+        let faults = all_fault_sites(&nl);
+        let collapsed = collapse_faults(&nl, &faults);
+        let full = generate_tests(&nl, &lib, &collapsed.faults, &AtpgOptions::default());
+        let uncompacted = generate_tests(
+            &nl,
+            &lib,
+            &collapsed.faults,
+            &AtpgOptions {
+                compact: false,
+                ..AtpgOptions::default()
+            },
+        );
+        assert!(full.patterns.len() <= uncompacted.patterns.len());
+        assert_eq!(full.detected(), uncompacted.detected());
+        // Each Detected class points at a pattern that really detects it.
+        for (i, c) in full.classes.iter().enumerate() {
+            if let FaultClass::Detected { pattern } = c {
+                let p = &full.patterns[*pattern as usize];
+                let cov = fault_coverage_with_threads(
+                    &nl,
+                    &lib,
+                    &[collapsed.faults[i]],
+                    std::slice::from_ref(p),
+                    1,
+                );
+                assert!(cov.detected_mask[0], "fault {i} vs its pattern");
+            }
+        }
+    }
+
+    #[test]
+    fn options_from_env_roundtrip_defaults() {
+        let d = AtpgOptions::default();
+        assert!(d.random && d.directed && d.compact);
+        assert_eq!(parse_seed("0x10"), Some(16));
+        assert_eq!(parse_seed("7"), Some(7));
+    }
+}

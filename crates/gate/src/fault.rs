@@ -25,7 +25,7 @@
 //! [`fault_coverage_partitioned_with_threads`]. The detected set,
 //! signatures and drop curve are byte-identical either way.
 
-use crate::celllib::CellLibrary;
+use crate::celllib::{CellKind, CellLibrary};
 use crate::compile::GateProgram;
 use crate::bitpar::BitGateSim;
 use crate::gsim::GateSim;
@@ -109,9 +109,139 @@ pub fn all_fault_sites(nl: &GateNetlist) -> Vec<FaultSite> {
         .collect()
 }
 
+/// The structural fault-equivalence classes of a fault list (see
+/// [`collapse_faults`]).
+#[derive(Clone, Debug)]
+pub struct CollapsedFaults {
+    /// One representative per equivalence class, in ascending
+    /// `(instance, stuck_at)` order — the list actually simulated.
+    pub faults: Vec<FaultSite>,
+    /// For each fault of the *input* list, the index of its class
+    /// representative in [`CollapsedFaults::faults`].
+    pub class_of: Vec<usize>,
+}
+
+impl CollapsedFaults {
+    /// Expands a detected-mask over the representatives back to the full
+    /// input fault list: a fault is detected iff its representative is
+    /// (equivalent faults have identical detecting-pattern sets).
+    pub fn expand_mask(&self, rep_mask: &[bool]) -> Vec<bool> {
+        self.class_of.iter().map(|&r| rep_mask[r]).collect()
+    }
+}
+
+/// Collapses structurally equivalent stuck-at faults so each equivalence
+/// class is simulated once.
+///
+/// Two single-stuck-at faults are *equivalent* when every test pattern
+/// detects either both or neither. The classic fanout-free dominance
+/// rules give equivalences between a cell's output fault and a fault on
+/// its (sole) downstream consumer, provided the net between them is
+/// fanout-free — it feeds exactly one cell pin and nothing else (no
+/// output port, no memory port, no flip-flop):
+///
+/// * through a `BUF`, stuck-at-v is equivalent to stuck-at-v on the
+///   buffer output; through an `INV`, to stuck-at-v̄;
+/// * a *controlling* stuck value on a gate input pins the gate output:
+///   s-a-0 into `AND2` ≡ output s-a-0, s-a-0 into `NAND2` ≡ output
+///   s-a-1, s-a-1 into `OR2` ≡ output s-a-1, s-a-1 into `NOR2` ≡
+///   output s-a-0, and the single-literal `c` pins of `AOI21`
+///   (s-a-1 ≡ output s-a-0) and `OAI21` (s-a-0 ≡ output s-a-1).
+///
+/// `XOR`/`XNOR`/`MUX2` have no controlling values and flip-flops break
+/// the chain (a D-pin fault is only sampled at capture, while a Q-output
+/// fault also corrupts scan shifting), so neither collapses. Chains of
+/// rules compose: `a → BUF → INV → NAND2` collapses to one class.
+pub fn collapse_faults(nl: &GateNetlist, faults: &[FaultSite]) -> CollapsedFaults {
+    // Pin-use count and sole consumer of every net. Output ports, memory
+    // ports and sequential pins count as extra uses, disqualifying the
+    // net from the fanout-free rule.
+    let mut uses = vec![0usize; nl.net_count()];
+    let mut consumer: Vec<Option<(usize, usize)>> = vec![None; nl.net_count()];
+    for (ii, inst) in nl.instances().iter().enumerate() {
+        for (pin, n) in inst.inputs.iter().enumerate() {
+            uses[n.0] += 1;
+            consumer[n.0] = Some((ii, pin));
+        }
+    }
+    for (_, bits) in nl.outputs() {
+        for n in bits {
+            uses[n.0] += 2; // observable: never collapse through it
+        }
+    }
+    for mem in nl.memories() {
+        for n in mem
+            .raddr
+            .iter()
+            .chain(&mem.waddr)
+            .chain(&mem.wdata)
+            .chain(mem.wen.as_ref())
+        {
+            uses[n.0] += 2;
+        }
+    }
+
+    // One collapse step: the equivalent fault on the sole consumer, if
+    // any rule applies.
+    let step = |f: FaultSite| -> Option<FaultSite> {
+        let inst = &nl.instances()[f.instance];
+        let n = inst.output;
+        if uses[n.0] != 1 {
+            return None;
+        }
+        let (ci, pin) = consumer[n.0]?;
+        let kind = nl.instances()[ci].kind;
+        if kind.is_sequential() {
+            return None;
+        }
+        let stuck_at = match (kind, pin, f.stuck_at) {
+            (CellKind::Buf, 0, v) => v,
+            (CellKind::Inv, 0, v) => !v,
+            (CellKind::And2, _, false) => false,
+            (CellKind::Nand2, _, false) => true,
+            (CellKind::Or2, _, true) => true,
+            (CellKind::Nor2, _, true) => false,
+            (CellKind::Aoi21, 2, true) => false,
+            (CellKind::Oai21, 2, false) => true,
+            _ => return None,
+        };
+        Some(FaultSite {
+            instance: ci,
+            stuck_at,
+        })
+    };
+
+    // Follow each fault's collapse chain to its root. Chains move
+    // strictly forward through sole consumers; the visit cap guards
+    // against combinational loops (which the levelizer rejects anyway).
+    let root_of = |mut f: FaultSite| -> FaultSite {
+        for _ in 0..nl.instances().len() {
+            match step(f) {
+                Some(next) => f = next,
+                None => break,
+            }
+        }
+        f
+    };
+
+    let roots: Vec<FaultSite> = faults.iter().map(|&f| root_of(f)).collect();
+    let mut reps: Vec<FaultSite> = roots.clone();
+    reps.sort_by_key(|f| (f.instance, f.stuck_at));
+    reps.dedup();
+    let index_of = |f: &FaultSite| {
+        reps.binary_search_by_key(&(f.instance, f.stuck_at), |r| (r.instance, r.stuck_at))
+            .expect("root is a representative")
+    };
+    let class_of = roots.iter().map(index_of).collect();
+    CollapsedFaults {
+        faults: reps,
+        class_of,
+    }
+}
+
 /// One scan-test pattern: the values shifted into the chain plus the
 /// primary-input values applied during the capture cycle.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ScanPattern {
     /// One bit per flip-flop, shifted in first-bit-first.
     pub chain_bits: Vec<bool>,
@@ -220,7 +350,7 @@ pub fn apply_pattern_batch(
 /// [`apply_pattern_batch`] generalized over the lane-parallel engines
 /// (the partitioned engine borrows its netlist for the closure's
 /// lifetime, so the netlist is threaded in explicitly).
-fn apply_pattern_batch_on<S: ScanSim>(
+pub(crate) fn apply_pattern_batch_on<S: ScanSim>(
     sim: &mut S,
     nl: &GateNetlist,
     patterns: &[ScanPattern],
@@ -800,6 +930,82 @@ mod tests {
             );
             assert_eq!(stats.drop_curve, ref_stats.drop_curve);
         }
+    }
+
+    #[test]
+    fn collapse_merges_fanout_free_chains() {
+        // in -> INV -> BUF -> NAND2(other) -> out, everything fanout-free:
+        // INV s-a-0 == BUF s-a-1 == NAND out s-a-... only the controlling
+        // polarity merges into the NAND.
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input_port("a", 1)[0];
+        let o = b.input_port("o", 1)[0];
+        let inv = b.cell(CellKind::Inv, &[a]);
+        let buf = b.cell(CellKind::Buf, &[inv]);
+        let y = b.cell(CellKind::Nand2, &[buf, o]);
+        b.output_port("y", &[y]);
+        let nl = b.build();
+        let faults = all_fault_sites(&nl);
+        let c = collapse_faults(&nl, &faults);
+        assert_eq!(c.class_of.len(), faults.len());
+        // INV s-a-1 -> BUF s-a-1 -> (controlling 0? no: 1 is non-controlling
+        // for NAND) stops at the BUF... the BUF output feeds the NAND pin,
+        // so s-a-1 stays a BUF-rooted... no: BUF s-a-1 maps to itself only
+        // if no rule applies; s-a-1 into NAND2 is non-controlling, so the
+        // chain ends at the NAND *pin*, i.e. the BUF fault is the root.
+        // s-a-0 into NAND2 is controlling: INV s-a-0 == BUF s-a-0 == NAND
+        // s-a-1, one class.
+        let idx = |inst: usize, v: bool| {
+            c.class_of[faults
+                .iter()
+                .position(|f| f.instance == inst && f.stuck_at == v)
+                .unwrap()]
+        };
+        let (inv_i, buf_i, nand_i) = (0usize, 1usize, 2usize);
+        assert_eq!(idx(inv_i, false), idx(buf_i, false));
+        assert_eq!(idx(buf_i, false), idx(nand_i, true));
+        assert_eq!(idx(inv_i, true), idx(buf_i, true));
+        assert_ne!(idx(buf_i, true), idx(nand_i, false));
+        assert!(c.faults.len() < faults.len());
+        // Representatives are sorted, deduped and self-rooted.
+        let rep_faults = collapse_faults(&nl, &c.faults);
+        assert_eq!(rep_faults.faults, c.faults);
+    }
+
+    #[test]
+    fn collapse_respects_fanout_and_observability() {
+        // A net with two consumers, and a net feeding an output port:
+        // neither may collapse.
+        let mut b = NetlistBuilder::new("fan");
+        let a = b.input_port("a", 1)[0];
+        let x = b.input_port("x", 1)[0];
+        let inv = b.cell(CellKind::Inv, &[a]); // feeds two ANDs
+        let y0 = b.cell(CellKind::And2, &[inv, x]);
+        let y1 = b.cell(CellKind::And2, &[inv, a]);
+        let buf = b.cell(CellKind::Buf, &[y0]); // y0 also an output port
+        b.output_port("y0", &[y0]);
+        b.output_port("b", &[buf]);
+        b.output_port("y1", &[y1]);
+        let nl = b.build();
+        let faults = all_fault_sites(&nl);
+        let c = collapse_faults(&nl, &faults);
+        assert_eq!(c.faults.len(), faults.len(), "nothing may collapse");
+    }
+
+    #[test]
+    fn collapsed_and_uncollapsed_detected_sets_agree() {
+        let nl = small_design();
+        let lib = CellLibrary::generic_025u();
+        let faults = all_fault_sites(&nl);
+        let collapsed = collapse_faults(&nl, &faults);
+        let patterns = random_patterns(&nl, 24, 17);
+        let full = fault_coverage(&nl, &lib, &faults, &patterns);
+        let reps = fault_coverage(&nl, &lib, &collapsed.faults, &patterns);
+        assert_eq!(
+            collapsed.expand_mask(&reps.detected_mask),
+            full.detected_mask,
+            "equivalent faults must have identical detection"
+        );
     }
 
     #[test]

@@ -39,12 +39,17 @@
 //! * [`fault`] — stuck-at fault injection and scan-based test coverage
 //!   (what the scan chain's area pays for), measured with parallel-pattern
 //!   single-fault propagation (PPSFP) and fault dropping on the
-//!   bit-parallel engine.
+//!   bit-parallel engine, over structurally collapsed fault classes,
+//! * [`atpg`] — staged automatic test-pattern generation (random rounds
+//!   with fault dropping, then a PODEM-style directed search on the
+//!   capture-frame model, then reverse-order compaction) that closes the
+//!   coverage loop [`fault`] can only measure.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod area;
+pub mod atpg;
 mod bitpar;
 mod celllib;
 mod compile;
@@ -65,6 +70,7 @@ mod timing;
 mod verilog;
 
 pub use area::AreaReport;
+pub use atpg::{generate_tests, AtpgOptions, AtpgResult, AtpgStats, CurvePoint, FaultClass};
 pub use bitpar::BitGateSim;
 pub use celllib::{CellKind, CellLibrary, CellSpec};
 pub use compile::GateProgram;

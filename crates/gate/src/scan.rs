@@ -1,7 +1,7 @@
 //! Scan-chain insertion.
 
 use crate::celllib::CellKind;
-use crate::netlist::{GNetId, GateNetlist};
+use crate::netlist::{GNetId, GateNetlist, Instance};
 
 /// Replaces every plain DFF with a scan flop and stitches a single scan
 /// chain through the design.
@@ -11,10 +11,31 @@ use crate::netlist::{GNetId, GateNetlist};
 /// `scan_in`, and `scan_out` is the last flop's Q. A netlist without flops
 /// is returned unchanged.
 ///
+/// Two standard DFT measures accompany the chain when the netlist has
+/// RAMs, both transparent in functional mode:
+///
+/// * **write-protect** — every RAM write enable is gated with
+///   `!scan_en`, so shifting the chain cannot clobber memory contents
+///   and a capture cycle always reads the power-on (`init`) image. The
+///   ATPG capture-frame model depends on this guarantee to predict
+///   read-data values.
+/// * **read bypass** — a `test_mode` input is added and every RAM
+///   read-data bit is muxed with the matching write-data bit
+///   (`test_mode = 1` selects write data). Logic downstream of a read
+///   port is otherwise stuck at whatever the `init` image stores (the
+///   SRC's sample buffer reads as all-zeros, freezing a multiplier
+///   operand); the bypass makes that cone controllable from scannable
+///   state. Functional runs tie `test_mode` low.
+///
 /// The paper includes the scan chain in all reported areas; the area
 /// penalty is the SDFF/DFF area difference per flop.
 pub fn insert_scan_chain(nl: &GateNetlist) -> GateNetlist {
     let mut out = nl.clone();
+    // Idempotent: re-stitching an already-scanned netlist would add
+    // duplicate ports and double-gate the RAM write enables.
+    if out.input_port("scan_in").is_some() {
+        return out;
+    }
     let flops: Vec<usize> = out
         .instances
         .iter()
@@ -42,6 +63,85 @@ pub fn insert_scan_chain(nl: &GateNetlist) -> GateNetlist {
         prev_q = inst.output;
     }
     out.outputs.push(("scan_out".into(), vec![prev_q]));
+
+    // Write-protect every RAM while the chain shifts: wen' = wen & !scan_en.
+    let rams: Vec<usize> = (0..out.memories.len())
+        .filter(|&m| out.memories[m].wen.is_some())
+        .collect();
+    if !rams.is_empty() {
+        let nscan = GNetId(out.net_names.len());
+        out.net_names.push("scan_nen[0]".into());
+        out.instances.push(Instance {
+            name: "scan_nen_inv".into(),
+            kind: CellKind::Inv,
+            inputs: vec![scan_en],
+            output: nscan,
+            init: None,
+        });
+        for m in rams {
+            let wen = out.memories[m].wen.expect("RAM has wen");
+            let gated = GNetId(out.net_names.len());
+            let name = out.memories[m].name.clone();
+            out.net_names.push(format!("{name}.wen_gated[0]"));
+            out.instances.push(Instance {
+                name: format!("{name}_wen_gate"),
+                kind: CellKind::And2,
+                inputs: vec![wen, nscan],
+                output: gated,
+                init: None,
+            });
+            out.memories[m].wen = Some(gated);
+        }
+    }
+
+    // Read bypass: dout' = test_mode ? wdata : dout, per RAM data bit.
+    // Pre-existing consumers (gate pins and output ports) move to the
+    // muxed net; the mux itself and the memory macro keep the originals.
+    let byp: Vec<usize> = (0..out.memories.len())
+        .filter(|&m| {
+            let me = &out.memories[m];
+            me.wen.is_some() && me.wdata.len() == me.dout.len()
+        })
+        .collect();
+    if !byp.is_empty() {
+        let tm = GNetId(out.net_names.len());
+        out.net_names.push("test_mode[0]".into());
+        out.inputs.push(("test_mode".into(), vec![tm]));
+        let n_inst = out.instances.len();
+        let mut remap: Vec<(GNetId, GNetId)> = Vec::new();
+        for m in byp {
+            let name = out.memories[m].name.clone();
+            for bit in 0..out.memories[m].dout.len() {
+                let dout = out.memories[m].dout[bit];
+                let wdata = out.memories[m].wdata[bit];
+                let muxed = GNetId(out.net_names.len());
+                out.net_names.push(format!("{name}.dout_byp[{bit}]"));
+                out.instances.push(Instance {
+                    name: format!("{name}_byp{bit}"),
+                    kind: CellKind::Mux2,
+                    inputs: vec![dout, wdata, tm],
+                    output: muxed,
+                    init: None,
+                });
+                remap.push((dout, muxed));
+            }
+        }
+        let target = |n: GNetId| remap.iter().find(|(d, _)| *d == n).map(|&(_, b)| b);
+        for inst in &mut out.instances[..n_inst] {
+            for pin in &mut inst.inputs {
+                if let Some(b) = target(*pin) {
+                    *pin = b;
+                }
+            }
+        }
+        for (_, bits) in &mut out.outputs {
+            for n in bits {
+                if let Some(b) = target(*n) {
+                    *n = b;
+                }
+            }
+        }
+    }
     out
 }
 

@@ -513,6 +513,9 @@ fn serve_loop(sim: &mut dyn Simulation, coverage: bool, rx: &mpsc::Receiver<ReqE
         let _ = sim.try_poke("scan_en", Bv::zero(1));
         let _ = sim.try_poke("scan_in", Bv::zero(1));
     }
+    if sim.has_input("test_mode") {
+        let _ = sim.try_poke("test_mode", Bv::zero(1));
+    }
     if coverage {
         sim.set_coverage(true);
     }

@@ -28,6 +28,9 @@ fn check_equivalence(module: &Module, cycles: u64, seed: u64) {
             gate.set_input("scan_en", Bv::zero(1));
             gate.set_input("scan_in", Bv::zero(1));
         }
+        if result.netlist.input_port("test_mode").is_some() {
+            gate.set_input("test_mode", Bv::zero(1));
+        }
 
         let inputs: Vec<(String, u32)> = module
             .ports()

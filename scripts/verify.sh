@@ -159,6 +159,38 @@ SCFLOW_BENCH_DIR="$covdir" \
 test -s "$covdir/BENCH_opt.json"
 echo "ok: BENCH_opt.json emitted (floor enforced by the bench)"
 
+echo "== ATPG property suite (two-engine replay + exhaustive cross-check) =="
+# Every pattern set replays identically on GateSim and BitGateSim and
+# covers every Detected verdict; Untestable verdicts match brute-force
+# enumeration on small frames. Seeds are pinned inside the suite.
+cargo test --release -q --offline -p scflow-gate --test atpg_properties
+cargo test --release -q --offline -p scflow --test atpg_flow
+
+echo "== ATPG directed-stage smoke =="
+# PODEM alone (random stage off, tiny backtrack budget) must classify
+# the full fault list and detect at least one fault.
+cargo run --release --offline -p scflow-bench --bin tables -- --check-atpg
+
+echo "== ATPG coverage floor + thread determinism =="
+# The full staged run must reach 95% collapsed stuck-at coverage on the
+# SRC, and its METRICS.json (patterns, per-stage curve, decision and
+# backtrack counts) must be byte-identical at 1 and 4 fault threads.
+mkdir -p "$covdir/atpg1" "$covdir/atpg4"
+SCFLOW_BENCH_DIR="$covdir/atpg1" SCFLOW_FAULT_THREADS=1 SCFLOW_ATPG_MIN=95 \
+    cargo run --release --offline -p scflow-bench --bin tables -- --atpg
+SCFLOW_BENCH_DIR="$covdir/atpg4" SCFLOW_FAULT_THREADS=4 SCFLOW_ATPG_MIN=95 \
+    cargo run --release --offline -p scflow-bench --bin tables -- --atpg >/dev/null
+cmp "$covdir/atpg1/METRICS.json" "$covdir/atpg4/METRICS.json"
+echo "ok: ATPG >=95% on SRC, byte-identical at 1 and 4 fault threads"
+
+echo "== ATPG coverage bench (BENCH_atpg.json) =="
+# SRC plus a 10^4-gate generated netlist; the bench itself asserts the
+# 95% SRC floor.
+SCFLOW_BENCH_DIR="$covdir" \
+    cargo bench --offline -q -p scflow-bench --bench atpg_coverage
+test -s "$covdir/BENCH_atpg.json"
+echo "ok: BENCH_atpg.json emitted (floor enforced by the bench)"
+
 echo "== metrics overhead guard =="
 # With metrics disabled the engines pay one branch per cycle for the
 # observability layer; a fresh fig8 rtl_compiled measurement must stay
